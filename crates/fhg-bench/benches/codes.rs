@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the prefix-free codes (experiment E2's engine):
+//! encoding, decoding and the period computation used by the §4 scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fhg_codes::{rho_omega, BitReader, CodeSchedule, EliasCode, PrefixFreeCode, UnaryCode};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code-encode");
+    let values: Vec<u64> = (1..=4096).collect();
+    for (name, code) in [
+        ("elias-gamma", EliasCode::gamma()),
+        ("elias-delta", EliasCode::delta()),
+        ("elias-omega", EliasCode::omega()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, values.len()), &values, |b, vals| {
+            b.iter(|| {
+                for &v in vals {
+                    black_box(code.encode(v));
+                }
+            })
+        });
+    }
+    group.bench_function("unary-small", |b| {
+        b.iter(|| {
+            for v in 1..=64u64 {
+                black_box(UnaryCode.encode(v));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code-decode");
+    for (name, code) in [
+        ("elias-gamma", EliasCode::gamma()),
+        ("elias-delta", EliasCode::delta()),
+        ("elias-omega", EliasCode::omega()),
+    ] {
+        let mut stream = fhg_codes::Codeword::empty();
+        for v in 1..=2048u64 {
+            stream = stream.concat(&code.encode(v));
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut reader = BitReader::new(&stream);
+                let mut sum = 0u64;
+                while let Some(v) = code.decode(&mut reader) {
+                    sum = sum.wrapping_add(v);
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code-schedule");
+    group.bench_function("slot-for-4096-colors", |b| {
+        let schedule = CodeSchedule::new(EliasCode::omega());
+        b.iter(|| {
+            for color in 1..=4096u64 {
+                black_box(schedule.slot(color));
+            }
+        })
+    });
+    group.bench_function("rho-omega-1e6", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 1..=1_000_000u64 {
+                acc += u64::from(rho_omega(v));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_schedule_mapping);
+criterion_main!(benches);

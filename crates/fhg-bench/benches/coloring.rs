@@ -1,0 +1,33 @@
+//! Criterion benchmarks for the sequential colouring substrate: greedy
+//! orderings vs DSATUR (the E1/E2 initial-colouring ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fhg_coloring::{dsatur, greedy_coloring, two_coloring, GreedyOrder};
+use fhg_graph::generators;
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring");
+    for &n in &[1_000usize, 10_000] {
+        let graph = generators::erdos_renyi(n, 10.0 / (n as f64 - 1.0), 9);
+        for order in [GreedyOrder::Natural, GreedyOrder::DegreeDescending, GreedyOrder::SmallestLast] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("greedy-{}", order.name()), n),
+                &graph,
+                |b, g| b.iter(|| black_box(greedy_coloring(g, order))),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("dsatur", n), &graph, |b, g| {
+            b.iter(|| black_box(dsatur(g)))
+        });
+    }
+    let bipartite = generators::bipartite_villages(2_000, 2_000, 0.002, 4);
+    group.bench_function("two-coloring-villages-4000", |b| {
+        b.iter(|| black_box(two_coloring(&bipartite)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

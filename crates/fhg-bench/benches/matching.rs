@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the Appendix A algorithms (experiment E9/E10's
+//! engine): Hopcroft–Karp vs the linear-time satisfaction algorithm, and
+//! exact vs greedy MIS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fhg_graph::generators;
+use fhg_matching::{exact_mis, greedy_mis, max_satisfaction_linear, max_satisfaction_matching};
+
+fn bench_satisfaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfaction");
+    group.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        let graph = generators::erdos_renyi(n, 3.0 / (n as f64 - 1.0), 37);
+        group.bench_with_input(BenchmarkId::new("linear-peeling", n), &graph, |b, g| {
+            b.iter(|| black_box(max_satisfaction_linear(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("hopcroft-karp", n), &graph, |b, g| {
+            b.iter(|| black_box(max_satisfaction_matching(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis");
+    group.sample_size(10);
+    let small = generators::erdos_renyi(45, 0.15, 44);
+    group.bench_function("exact-branch-and-bound-45", |b| {
+        b.iter(|| black_box(exact_mis(&small)))
+    });
+    let large = generators::erdos_renyi(50_000, 6.0 / 49_999.0, 45);
+    group.bench_function("greedy-50k", |b| b.iter(|| black_box(greedy_mis(&large))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_satisfaction, bench_mis);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks for the radio application layer (experiment E10b's
+//! engine): interference-graph construction and TDMA evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fhg_core::prelude::*;
+use fhg_radio::{evaluate_tdma, RadioNetwork};
+
+fn bench_radio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radio");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000] {
+        group.bench_with_input(BenchmarkId::new("network-construction", n), &n, |b, &n| {
+            b.iter(|| black_box(RadioNetwork::random(n, 0.02, 7)))
+        });
+        let network = RadioNetwork::random(n, 0.02, 7);
+        group.bench_with_input(BenchmarkId::new("tdma-degree-bound-256-slots", n), &network, |b, net| {
+            b.iter(|| {
+                let mut s = PeriodicDegreeBound::new(net.interference_graph());
+                black_box(evaluate_tdma(net, &mut s, 256))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tdma-round-robin-256-slots", n), &network, |b, net| {
+            b.iter(|| {
+                let mut s = RoundRobinColoring::new(net.interference_graph());
+                black_box(evaluate_tdma(net, &mut s, 256))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_radio);
+criterion_main!(benches);

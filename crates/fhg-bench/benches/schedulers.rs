@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the schedulers: construction cost and per-holiday
+//! cost of every algorithm in the paper, plus the full-analysis pipeline used
+//! by experiments E1/E4/E6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fhg_core::analysis::analyze_schedule;
+use fhg_core::prelude::*;
+use fhg_graph::generators;
+use fhg_graph::Graph;
+
+fn test_graph(n: usize) -> Graph {
+    generators::erdos_renyi(n, 8.0 / (n as f64 - 1.0), 42)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler-construction");
+    for &n in &[1_000usize, 10_000] {
+        let graph = test_graph(n);
+        group.bench_with_input(BenchmarkId::new("phased-greedy", n), &graph, |b, g| {
+            b.iter(|| black_box(PhasedGreedy::new(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("prefix-code-omega", n), &graph, |b, g| {
+            b.iter(|| black_box(PrefixCodeScheduler::omega(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("periodic-degree-bound", n), &graph, |b, g| {
+            b.iter(|| black_box(PeriodicDegreeBound::new(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("distributed-degree-bound", n), &graph, |b, g| {
+            b.iter(|| black_box(DistributedDegreeBound::new(g, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_per_holiday(c: &mut Criterion) {
+    let graph = test_graph(10_000);
+    let mut group = c.benchmark_group("per-holiday");
+    group.bench_function("phased-greedy", |b| {
+        let mut s = PhasedGreedy::new(&graph);
+        let mut t = 1u64;
+        b.iter(|| {
+            let happy = s.happy_set(t);
+            t += 1;
+            black_box(happy)
+        })
+    });
+    group.bench_function("prefix-code-omega", |b| {
+        let mut s = PrefixCodeScheduler::omega(&graph);
+        let mut t = 0u64;
+        b.iter(|| {
+            let happy = s.happy_set(t);
+            t += 1;
+            black_box(happy)
+        })
+    });
+    group.bench_function("periodic-degree-bound", |b| {
+        let mut s = PeriodicDegreeBound::new(&graph);
+        let mut t = 0u64;
+        b.iter(|| {
+            let happy = s.happy_set(t);
+            t += 1;
+            black_box(happy)
+        })
+    });
+    group.bench_function("first-come-first-grab", |b| {
+        let mut s = FirstComeFirstGrab::new(&graph, 3);
+        let mut t = 0u64;
+        b.iter(|| {
+            let happy = s.happy_set(t);
+            t += 1;
+            black_box(happy)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let graph = test_graph(2_000);
+    let mut group = c.benchmark_group("analysis-pipeline");
+    group.sample_size(10);
+    group.bench_function("periodic-degree-bound-512-holidays", |b| {
+        b.iter(|| {
+            let mut s = PeriodicDegreeBound::new(&graph);
+            black_box(analyze_schedule(&graph, &mut s, 512))
+        })
+    });
+    group.bench_function("phased-greedy-512-holidays", |b| {
+        b.iter(|| {
+            let mut s = PhasedGreedy::new(&graph);
+            black_box(analyze_schedule(&graph, &mut s, 512))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_per_holiday, bench_full_analysis);
+criterion_main!(benches);

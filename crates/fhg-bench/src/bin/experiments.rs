@@ -1,0 +1,42 @@
+//! Experiment runner: regenerates every table in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p fhg-bench --release --bin experiments -- all
+//! cargo run -p fhg-bench --release --bin experiments -- e4 e5
+//! cargo run -p fhg-bench --release --bin experiments -- --list
+//! ```
+
+use std::time::Instant;
+
+use fhg_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for id in &ids {
+        if !EXPERIMENT_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment {id:?}; valid ids: {EXPERIMENT_IDS:?} or `all`");
+            std::process::exit(2);
+        }
+    }
+    for id in &ids {
+        let start = Instant::now();
+        let tables = run_experiment(id);
+        for table in &tables {
+            println!("{}", table.to_markdown());
+        }
+        eprintln!("[{} finished in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+    }
+}

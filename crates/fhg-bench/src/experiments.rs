@@ -1,0 +1,568 @@
+//! The E1–E10 experiment implementations (see `DESIGN.md` §5 and
+//! `EXPERIMENTS.md`).
+//!
+//! Every experiment uses fixed seeds, so the tables in `EXPERIMENTS.md` are
+//! exactly reproducible with
+//! `cargo run -p fhg-bench --release --bin experiments -- all`.
+
+use std::time::Instant;
+
+use fhg_codes::{log_star, phi, rho_omega, EliasCode, UnaryCode};
+use fhg_coloring::{greedy_coloring, GreedyOrder};
+use fhg_core::analysis::analyze_schedule;
+use fhg_core::dynamic::DynamicColorBound;
+use fhg_core::lower_bound::lower_bound_table;
+use fhg_core::prelude::*;
+use fhg_core::schedulers::degree_bound::AssignmentOrder;
+use fhg_core::schedulers::standard_suite;
+use fhg_distributed::{distributed_slot_assignment, johansson_coloring, luby_mis};
+use fhg_graph::generators::{self, Family};
+use fhg_graph::Graph;
+use fhg_matching::{exact_mis, greedy_mis, max_satisfaction_linear, max_satisfaction_matching};
+use fhg_radio::{evaluate_tdma, RadioNetwork};
+
+use crate::table::Table;
+
+/// The experiment identifiers, in order.
+pub const EXPERIMENT_IDS: [&str; 10] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// Runs one experiment by id (`"e1"` … `"e10"`), returning its tables.
+///
+/// # Panics
+/// Panics if the id is unknown.
+pub fn run_experiment(id: &str) -> Vec<Table> {
+    match id {
+        "e1" => e1_phased_greedy_bound(),
+        "e2" => e2_elias_omega_periods(),
+        "e3" => e3_lower_bound(),
+        "e4" => e4_periodic_degree_bound(),
+        "e5" => e5_distributed_rounds(),
+        "e6" => e6_scheduler_comparison(),
+        "e7" => e7_first_come_first_grab(),
+        "e8" => e8_dynamic_recovery(),
+        "e9" => e9_satisfaction(),
+        "e10" => e10_mis_and_radio(),
+        other => panic!("unknown experiment id {other:?}; valid ids: {EXPERIMENT_IDS:?}"),
+    }
+}
+
+/// Runs every experiment in order, returning all tables.
+pub fn run_all() -> Vec<Table> {
+    EXPERIMENT_IDS.iter().flat_map(|id| run_experiment(id)).collect()
+}
+
+fn family_instances(n: usize, avg_degree: f64, seed: u64) -> Vec<(Family, Graph)> {
+    Family::ALL.iter().map(|&f| (f, f.generate(n, avg_degree, seed))).collect()
+}
+
+/// E1 — Theorem 3.1: the phased-greedy schedule never leaves a parent of
+/// degree `d` unhappy for more than `d` consecutive holidays, on every graph
+/// family, with O(1) communication rounds per holiday.
+pub fn e1_phased_greedy_bound() -> Vec<Table> {
+    let mut table = Table::new(
+        "E1 — Theorem 3.1: phased greedy, worst unhappy streak vs the d+1 bound",
+        &[
+            "family",
+            "n",
+            "edges",
+            "max degree",
+            "worst streak",
+            "worst streak - degree (max)",
+            "bound violations",
+            "init rounds",
+            "rounds/holiday",
+        ],
+    );
+    for (family, graph) in family_instances(600, 8.0, 11) {
+        let mut scheduler = PhasedGreedy::with_distributed_init(&graph, 101);
+        let horizon = 4 * (graph.max_degree() as u64 + 1).max(32);
+        let analysis = analyze_schedule(&graph, &mut scheduler, horizon);
+        let worst = analysis.max_unhappiness();
+        let worst_slack = analysis
+            .per_node
+            .iter()
+            .map(|n| n.max_unhappiness as i64 - n.degree as i64)
+            .max()
+            .unwrap_or(0);
+        let violations = analysis.bound_violations(&scheduler).len();
+        table.push(&[
+            family.name().to_string(),
+            graph.node_count().to_string(),
+            graph.edge_count().to_string(),
+            graph.max_degree().to_string(),
+            worst.to_string(),
+            worst_slack.to_string(),
+            violations.to_string(),
+            scheduler.init_rounds().to_string(),
+            scheduler.rounds_per_holiday().to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E2 — Theorem 4.2: the Elias-omega schedule is perfectly periodic with
+/// period `2^ρ(c) ≤ 2^{1+log* c}·φ(c)`, plus the prefix-code ablation.
+pub fn e2_elias_omega_periods() -> Vec<Table> {
+    let mut analytic = Table::new(
+        "E2a — Theorem 4.2: per-colour period 2^rho(c) vs the bound 2^(1+log* c)·phi(c)",
+        &["colour c", "rho(c)", "period 2^rho(c)", "bound", "period/bound"],
+    );
+    for exp in 0..=16u32 {
+        let c = 1u64 << exp;
+        let period = 2f64.powi(rho_omega(c) as i32);
+        let bound = 2f64.powi(1 + log_star(c as f64) as i32) * phi(c as f64);
+        analytic.push(&[
+            c.to_string(),
+            rho_omega(c).to_string(),
+            format!("{period:.0}"),
+            format!("{bound:.0}"),
+            format!("{:.3}", period / bound),
+        ]);
+    }
+
+    let mut ablation = Table::new(
+        "E2b — prefix-code ablation on an Erdős–Rényi conflict graph (n=400, mean degree 8)",
+        &["code", "max colour", "max period", "mean period", "conflict-free", "all periodic"],
+    );
+    let graph = generators::erdos_renyi(400, 8.0 / 399.0, 7);
+    let coloring = greedy_coloring(&graph, GreedyOrder::Natural);
+    let schedulers: Vec<(&str, PrefixCodeScheduler)> = vec![
+        ("elias-omega", PrefixCodeScheduler::with_code(&graph, &coloring, EliasCode::omega())),
+        ("elias-delta", PrefixCodeScheduler::with_code(&graph, &coloring, EliasCode::delta())),
+        ("elias-gamma", PrefixCodeScheduler::with_code(&graph, &coloring, EliasCode::gamma())),
+        ("unary", PrefixCodeScheduler::with_code(&graph, &coloring, UnaryCode)),
+    ];
+    let max_color = u64::from(coloring.max_color());
+    for (name, mut sched) in schedulers {
+        let periods: Vec<u64> = graph.nodes().map(|p| sched.period(p).unwrap()).collect();
+        let max_period = periods.iter().copied().max().unwrap_or(1);
+        let mean_period = periods.iter().sum::<u64>() as f64 / periods.len().max(1) as f64;
+        let horizon = 1024;
+        let analysis = analyze_schedule(&graph, &mut sched, horizon);
+        let all_periodic = analysis
+            .per_node
+            .iter()
+            .all(|n| n.observed_period.is_none() || Some(n.observed_period.unwrap()) == sched.period(n.node));
+        ablation.push(&[
+            name.to_string(),
+            max_color.to_string(),
+            max_period.to_string(),
+            format!("{mean_period:.1}"),
+            analysis.all_happy_sets_independent.to_string(),
+            all_periodic.to_string(),
+        ]);
+    }
+    vec![analytic, ablation]
+}
+
+/// E3 — Theorem 4.1: the Cauchy-condensation lower bound, validated through
+/// the feasibility functional `Σ 1/f(c)` and constructive packing.
+pub fn e3_lower_bound() -> Vec<Table> {
+    let mut table = Table::new(
+        "E3 — Theorem 4.1: feasibility of period functions (sum limit 10^6, packing cap 128)",
+        &["period function", "sum of 1/f(c)", "feasible (sum <= 1)", "packable colours (cap 128)"],
+    );
+    for row in lower_bound_table(1_000_000, 128) {
+        table.push(&[
+            row.function.clone(),
+            format!("{:.4}", row.reciprocal_sum),
+            (row.reciprocal_sum <= 1.0).to_string(),
+            row.packable_colors.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E4 — Theorem 5.3 / Lemmas 5.1–5.2: the periodic degree-bound schedule has
+/// period exactly `2^⌈log₂(d+1)⌉ ≤ 2d`, with no conflicts, and the
+/// decreasing-degree order is necessary.
+pub fn e4_periodic_degree_bound() -> Vec<Table> {
+    let mut per_family = Table::new(
+        "E4a — Theorem 5.3: periodic degree-bound schedule across graph families",
+        &[
+            "family",
+            "n",
+            "max degree",
+            "max period",
+            "max period / 2d",
+            "conflicts",
+            "all nodes periodic",
+        ],
+    );
+    for (family, graph) in family_instances(600, 8.0, 13) {
+        let mut scheduler = PeriodicDegreeBound::new(&graph);
+        let horizon = (4 * graph.nodes().map(|p| scheduler.period(p).unwrap()).max().unwrap_or(1))
+            .clamp(64, 8192);
+        let analysis = analyze_schedule(&graph, &mut scheduler, horizon);
+        let max_period = graph.nodes().map(|p| scheduler.period(p).unwrap()).max().unwrap_or(1);
+        let worst_ratio = graph
+            .nodes()
+            .filter(|&p| graph.degree(p) > 0)
+            .map(|p| scheduler.period(p).unwrap() as f64 / (2 * graph.degree(p)) as f64)
+            .fold(0.0f64, f64::max);
+        let all_periodic = analysis
+            .per_node
+            .iter()
+            .filter(|n| scheduler.period(n.node).unwrap() * 2 <= horizon)
+            .all(|n| n.observed_period == scheduler.period(n.node));
+        per_family.push(&[
+            family.name().to_string(),
+            graph.node_count().to_string(),
+            graph.max_degree().to_string(),
+            max_period.to_string(),
+            format!("{worst_ratio:.3}"),
+            (!analysis.all_happy_sets_independent as u64).to_string(),
+            all_periodic.to_string(),
+        ]);
+    }
+
+    let mut ablation = Table::new(
+        "E4b — assignment-order ablation (200 Erdős–Rényi graphs, n=24, p=0.25)",
+        &["order", "graphs with hosting conflicts", "graphs where assignment failed"],
+    );
+    for (label, order) in [
+        ("decreasing degree (paper)", AssignmentOrder::DecreasingDegree),
+        ("increasing degree", AssignmentOrder::IncreasingDegree),
+        ("node id", AssignmentOrder::Natural),
+    ] {
+        let mut conflicts = 0usize;
+        let mut failures = 0usize;
+        for seed in 0..200u64 {
+            let graph = generators::erdos_renyi(24, 0.25, seed);
+            match PeriodicDegreeBound::with_order(&graph, order) {
+                None => failures += 1,
+                Some(s) => {
+                    if !s.verify_no_conflicts(&graph) {
+                        conflicts += 1;
+                    }
+                }
+            }
+        }
+        ablation.push(&[label.to_string(), conflicts.to_string(), failures.to_string()]);
+    }
+    vec![per_family, ablation]
+}
+
+/// E5 — distributed initialisation costs: rounds and messages of the
+/// Johansson colouring, Luby MIS and the §5.2 phased slot assignment as the
+/// network grows.
+pub fn e5_distributed_rounds() -> Vec<Table> {
+    let mut table = Table::new(
+        "E5 — distributed initialisation cost vs network size (Erdős–Rényi, mean degree 8)",
+        &[
+            "n",
+            "colouring rounds",
+            "colouring msgs/node",
+            "Luby MIS rounds",
+            "§5.2 phases",
+            "§5.2 total rounds",
+        ],
+    );
+    for &n in &[256usize, 1024, 4096, 16384] {
+        let p = 8.0 / (n as f64 - 1.0);
+        let graph = generators::erdos_renyi(n, p, 3);
+        let (_, coloring_stats) = johansson_coloring(&graph, 5);
+        let mis = luby_mis(&graph, 7, 4096);
+        let slots = distributed_slot_assignment(&graph, 9);
+        table.push(&[
+            n.to_string(),
+            coloring_stats.rounds.to_string(),
+            format!("{:.1}", coloring_stats.messages as f64 / n as f64),
+            mis.stats.rounds.to_string(),
+            slots.phases.to_string(),
+            slots.stats.rounds.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E6 — local vs global guarantees: on a heavy-tailed conflict graph, compare
+/// every scheduler's worst wait for low-degree parents against the global
+/// `Δ+1` round robin.
+pub fn e6_scheduler_comparison() -> Vec<Table> {
+    let graph = generators::barabasi_albert(1000, 2, 17);
+    let horizon = 4096;
+    let mut table = Table::new(
+        format!(
+            "E6 — scheduler comparison on Barabási–Albert n=1000 (max degree {}, median degree ~2)",
+            graph.max_degree()
+        ),
+        &[
+            "scheduler",
+            "worst wait (all)",
+            "worst wait (degree <= 3)",
+            "perfectly periodic",
+            "fairness (Jain)",
+            "init rounds",
+        ],
+    );
+    for mut scheduler in standard_suite(&graph, 19) {
+        let analysis = analyze_schedule(&graph, scheduler.as_mut(), horizon);
+        let low_degree_worst = analysis
+            .per_node
+            .iter()
+            .filter(|n| n.degree <= 3)
+            .map(|n| n.max_unhappiness)
+            .max()
+            .unwrap_or(0);
+        table.push(&[
+            analysis.scheduler.clone(),
+            analysis.max_unhappiness().to_string(),
+            low_degree_worst.to_string(),
+            analysis.all_periodic().to_string(),
+            format!("{:.3}", analysis.jain_fairness()),
+            scheduler.init_rounds().to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E7 — the "first come first grab" landmark: the empirical happiness
+/// frequency of a parent of degree `d` approaches `1/(d+1)`.
+pub fn e7_first_come_first_grab() -> Vec<Table> {
+    let mut table = Table::new(
+        "E7 — first come first grab: happiness frequency vs the 1/(d+1) landmark",
+        &["family", "degree bucket", "parents", "mean frequency", "mean 1/(d+1)", "ratio"],
+    );
+    let horizon = 20_000u64;
+    for (family, graph) in
+        [(Family::ErdosRenyi, Family::ErdosRenyi.generate(300, 6.0, 23)),
+         (Family::BarabasiAlbert, Family::BarabasiAlbert.generate(300, 6.0, 23))]
+    {
+        let mut scheduler = FirstComeFirstGrab::new(&graph, 31);
+        let analysis = analyze_schedule(&graph, &mut scheduler, horizon);
+        // Bucket parents by degree range.
+        let buckets: [(usize, usize); 4] = [(0, 2), (3, 5), (6, 10), (11, usize::MAX)];
+        for (lo, hi) in buckets {
+            let members: Vec<_> =
+                analysis.per_node.iter().filter(|n| n.degree >= lo && n.degree <= hi).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mean_freq = members.iter().map(|n| n.happy_count as f64 / horizon as f64).sum::<f64>()
+                / members.len() as f64;
+            let mean_target = members.iter().map(|n| 1.0 / (n.degree as f64 + 1.0)).sum::<f64>()
+                / members.len() as f64;
+            let hi_label = if hi == usize::MAX { "+".to_string() } else { hi.to_string() };
+            table.push(&[
+                family.name().to_string(),
+                format!("{lo}-{hi_label}"),
+                members.len().to_string(),
+                format!("{mean_freq:.4}"),
+                format!("{mean_target:.4}"),
+                format!("{:.3}", mean_freq / mean_target),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// E8 — the dynamic setting: recovery after bursts of edge insertions stays
+/// within the §6 bound `w·φ(d)·2^{log* d + 1}`.
+pub fn e8_dynamic_recovery() -> Vec<Table> {
+    let mut table = Table::new(
+        "E8 — §6 dynamic setting: hosting period of repaired nodes after edge-churn bursts",
+        &[
+            "burst size w",
+            "repairs",
+            "max post-repair period",
+            "max single-event recovery bound",
+            "within bound",
+            "colouring proper",
+        ],
+    );
+    for &burst in &[5usize, 20, 50, 100] {
+        let initial = generators::erdos_renyi(200, 0.03, 29);
+        let mut scheduler = DynamicColorBound::new(&initial);
+        let events = fhg_graph::dynamic::random_churn(&initial, burst, 0.8, 0, 101 + burst as u64);
+        let mut repairs = 0u64;
+        let mut max_period = 0u64;
+        let mut max_bound = 0u64;
+        for event in events {
+            let repaired = scheduler.apply_event(event).expect("valid churn");
+            for p in repaired {
+                repairs += 1;
+                max_period = max_period.max(scheduler.current_period(p));
+                max_bound = max_bound.max(scheduler.recovery_bound(p));
+            }
+        }
+        table.push(&[
+            burst.to_string(),
+            repairs.to_string(),
+            max_period.to_string(),
+            max_bound.to_string(),
+            (max_period <= max_bound.max(2)).to_string(),
+            scheduler.coloring_is_proper().to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E9 — Appendix A.3: maximum satisfaction, Hopcroft–Karp vs the specialised
+/// linear-time algorithm, and the alternation guarantee.
+pub fn e9_satisfaction() -> Vec<Table> {
+    let mut table = Table::new(
+        "E9 — Appendix A.3: maximum satisfaction (linear-time peeling vs Hopcroft–Karp)",
+        &[
+            "n",
+            "couples",
+            "satisfied (linear)",
+            "satisfied (HK)",
+            "equal",
+            "linear time (ms)",
+            "HK time (ms)",
+        ],
+    );
+    for &n in &[1_000usize, 10_000, 100_000, 400_000] {
+        let graph = generators::erdos_renyi(n, 3.0 / (n as f64 - 1.0), 37);
+        let start = Instant::now();
+        let linear = max_satisfaction_linear(&graph);
+        let linear_time = start.elapsed();
+        let start = Instant::now();
+        let matching = max_satisfaction_matching(&graph);
+        let hk_time = start.elapsed();
+        let count = |a: &[Option<usize>]| a.iter().filter(|x| x.is_some()).count();
+        table.push(&[
+            n.to_string(),
+            graph.edge_count().to_string(),
+            count(&linear).to_string(),
+            count(&matching).to_string(),
+            (count(&linear) == count(&matching)).to_string(),
+            format!("{:.2}", linear_time.as_secs_f64() * 1e3),
+            format!("{:.2}", hk_time.as_secs_f64() * 1e3),
+        ]);
+    }
+
+    let mut alternation = Table::new(
+        "E9b — alternation guarantee: every parent with children satisfied within 2 holidays",
+        &["n", "parents with children", "satisfied within 2 holidays", "guarantee holds"],
+    );
+    for &n in &[500usize, 5_000] {
+        let graph = generators::barabasi_albert(n, 2, 41);
+        let alt = fhg_matching::AlternatingSatisfaction::new(&graph);
+        let with_children = graph.nodes().filter(|&p| graph.degree(p) > 0).count();
+        let even: std::collections::HashSet<_> = alt.satisfied_set(0).into_iter().collect();
+        let odd: std::collections::HashSet<_> = alt.satisfied_set(1).into_iter().collect();
+        let covered = graph
+            .nodes()
+            .filter(|&p| graph.degree(p) > 0 && (even.contains(&p) || odd.contains(&p)))
+            .count();
+        alternation.push(&[
+            n.to_string(),
+            with_children.to_string(),
+            covered.to_string(),
+            (covered == with_children).to_string(),
+        ]);
+    }
+    vec![table, alternation]
+}
+
+/// E10 — Appendix A.1 (happiness is MIS, hence hard) and the radio
+/// application: greedy-vs-exact MIS gap, and TDMA quality per scheduler.
+pub fn e10_mis_and_radio() -> Vec<Table> {
+    let mut mis_table = Table::new(
+        "E10a — single-holiday maximum happiness: greedy vs exact MIS (Appendix A.1)",
+        &["graph", "n", "exact MIS", "greedy MIS", "greedy/exact"],
+    );
+    let instances = vec![
+        ("erdos-renyi p=0.10", generators::erdos_renyi(50, 0.10, 43)),
+        ("erdos-renyi p=0.25", generators::erdos_renyi(45, 0.25, 44)),
+        ("unit-disk dense", Family::UnitDisk.generate(45, 8.0, 45)),
+        ("barabasi-albert m=3", generators::barabasi_albert(45, 3, 46)),
+    ];
+    for (label, graph) in instances {
+        let exact = exact_mis(&graph).len();
+        let greedy = greedy_mis(&graph).len();
+        mis_table.push(&[
+            label.to_string(),
+            graph.node_count().to_string(),
+            exact.to_string(),
+            greedy.to_string(),
+            format!("{:.3}", greedy as f64 / exact.max(1) as f64),
+        ]);
+    }
+
+    let mut radio_table = Table::new(
+        "E10b — radio TDMA quality (300 radios, unit square, tx radius 0.035, 2048 slots)",
+        &[
+            "scheduler",
+            "interference",
+            "max access latency",
+            "mean reuse/slot",
+            "fairness ratio",
+            "total wake-ups",
+        ],
+    );
+    let network = RadioNetwork::random(300, 0.035, 47);
+    let graph = network.interference_graph().clone();
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RoundRobinColoring::new(&graph)),
+        Box::new(PhasedGreedy::new(&graph)),
+        Box::new(PrefixCodeScheduler::omega(&graph)),
+        Box::new(PeriodicDegreeBound::new(&graph)),
+        Box::new(FirstComeFirstGrab::new(&graph, 49)),
+    ];
+    for scheduler in &mut schedulers {
+        let report = evaluate_tdma(&network, scheduler.as_mut(), 2048);
+        radio_table.push(&[
+            report.scheduler.clone(),
+            report.interference_detected.to_string(),
+            report.max_latency().to_string(),
+            format!("{:.2}", report.mean_transmitters_per_slot),
+            format!("{:.3}", report.mean_fairness_ratio()),
+            report.total_wakeups.to_string(),
+        ]);
+    }
+    vec![mis_table, radio_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_are_wired_up() {
+        assert_eq!(EXPERIMENT_IDS.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        run_experiment("e99");
+    }
+
+    #[test]
+    fn e3_table_shows_the_expected_feasibility_split() {
+        let tables = e3_lower_bound();
+        assert_eq!(tables.len(), 1);
+        let md = tables[0].to_markdown();
+        assert!(md.contains("linear"));
+        assert!(md.contains("Elias omega"));
+        assert_eq!(tables[0].row_count(), 4);
+    }
+
+    #[test]
+    fn e4_ablation_reports_zero_conflicts_for_the_paper_order() {
+        let tables = e4_periodic_degree_bound();
+        let md = tables[1].to_markdown();
+        let paper_row: Vec<&str> =
+            md.lines().find(|l| l.contains("decreasing degree")).unwrap().split('|').collect();
+        assert!(paper_row[2].trim().parse::<u64>().unwrap() == 0, "paper order must be conflict-free");
+        assert!(paper_row[3].trim().parse::<u64>().unwrap() == 0, "paper order must never fail");
+    }
+
+    #[test]
+    fn e2_analytic_table_never_exceeds_the_bound() {
+        let tables = e2_elias_omega_periods();
+        let md = tables[0].to_markdown();
+        for line in md.lines().filter(|l| l.starts_with('|') && !l.contains("colour") && !l.contains("---")) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            if cells.len() >= 6 && !cells[5].is_empty() {
+                if let Ok(ratio) = cells[5].parse::<f64>() {
+                    assert!(ratio <= 1.0 + 1e-9, "period exceeded the Theorem 4.2 bound: {line}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # fhg-bench
+//!
+//! The experiment harness that regenerates every row of `EXPERIMENTS.md`
+//! (experiments E1–E10) plus shared helpers for the Criterion
+//! micro-benchmarks.
+//!
+//! The paper is purely theoretical — there are no tables or figures to copy —
+//! so each "experiment" is an empirical validation of a theorem, lemma,
+//! claimed bound or motivating story, as laid out in `DESIGN.md` §5.  Every
+//! experiment is deterministic (fixed seeds), prints a Markdown table, and
+//! returns the same table as a string so the integration tests can assert on
+//! its shape.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p fhg-bench --release --bin experiments -- all
+//! ```
+//!
+//! or a single experiment with e.g. `-- e4`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_all, run_experiment, EXPERIMENT_IDS};
+pub use table::Table;

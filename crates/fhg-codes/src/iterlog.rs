@@ -1,0 +1,259 @@
+//! Iterated logarithms, `log*`, the paper's `φ` function and `ρ`.
+//!
+//! Definition 4.1 of the paper defines
+//!
+//! ```text
+//! φ(i) = 1              if i <= 1
+//! φ(i) = i · φ(log i)   if i > 1
+//! ```
+//!
+//! explicitly `φ(i) = i · log i · log log i · … · 1 = ∏_{j=0}^{log* i} log^{(j)} i`.
+//! Theorem 4.1 shows that any colour-bound schedule must have period
+//! `Ω(φ(c))` for colour `c` (via the Cauchy condensation test), and
+//! Theorem 4.2 shows the Elias-omega schedule achieves period
+//! `2^ρ(c) ≤ 2^{1 + log* c} · φ(c)`.
+//!
+//! All logarithms are base 2, matching the paper.
+
+/// `⌈log2(n)⌉` for `n ≥ 1` — the exponent `j` used by the §5 algorithm in the
+/// form `j = ⌈log(d + 1)⌉` so that a node of degree `d` gets period `2^j ≤ 2d`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn ceil_log2(n: u64) -> u32 {
+    assert!(n >= 1, "ceil_log2 is defined for n >= 1");
+    if n == 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// `⌊log2(n)⌋` for `n ≥ 1`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn floor_log2(n: u64) -> u32 {
+    assert!(n >= 1, "floor_log2 is defined for n >= 1");
+    63 - n.leading_zeros()
+}
+
+/// The `i`-times iterated base-2 logarithm `log^{(i)}(x)`.
+///
+/// `log^{(0)}(x) = x`; once the value drops to `<= 1` (or becomes
+/// non-positive) further iterations return it unchanged, mirroring the
+/// convention `φ(i) = 1` for `i ≤ 1`.
+pub fn iterated_log(x: f64, i: u32) -> f64 {
+    let mut v = x;
+    for _ in 0..i {
+        if v <= 1.0 {
+            return v;
+        }
+        v = v.log2();
+    }
+    v
+}
+
+/// `log*(x)`: the number of times `log2` must be applied to `x` before the
+/// result is at most 1.  `log*(x) = 0` for `x ≤ 1`.
+pub fn log_star(x: f64) -> u32 {
+    let mut v = x;
+    let mut count = 0;
+    while v > 1.0 {
+        v = v.log2();
+        count += 1;
+        if count > 10 {
+            // log* of anything representable in f64 is at most 5; this guard
+            // protects against NaN-ish inputs looping forever.
+            break;
+        }
+    }
+    count
+}
+
+/// The paper's `φ` function (Definition 4.1):
+/// `φ(i) = i · log i · log log i · … ` down to 1.
+///
+/// Returns 1.0 for `i ≤ 1`.
+pub fn phi(i: f64) -> f64 {
+    if i <= 1.0 {
+        1.0
+    } else {
+        i * phi(i.log2())
+    }
+}
+
+/// `ρ(i)`: the length in bits of the Elias omega code of `i` (Theorem 4.2 /
+/// Appendix B).  Computed from the recursive group structure, so it is exact
+/// rather than the paper's ceil-approximation.
+///
+/// # Panics
+/// Panics if `i == 0`.
+pub fn rho_omega(i: u64) -> u32 {
+    assert!(i >= 1, "rho is defined for i >= 1");
+    let mut len = 1u32; // terminating zero
+    let mut n = i;
+    while n > 1 {
+        let bits = 64 - n.leading_zeros();
+        len += bits;
+        n = u64::from(bits) - 1;
+    }
+    len
+}
+
+/// Partial sum `Σ_{c=1}^{limit} 1 / f(c)` for an arbitrary period function.
+///
+/// Theorem 4.1's proof shows any feasible colour-bound schedule must satisfy
+/// `Σ_c 1/f(c) ≤ 1`.  The experiment harness uses this to demonstrate that
+/// `f(c) = c` diverges (so linear periods are impossible), `f(c) = φ(c)`
+/// diverges just barely (it is the Cauchy-condensation threshold), while the
+/// achievable `f(c) = 2^ρ(c)` converges below 1.
+pub fn reciprocal_sum(f: impl Fn(u64) -> f64, limit: u64) -> f64 {
+    (1..=limit).map(|c| 1.0 / f(c)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EliasCode, PrefixFreeCode};
+    use proptest::prelude::*;
+
+    #[test]
+    fn ceil_log2_known_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+        assert_eq!(ceil_log2(u64::MAX), 64);
+    }
+
+    #[test]
+    fn floor_log2_known_values() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(1023), 9);
+        assert_eq!(floor_log2(1024), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn ceil_log2_zero_panics() {
+        ceil_log2(0);
+    }
+
+    #[test]
+    fn iterated_log_values() {
+        assert_eq!(iterated_log(65536.0, 0), 65536.0);
+        assert_eq!(iterated_log(65536.0, 1), 16.0);
+        assert_eq!(iterated_log(65536.0, 2), 4.0);
+        assert_eq!(iterated_log(65536.0, 3), 2.0);
+        assert_eq!(iterated_log(65536.0, 4), 1.0);
+        assert_eq!(iterated_log(65536.0, 5), 1.0, "stable once at 1");
+        assert_eq!(iterated_log(0.5, 3), 0.5, "values below 1 are fixed points");
+    }
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(0.0), 0);
+        assert_eq!(log_star(1.0), 0);
+        assert_eq!(log_star(2.0), 1);
+        assert_eq!(log_star(4.0), 2);
+        assert_eq!(log_star(16.0), 3);
+        assert_eq!(log_star(65536.0), 4);
+        assert_eq!(log_star(f64::MAX), 5);
+    }
+
+    #[test]
+    fn phi_known_values() {
+        assert_eq!(phi(0.0), 1.0);
+        assert_eq!(phi(1.0), 1.0);
+        assert_eq!(phi(2.0), 2.0);
+        assert_eq!(phi(4.0), 8.0);
+        assert_eq!(phi(16.0), 16.0 * 8.0);
+        assert_eq!(phi(65536.0), 65536.0 * phi(16.0));
+        // Non-power-of-two: φ(10) = 10 · log2(10) · φ(log2 log2 10)…
+        let expected = 10.0 * 10f64.log2() * 10f64.log2().log2() * phi(10f64.log2().log2().log2());
+        assert!((phi(10.0) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_is_monotone_and_superlinear() {
+        let mut prev = 0.0;
+        for c in 2..10_000u64 {
+            let value = phi(c as f64);
+            assert!(value >= prev, "phi must be monotone at {c}");
+            assert!(value >= c as f64, "phi(c) >= c at {c}");
+            prev = value;
+        }
+    }
+
+    #[test]
+    fn rho_matches_actual_omega_code_length() {
+        let omega = EliasCode::omega();
+        for i in 1..5000u64 {
+            assert_eq!(rho_omega(i) as usize, omega.code_len(i), "rho({i})");
+        }
+        for &i in &[1u64 << 20, 1 << 40, u64::MAX] {
+            assert_eq!(rho_omega(i) as usize, omega.code_len(i));
+        }
+    }
+
+    #[test]
+    fn theorem_4_2_bound_holds() {
+        // 2^ρ(c) ≤ 2^{1 + log* c} · φ(c) for every colour c.
+        for c in 1..100_000u64 {
+            let period = 2f64.powi(rho_omega(c) as i32);
+            let bound = 2f64.powi(1 + log_star(c as f64) as i32) * phi(c as f64);
+            assert!(
+                period <= bound * (1.0 + 1e-9),
+                "Theorem 4.2 violated at c={c}: period {period} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn cauchy_condensation_behaviour() {
+        // Σ 1/c diverges: already above 1 by c = 2.
+        assert!(reciprocal_sum(|c| c as f64, 10) > 1.0);
+        // Σ 1/c^2 converges to π²/6 ≈ 1.645 > 1, but Σ 1/(2 c^2) stays below 1.
+        assert!(reciprocal_sum(|c| 2.0 * (c * c) as f64, 100_000) < 1.0);
+        // The omega-code periods are feasible: Σ 1/2^ρ(c) ≤ 1 (Kraft inequality).
+        let omega_sum = reciprocal_sum(|c| 2f64.powi(rho_omega(c) as i32), 1_000_000);
+        assert!(omega_sum <= 1.0, "Kraft sum {omega_sum} exceeds 1");
+        // φ itself is the divergence threshold: its reciprocal sum keeps
+        // growing (slowly) and exceeds 1 well before 10^6.
+        assert!(reciprocal_sum(|c| phi(c as f64), 1_000_000) > 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn ceil_and_floor_log_relationship(n in 2u64..u64::MAX / 2) {
+            let c = ceil_log2(n);
+            let f = floor_log2(n);
+            prop_assert!(c == f || c == f + 1);
+            prop_assert!(2f64.powi(c as i32) >= n as f64);
+            prop_assert!((1u128 << f) <= n as u128);
+            if n.is_power_of_two() {
+                prop_assert_eq!(c, f);
+            }
+        }
+
+        #[test]
+        fn phi_recursion_identity(c in 2u64..1_000_000u64) {
+            let x = c as f64;
+            prop_assert!((phi(x) - x * phi(x.log2())).abs() / phi(x) < 1e-12);
+        }
+
+        #[test]
+        fn rho_is_nondecreasing_in_blocks(i in 1u64..1_000_000u64) {
+            // ρ is non-decreasing when moving to the next power-of-two block.
+            let next_pow = (i + 1).next_power_of_two();
+            prop_assert!(rho_omega(i) <= rho_omega(next_pow));
+        }
+    }
+}

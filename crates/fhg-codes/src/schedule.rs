@@ -1,0 +1,243 @@
+//! The holiday-number ↔ colour mapping of the paper's §4 Algorithm Scheme.
+//!
+//! Given any prefix-free code, colour `c` is happy at holiday `i` exactly
+//! when the reversed codeword of `c` is a suffix of the binary representation
+//! of `i`.  Equivalently (and this is how we implement it), colour `c` owns
+//! the arithmetic progression `offset(c) + k · 2^{len(c)}` where `offset(c)`
+//! is the codeword of `c` read with its first bit as the least significant
+//! bit.  Prefix-freeness guarantees the progressions of distinct colours are
+//! disjoint, and each colour's schedule is perfectly periodic with period
+//! `2^{len(c)}`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::PrefixFreeCode;
+
+/// The perfectly periodic slot owned by one colour: all holidays
+/// `≡ offset (mod period)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlotAssignment {
+    /// Residue of the owned holidays.
+    pub offset: u64,
+    /// Period between consecutive owned holidays; always a power of two for
+    /// code-derived slots.
+    pub period: u64,
+}
+
+impl SlotAssignment {
+    /// Creates a slot; `offset` is reduced modulo `period`.
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn new(offset: u64, period: u64) -> Self {
+        assert!(period > 0, "slot period must be positive");
+        SlotAssignment { offset: offset % period, period }
+    }
+
+    /// Whether the slot owns `holiday`.
+    pub fn contains(&self, holiday: u64) -> bool {
+        holiday % self.period == self.offset
+    }
+
+    /// The first owned holiday at or after `holiday`.
+    pub fn next_at_or_after(&self, holiday: u64) -> u64 {
+        let r = holiday % self.period;
+        if r <= self.offset {
+            holiday + (self.offset - r)
+        } else {
+            holiday + (self.period - r) + self.offset
+        }
+    }
+
+    /// Longest possible gap between consecutive happy holidays, i.e. the
+    /// worst-case unhappiness interval this slot can cause: `period - 1`.
+    pub fn max_unhappiness(&self) -> u64 {
+        self.period - 1
+    }
+
+    /// Whether two slots ever own the same holiday (CRT-style check).
+    pub fn conflicts_with(&self, other: &SlotAssignment) -> bool {
+        let g = gcd(self.period, other.period);
+        self.offset % g == other.offset % g
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A colour → slot mapping induced by a prefix-free code, i.e. the paper's §4
+/// "Algorithm Scheme" specialised to suffix matching of reversed codewords.
+#[derive(Debug, Clone)]
+pub struct CodeSchedule<C> {
+    code: C,
+}
+
+impl<C: PrefixFreeCode> CodeSchedule<C> {
+    /// Wraps a prefix-free code.
+    pub fn new(code: C) -> Self {
+        CodeSchedule { code }
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &C {
+        &self.code
+    }
+
+    /// The slot owned by `color` (colours are positive integers).
+    pub fn slot(&self, color: u64) -> SlotAssignment {
+        let cw = self.code.encode(color);
+        let len = cw.len();
+        assert!(len < 64, "codeword of colour {color} is too long for a u64 period");
+        SlotAssignment { offset: cw.to_u64_lsb_first(), period: 1u64 << len }
+    }
+
+    /// Whether `color` is happy at `holiday` (the `decode(i) = col(p)` test).
+    pub fn is_happy(&self, color: u64, holiday: u64) -> bool {
+        self.slot(color).contains(holiday)
+    }
+
+    /// The colour (if any) that owns `holiday`, searching colours
+    /// `1..=max_color`.  The §4 scheme guarantees at most one owner exists.
+    pub fn owner_of_holiday(&self, holiday: u64, max_color: u64) -> Option<u64> {
+        (1..=max_color).find(|&c| self.is_happy(c, holiday))
+    }
+
+    /// Verifies that no two distinct colours in `1..=max_color` ever own the
+    /// same holiday.  Returns the first conflicting pair if one exists.
+    pub fn find_conflict(&self, max_color: u64) -> Option<(u64, u64)> {
+        let slots: Vec<SlotAssignment> = (1..=max_color).map(|c| self.slot(c)).collect();
+        for i in 0..slots.len() {
+            for j in (i + 1)..slots.len() {
+                if slots[i].conflicts_with(&slots[j]) {
+                    return Some((i as u64 + 1, j as u64 + 1));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EliasCode, UnaryCode};
+    use proptest::prelude::*;
+
+    #[test]
+    fn slot_membership_and_next() {
+        let s = SlotAssignment::new(3, 8);
+        assert!(s.contains(3));
+        assert!(s.contains(11));
+        assert!(!s.contains(4));
+        assert_eq!(s.max_unhappiness(), 7);
+        assert_eq!(s.next_at_or_after(0), 3);
+        assert_eq!(s.next_at_or_after(3), 3);
+        assert_eq!(s.next_at_or_after(4), 11);
+        assert_eq!(s.next_at_or_after(11), 11);
+        assert_eq!(s.next_at_or_after(12), 19);
+    }
+
+    #[test]
+    fn slot_offset_is_reduced() {
+        let s = SlotAssignment::new(13, 8);
+        assert_eq!(s.offset, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        SlotAssignment::new(0, 0);
+    }
+
+    #[test]
+    fn conflict_detection_matches_enumeration() {
+        let a = SlotAssignment::new(1, 4);
+        let b = SlotAssignment::new(3, 8);
+        let c = SlotAssignment::new(5, 8);
+        // 1 mod 4 = {1,5,9,13,...}; 3 mod 8 = {3,11,...} disjoint; 5 mod 8 = {5,13,...} overlaps.
+        assert!(!a.conflicts_with(&b));
+        assert!(a.conflicts_with(&c));
+        assert!(!b.conflicts_with(&c));
+        assert!(a.conflicts_with(&a));
+    }
+
+    #[test]
+    fn omega_schedule_periods_match_rho() {
+        let sched = CodeSchedule::new(EliasCode::omega());
+        for c in 1..200u64 {
+            let slot = sched.slot(c);
+            assert_eq!(slot.period, 1u64 << crate::rho_omega(c));
+        }
+    }
+
+    #[test]
+    fn omega_schedule_has_no_conflicts() {
+        let sched = CodeSchedule::new(EliasCode::omega());
+        assert_eq!(sched.find_conflict(300), None);
+    }
+
+    #[test]
+    fn unary_schedule_has_no_conflicts_but_huge_periods() {
+        let sched = CodeSchedule::new(UnaryCode);
+        assert_eq!(sched.find_conflict(40), None);
+        assert_eq!(sched.slot(10).period, 1 << 10);
+    }
+
+    #[test]
+    fn owner_of_holiday_is_unique_and_consistent() {
+        let sched = CodeSchedule::new(EliasCode::omega());
+        for holiday in 0..256u64 {
+            if let Some(owner) = sched.owner_of_holiday(holiday, 64) {
+                assert!(sched.is_happy(owner, holiday));
+                // No other colour owns it.
+                for c in 1..=64u64 {
+                    if c != owner {
+                        assert!(!sched.is_happy(c, holiday), "holiday {holiday}: {c} and {owner}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_color_one_has_period_two() {
+        // ω(1) = "0": offset 0, period 2 → happy every other holiday, the
+        // best any colour can do under the omega schedule.
+        let sched = CodeSchedule::new(EliasCode::omega());
+        let slot = sched.slot(1);
+        assert_eq!(slot.period, 2);
+        assert_eq!(slot.offset, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn happiness_is_periodic(color in 1u64..500, k in 0u64..1_000) {
+            let sched = CodeSchedule::new(EliasCode::omega());
+            let slot = sched.slot(color);
+            prop_assert!(sched.is_happy(color, slot.offset + k * slot.period));
+        }
+
+        #[test]
+        fn gamma_and_delta_schedules_also_conflict_free(holiday in 0u64..100_000u64) {
+            for code in [EliasCode::gamma(), EliasCode::delta()] {
+                let sched = CodeSchedule::new(code);
+                let happy: Vec<u64> = (1..=100u64).filter(|&c| sched.is_happy(c, holiday)).collect();
+                prop_assert!(happy.len() <= 1, "{:?} happy at {holiday}", happy);
+            }
+        }
+
+        #[test]
+        fn next_at_or_after_is_correct(offset in 0u64..64, exp in 1u32..10, start in 0u64..10_000) {
+            let s = SlotAssignment::new(offset, 1 << exp);
+            let next = s.next_at_or_after(start);
+            prop_assert!(next >= start);
+            prop_assert!(s.contains(next));
+            prop_assert!(next - start < s.period);
+        }
+    }
+}

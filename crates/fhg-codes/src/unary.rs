@@ -1,0 +1,102 @@
+//! The unary code: the simplest prefix-free code.
+//!
+//! `n` is encoded as `n - 1` ones followed by a terminating zero, so
+//! `|code(n)| = n`.  Used in the experiments as the *worst* reasonable
+//! prefix-free code: plugging it into the §4 scheduler gives a node of colour
+//! `c` a period of `2^c`, wildly worse than the Elias omega period of
+//! `2^ρ(c) ≈ 2·φ(c)` — the gap Experiment E2's ablation quantifies.
+
+use crate::bits::{BitReader, Codeword};
+use crate::PrefixFreeCode;
+
+/// The unary prefix-free code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnaryCode;
+
+impl PrefixFreeCode for UnaryCode {
+    fn encode(&self, value: u64) -> Codeword {
+        assert!(value >= 1, "unary code is defined for n >= 1, got {value}");
+        let mut bits = vec![true; (value - 1) as usize];
+        bits.push(false);
+        Codeword::from_bits(bits)
+    }
+
+    fn decode(&self, reader: &mut BitReader<'_>) -> Option<u64> {
+        let mut count = 1u64;
+        loop {
+            match reader.read_bit()? {
+                true => count += 1,
+                false => return Some(count),
+            }
+        }
+    }
+
+    fn code_len(&self, value: u64) -> usize {
+        assert!(value >= 1, "unary code is defined for n >= 1, got {value}");
+        value as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "unary"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_codewords() {
+        let c = UnaryCode;
+        assert_eq!(c.encode(1).to_string(), "0");
+        assert_eq!(c.encode(2).to_string(), "10");
+        assert_eq!(c.encode(5).to_string(), "11110");
+        assert_eq!(c.code_len(7), 7);
+        assert_eq!(c.name(), "unary");
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn zero_rejected() {
+        UnaryCode.encode(0);
+    }
+
+    #[test]
+    fn decode_stream_of_codewords() {
+        let c = UnaryCode;
+        let stream = c.encode(3).concat(&c.encode(1)).concat(&c.encode(4));
+        let mut r = BitReader::new(&stream);
+        assert_eq!(c.decode(&mut r), Some(3));
+        assert_eq!(c.decode(&mut r), Some(1));
+        assert_eq!(c.decode(&mut r), Some(4));
+        assert!(r.is_exhausted());
+        assert_eq!(c.decode(&mut r), None);
+    }
+
+    #[test]
+    fn truncated_codeword_fails_to_decode() {
+        let partial = Codeword::parse("111");
+        let mut r = BitReader::new(&partial);
+        assert_eq!(UnaryCode.decode(&mut r), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(value in 1u64..2000) {
+            let c = UnaryCode;
+            let code = c.encode(value);
+            prop_assert_eq!(code.len(), c.code_len(value));
+            let mut r = BitReader::new(&code);
+            prop_assert_eq!(c.decode(&mut r), Some(value));
+            prop_assert!(r.is_exhausted());
+        }
+
+        #[test]
+        fn prefix_free(a in 1u64..300, b in 1u64..300) {
+            prop_assume!(a != b);
+            let c = UnaryCode;
+            prop_assert!(!c.encode(a).is_prefix_of(&c.encode(b)));
+        }
+    }
+}

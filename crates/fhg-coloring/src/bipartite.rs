@@ -1,0 +1,70 @@
+//! Exact 2-colouring of bipartite conflict graphs.
+//!
+//! The paper's opening example: a society of two villages where only
+//! inter-village marriages occur.  The conflict graph is bipartite, a
+//! 2-colouring exists, and the §4 scheduler then gives *every* parent a happy
+//! holiday every 2 years regardless of how many children they have — the
+//! best possible outcome and the benchmark the colour-bound algorithm
+//! approaches as the chromatic number shrinks.
+
+use fhg_graph::{properties, Graph};
+
+use crate::coloring::Coloring;
+
+/// Returns the exact 2-colouring of a bipartite graph (colours 1 and 2), or
+/// `None` if the graph contains an odd cycle.
+///
+/// Isolated nodes receive colour 1.
+pub fn two_coloring(graph: &Graph) -> Option<Coloring> {
+    let sides = properties::bipartition(graph)?;
+    Some(Coloring::from_vec_unchecked(
+        sides.into_iter().map(|s| u32::from(s) + 1).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhg_graph::generators::structured::{complete, complete_bipartite, cycle, grid};
+    use fhg_graph::generators::{bipartite_villages, random_tree};
+    use proptest::prelude::*;
+
+    #[test]
+    fn colors_bipartite_families_with_two_colors() {
+        for g in [complete_bipartite(5, 8), grid(4, 9), cycle(10), random_tree(60, 2)] {
+            let c = two_coloring(&g).expect("graph is bipartite");
+            assert!(c.is_proper(&g));
+            assert!(c.max_color() <= 2);
+        }
+    }
+
+    #[test]
+    fn rejects_odd_cycles_and_cliques() {
+        assert!(two_coloring(&cycle(7)).is_none());
+        assert!(two_coloring(&complete(4)).is_none());
+    }
+
+    #[test]
+    fn edgeless_graph_gets_all_ones() {
+        let g = Graph::new(5);
+        let c = two_coloring(&g).unwrap();
+        assert!(c.as_slice().iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn two_villages_example() {
+        // The paper's §1 example: inter-village marriages only.
+        let g = bipartite_villages(40, 35, 0.2, 9);
+        let c = two_coloring(&g).expect("villages graph is bipartite");
+        assert!(c.is_proper(&g));
+        assert!(c.max_color() <= 2);
+    }
+
+    proptest! {
+        #[test]
+        fn two_coloring_agrees_with_bipartiteness(a in 1usize..20, b in 1usize..20, seed in 0u64..20) {
+            let g = bipartite_villages(a, b, 0.3, seed);
+            prop_assert!(two_coloring(&g).is_some());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The [`Coloring`] type: a complete proper-colouring candidate with
+//! validation helpers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use fhg_graph::{Graph, NodeId};
+
+use crate::Color;
+
+/// Why a colour assignment is not a proper colouring of a given graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringError {
+    /// The assignment has a different number of entries than the graph has nodes.
+    LengthMismatch {
+        /// Number of colour entries supplied.
+        colors: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// Colour 0 appeared; colours must be positive.
+    ZeroColor(NodeId),
+    /// Two adjacent nodes share a colour.
+    Conflict(NodeId, NodeId),
+}
+
+impl fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringError::LengthMismatch { colors, nodes } => {
+                write!(f, "colour vector has {colors} entries but the graph has {nodes} nodes")
+            }
+            ColoringError::ZeroColor(u) => write!(f, "node {u} has colour 0; colours are 1-based"),
+            ColoringError::Conflict(u, v) => {
+                write!(f, "adjacent nodes {u} and {v} share a colour")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+/// A complete assignment of a positive colour to every node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coloring {
+    colors: Vec<Color>,
+}
+
+impl Coloring {
+    /// Wraps a colour vector after validating it against `graph`.
+    pub fn new(graph: &Graph, colors: Vec<Color>) -> Result<Self, ColoringError> {
+        if colors.len() != graph.node_count() {
+            return Err(ColoringError::LengthMismatch {
+                colors: colors.len(),
+                nodes: graph.node_count(),
+            });
+        }
+        if let Some(u) = colors.iter().position(|&c| c == 0) {
+            return Err(ColoringError::ZeroColor(u));
+        }
+        for e in graph.edges() {
+            if colors[e.u] == colors[e.v] {
+                return Err(ColoringError::Conflict(e.u, e.v));
+            }
+        }
+        Ok(Coloring { colors })
+    }
+
+    /// Wraps a colour vector without validating adjacency (still checks that
+    /// colours are positive).  Used by algorithms whose construction already
+    /// guarantees properness; debug builds re-validate in tests.
+    pub fn from_vec_unchecked(colors: Vec<Color>) -> Self {
+        debug_assert!(colors.iter().all(|&c| c > 0), "colours must be positive");
+        Coloring { colors }
+    }
+
+    /// Colour of node `u`.
+    pub fn color(&self, u: NodeId) -> Color {
+        self.colors[u]
+    }
+
+    /// The underlying colour vector, indexed by node id.
+    pub fn as_slice(&self) -> &[Color] {
+        &self.colors
+    }
+
+    /// Number of nodes coloured.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether the colouring covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Number of *distinct* colours used.
+    pub fn color_count(&self) -> usize {
+        let mut sorted = self.colors.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// The largest colour used (0 for an empty colouring).
+    pub fn max_color(&self) -> Color {
+        self.colors.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether this is a proper colouring of `graph`.
+    pub fn is_proper(&self, graph: &Graph) -> bool {
+        self.validate(graph).is_ok()
+    }
+
+    /// Full validation, returning the first violation found.
+    pub fn validate(&self, graph: &Graph) -> Result<(), ColoringError> {
+        if self.colors.len() != graph.node_count() {
+            return Err(ColoringError::LengthMismatch {
+                colors: self.colors.len(),
+                nodes: graph.node_count(),
+            });
+        }
+        if let Some(u) = self.colors.iter().position(|&c| c == 0) {
+            return Err(ColoringError::ZeroColor(u));
+        }
+        for e in graph.edges() {
+            if self.colors[e.u] == self.colors[e.v] {
+                return Err(ColoringError::Conflict(e.u, e.v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every node's colour is at most its degree plus one — the
+    /// property the §3 and §5 schedulers rely on (provided by greedy and by
+    /// the BEPS/Johansson distributed colouring).
+    pub fn is_degree_plus_one_bounded(&self, graph: &Graph) -> bool {
+        self.colors.len() == graph.node_count()
+            && graph.nodes().all(|u| self.colors[u] as usize <= graph.degree(u) + 1)
+    }
+
+    /// The nodes of a given colour (a "colour class"), which is always an
+    /// independent set in a proper colouring.
+    pub fn color_class(&self, color: Color) -> Vec<NodeId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter_map(|(u, &c)| (c == color).then_some(u))
+            .collect()
+    }
+
+    /// Consumes self, returning the colour vector.
+    pub fn into_vec(self) -> Vec<Color> {
+        self.colors
+    }
+
+    /// Mutable access for local recolouring (paper §3 and §6).  The caller is
+    /// responsible for keeping the colouring proper; `validate` can be used
+    /// to re-check.
+    pub fn set_color(&mut self, u: NodeId, color: Color) {
+        assert!(color > 0, "colours must be positive");
+        self.colors[u] = color;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhg_graph::generators::structured::{complete, cycle, path};
+
+    #[test]
+    fn valid_coloring_accepted() {
+        let g = path(4);
+        let c = Coloring::new(&g, vec![1, 2, 1, 2]).unwrap();
+        assert_eq!(c.color(0), 1);
+        assert_eq!(c.color_count(), 2);
+        assert_eq!(c.max_color(), 2);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert!(c.is_proper(&g));
+        assert!(c.is_degree_plus_one_bounded(&g));
+        assert_eq!(c.color_class(1), vec![0, 2]);
+        assert_eq!(c.color_class(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn conflicts_rejected() {
+        let g = path(3);
+        assert_eq!(
+            Coloring::new(&g, vec![1, 1, 2]),
+            Err(ColoringError::Conflict(0, 1))
+        );
+    }
+
+    #[test]
+    fn zero_color_rejected() {
+        let g = path(2);
+        assert_eq!(Coloring::new(&g, vec![1, 0]), Err(ColoringError::ZeroColor(1)));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let g = path(3);
+        assert!(matches!(
+            Coloring::new(&g, vec![1, 2]),
+            Err(ColoringError::LengthMismatch { colors: 2, nodes: 3 })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ColoringError::Conflict(3, 5).to_string().contains('3'));
+        assert!(ColoringError::ZeroColor(2).to_string().contains("1-based"));
+        assert!(ColoringError::LengthMismatch { colors: 1, nodes: 2 }
+            .to_string()
+            .contains("1 entries"));
+    }
+
+    #[test]
+    fn degree_plus_one_bound_detection() {
+        let g = complete(3);
+        let tight = Coloring::new(&g, vec![1, 2, 3]).unwrap();
+        assert!(tight.is_degree_plus_one_bounded(&g));
+        let loose = Coloring::new(&g, vec![1, 2, 9]).unwrap();
+        assert!(!loose.is_degree_plus_one_bounded(&g));
+    }
+
+    #[test]
+    fn color_classes_are_independent_sets() {
+        let g = cycle(6);
+        let c = Coloring::new(&g, vec![1, 2, 1, 2, 1, 2]).unwrap();
+        for color in 1..=2 {
+            assert!(fhg_graph::properties::is_independent_set(&g, &c.color_class(color)));
+        }
+    }
+
+    #[test]
+    fn set_color_and_revalidate() {
+        let g = path(3);
+        let mut c = Coloring::new(&g, vec![1, 2, 1]).unwrap();
+        c.set_color(2, 3);
+        assert!(c.validate(&g).is_ok());
+        c.set_color(2, 2);
+        assert_eq!(c.validate(&g), Err(ColoringError::Conflict(1, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn set_color_zero_panics() {
+        let g = path(2);
+        let mut c = Coloring::new(&g, vec![1, 2]).unwrap();
+        c.set_color(0, 0);
+    }
+
+    #[test]
+    fn empty_graph_coloring() {
+        let g = Graph::new(0);
+        let c = Coloring::new(&g, vec![]).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.max_color(), 0);
+        assert_eq!(c.color_count(), 0);
+    }
+
+    #[test]
+    fn into_vec_roundtrip() {
+        let g = path(3);
+        let c = Coloring::new(&g, vec![1, 2, 3]).unwrap();
+        assert_eq!(c.clone().into_vec(), vec![1, 2, 3]);
+        assert_eq!(c.as_slice(), &[1, 2, 3]);
+    }
+}

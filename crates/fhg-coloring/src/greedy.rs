@@ -1,0 +1,251 @@
+//! Greedy (first-fit) colouring under several node orderings.
+//!
+//! Greedy colouring assigns each node, in the chosen order, the smallest
+//! positive colour not used by an already-coloured neighbour.  Two properties
+//! matter for the paper:
+//!
+//! * **Degree bound** — under *any* ordering, the colour a node receives is at
+//!   most `deg + 1`; this is exactly the property the §3 phased-greedy and §4
+//!   colour-bound schedulers require of the initial colouring (the paper gets
+//!   it from the BEPS distributed algorithm; sequentially, greedy suffices).
+//! * **Ordering quality** — smarter orderings (degeneracy / smallest-last,
+//!   decreasing degree) use fewer colours, directly shrinking the §4 periods.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use fhg_graph::{properties, Graph, NodeId};
+
+use crate::coloring::Coloring;
+use crate::recolor::smallest_free_color;
+use crate::Color;
+
+/// Node orderings for greedy colouring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GreedyOrder {
+    /// Nodes in id order `0, 1, 2, …`.
+    Natural,
+    /// Decreasing degree (Welsh–Powell).
+    DegreeDescending,
+    /// Increasing degree — deliberately bad, used as an ablation baseline.
+    DegreeAscending,
+    /// Reverse degeneracy (smallest-last) order: guarantees at most
+    /// `degeneracy + 1` colours.
+    SmallestLast,
+    /// Uniformly random order with the given seed.
+    Random(u64),
+}
+
+impl GreedyOrder {
+    /// Computes the node visit order for `graph`.
+    pub fn order(&self, graph: &Graph) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = graph.nodes().collect();
+        match self {
+            GreedyOrder::Natural => nodes,
+            GreedyOrder::DegreeDescending => {
+                nodes.sort_by_key(|&u| std::cmp::Reverse(graph.degree(u)));
+                nodes
+            }
+            GreedyOrder::DegreeAscending => {
+                nodes.sort_by_key(|&u| graph.degree(u));
+                nodes
+            }
+            GreedyOrder::SmallestLast => {
+                let (mut order, _) = properties::degeneracy_ordering(graph);
+                order.reverse();
+                order
+            }
+            GreedyOrder::Random(seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+                nodes.shuffle(&mut rng);
+                nodes
+            }
+        }
+    }
+
+    /// Short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GreedyOrder::Natural => "natural",
+            GreedyOrder::DegreeDescending => "degree-desc",
+            GreedyOrder::DegreeAscending => "degree-asc",
+            GreedyOrder::SmallestLast => "smallest-last",
+            GreedyOrder::Random(_) => "random",
+        }
+    }
+}
+
+/// Greedily colours `graph` visiting nodes in the given order.
+///
+/// The returned colouring is proper and satisfies
+/// `color(u) <= deg(u) + 1` for every node `u`.
+pub fn greedy_coloring(graph: &Graph, order: GreedyOrder) -> Coloring {
+    greedy_coloring_with_order(graph, &order.order(graph))
+}
+
+/// Greedily colours `graph` visiting nodes in exactly the supplied order.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of the node ids.
+pub fn greedy_coloring_with_order(graph: &Graph, order: &[NodeId]) -> Coloring {
+    let n = graph.node_count();
+    assert_eq!(order.len(), n, "order must list every node exactly once");
+    let mut colors: Vec<Color> = vec![0; n];
+    let mut seen = vec![false; n];
+    for &u in order {
+        assert!(!seen[u], "node {u} appears twice in the ordering");
+        seen[u] = true;
+        colors[u] = smallest_free_color(graph, &colors, u);
+    }
+    Coloring::from_vec_unchecked(colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhg_graph::generators::structured::{complete, complete_bipartite, cycle, path, star};
+    use fhg_graph::generators::{barabasi_albert, erdos_renyi, random_tree};
+    use proptest::prelude::*;
+
+    const ALL_ORDERS: [GreedyOrder; 5] = [
+        GreedyOrder::Natural,
+        GreedyOrder::DegreeDescending,
+        GreedyOrder::DegreeAscending,
+        GreedyOrder::SmallestLast,
+        GreedyOrder::Random(17),
+    ];
+
+    #[test]
+    fn colors_complete_graph_with_n_colors() {
+        for order in ALL_ORDERS {
+            let g = complete(6);
+            let c = greedy_coloring(&g, order);
+            assert!(c.is_proper(&g), "{}", order.name());
+            assert_eq!(c.color_count(), 6, "{}", order.name());
+        }
+    }
+
+    #[test]
+    fn colors_even_cycle_with_two_colors() {
+        let g = cycle(10);
+        let c = greedy_coloring(&g, GreedyOrder::Natural);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.max_color(), 2);
+    }
+
+    #[test]
+    fn colors_odd_cycle_with_three_colors() {
+        let g = cycle(9);
+        let c = greedy_coloring(&g, GreedyOrder::Natural);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.max_color(), 3);
+    }
+
+    #[test]
+    fn star_and_path_use_few_colors() {
+        for order in ALL_ORDERS {
+            let c = greedy_coloring(&star(20), order);
+            assert!(c.max_color() <= 2, "{} on star", order.name());
+            // Bad orderings (degree-ascending, random) may need a third colour
+            // on a path; good orderings must not.
+            let c = greedy_coloring(&path(20), order);
+            assert!(c.max_color() <= 3, "{} on path", order.name());
+        }
+        for order in [GreedyOrder::Natural, GreedyOrder::SmallestLast] {
+            let c = greedy_coloring(&path(20), order);
+            assert!(c.max_color() <= 2, "{} on path", order.name());
+        }
+    }
+
+    #[test]
+    fn smallest_last_uses_at_most_degeneracy_plus_one_colors() {
+        for seed in 0..5u64 {
+            let g = erdos_renyi(120, 0.07, seed);
+            let (_, degeneracy) = properties::degeneracy_ordering(&g);
+            let c = greedy_coloring(&g, GreedyOrder::SmallestLast);
+            assert!(c.is_proper(&g));
+            assert!(
+                (c.max_color() as usize) <= degeneracy + 1,
+                "smallest-last used {} colours but degeneracy is {degeneracy}",
+                c.max_color()
+            );
+        }
+    }
+
+    #[test]
+    fn trees_get_two_colors_with_smallest_last() {
+        let g = random_tree(200, 3);
+        let c = greedy_coloring(&g, GreedyOrder::SmallestLast);
+        assert!(c.max_color() <= 2);
+    }
+
+    #[test]
+    fn degree_descending_on_bipartite() {
+        let g = complete_bipartite(8, 13);
+        let c = greedy_coloring(&g, GreedyOrder::DegreeDescending);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.max_color(), 2);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Graph::new(0);
+        let c = greedy_coloring(&g, GreedyOrder::Natural);
+        assert!(c.is_empty());
+        let g = Graph::new(7);
+        let c = greedy_coloring(&g, GreedyOrder::Random(3));
+        assert_eq!(c.max_color(), 1);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn order_is_a_permutation_for_every_strategy() {
+        let g = barabasi_albert(100, 3, 5);
+        for order in ALL_ORDERS {
+            let o = order.order(&g);
+            let mut sorted = o.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..100).collect::<Vec<_>>(), "{}", order.name());
+        }
+    }
+
+    #[test]
+    fn custom_order_rejects_duplicates() {
+        let g = path(3);
+        let result = std::panic::catch_unwind(|| greedy_coloring_with_order(&g, &[0, 0, 1]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn order_names_are_stable() {
+        assert_eq!(GreedyOrder::Natural.name(), "natural");
+        assert_eq!(GreedyOrder::Random(9).name(), "random");
+        assert_eq!(GreedyOrder::SmallestLast.name(), "smallest-last");
+    }
+
+    proptest! {
+        #[test]
+        fn greedy_is_proper_and_degree_bounded(seed in 0u64..40, p in 0.01f64..0.3) {
+            let g = erdos_renyi(60, p, seed);
+            for order in ALL_ORDERS {
+                let c = greedy_coloring(&g, order);
+                prop_assert!(c.is_proper(&g), "{} not proper", order.name());
+                prop_assert!(
+                    c.is_degree_plus_one_bounded(&g),
+                    "{} violates colour <= degree + 1", order.name()
+                );
+                prop_assert!((c.max_color() as usize) <= g.max_degree() + 1);
+            }
+        }
+
+        #[test]
+        fn random_orders_with_same_seed_agree(seed in 0u64..50) {
+            let g = erdos_renyi(40, 0.1, 3);
+            let a = greedy_coloring(&g, GreedyOrder::Random(seed));
+            let b = greedy_coloring(&g, GreedyOrder::Random(seed));
+            prop_assert_eq!(a, b);
+        }
+    }
+}

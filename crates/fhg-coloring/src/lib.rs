@@ -1,0 +1,43 @@
+//! # fhg-coloring
+//!
+//! Sequential graph-colouring algorithms for the Family Holiday Gathering
+//! library.
+//!
+//! Every scheduler in the paper starts from (or maintains) a proper colouring
+//! of the conflict graph:
+//!
+//! * The §3 phased-greedy scheduler needs an initial colouring where each
+//!   node's colour is at most `deg + 1` — any greedy colouring provides this
+//!   ([`greedy`]).
+//! * The §4 colour-bound scheduler works with *any* proper colouring and its
+//!   quality depends directly on how small the colours are, so we provide
+//!   several orderings plus DSATUR ([`dsatur`]) and exact bipartite
+//!   2-colouring ([`bipartite`]).
+//! * The §5 degree-bound scheduler needs a *palette-restricted* colouring
+//!   where a node's colour must avoid collisions modulo `2^j` with its
+//!   already-coloured neighbours ([`palette`]).
+//! * The §6 dynamic setting needs local recolouring of a single node
+//!   ([`recolor`]).
+//!
+//! Colours are positive integers (`1, 2, 3, …`), matching the paper's
+//! convention and the domain of the prefix-free codes in `fhg-codes`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod coloring;
+pub mod dsatur;
+pub mod greedy;
+pub mod palette;
+pub mod recolor;
+
+pub use bipartite::two_coloring;
+pub use coloring::{Coloring, ColoringError};
+pub use dsatur::dsatur;
+pub use greedy::{greedy_coloring, GreedyOrder};
+pub use palette::{restricted_greedy_slot, slot_exponent};
+pub use recolor::{recolor_node, smallest_free_color};
+
+/// A colour: a positive integer, `1`-based as in the paper.
+pub type Color = u32;

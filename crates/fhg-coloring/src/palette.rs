@@ -1,0 +1,137 @@
+//! Palette-restricted slot assignment (paper §5).
+//!
+//! The §5 periodic degree-bound algorithm colours nodes in decreasing degree
+//! order; a node of degree `d` must pick an integer `x ∈ [0, 2^j)` with
+//! `j = ⌈log₂(d + 1)⌉` such that no already-assigned neighbour holds an
+//! integer congruent to `x` modulo `2^j`.  Because a node has only `d`
+//! neighbours and `2^j ≥ d + 1` residues are available, such an `x` always
+//! exists (Lemma 5.1's counting argument).  The node is then happy at every
+//! holiday `t ≡ x (mod 2^j)`, a perfectly periodic schedule with period
+//! `2^j ≤ 2d`.
+
+use fhg_graph::{Graph, NodeId};
+
+/// The §5 slot exponent of a node of degree `d`: `j = ⌈log₂(d + 1)⌉`, so the
+/// node's period is `2^j ≤ 2·max(d, 1)`.
+pub fn slot_exponent(degree: usize) -> u32 {
+    ((degree + 1) as u64).next_power_of_two().trailing_zeros()
+}
+
+/// The smallest integer `x ∈ [0, 2^exponent)` such that no neighbour of `u`
+/// with an assigned slot holds an integer congruent to `x` mod `2^exponent`.
+///
+/// `assigned[v] == None` means `v` has not picked a slot yet.  Returns `None`
+/// when every residue is blocked — which Lemma 5.1 shows cannot happen when
+/// `exponent = slot_exponent(deg(u))` and only neighbours of degree `>= deg(u)`
+/// have been assigned, but *can* happen if the decreasing-degree order is
+/// violated (the ablation in experiment E4 exercises exactly this failure).
+pub fn restricted_greedy_slot(
+    graph: &Graph,
+    assigned: &[Option<u64>],
+    u: NodeId,
+    exponent: u32,
+) -> Option<u64> {
+    assert!(exponent < 63, "slot exponent {exponent} too large");
+    let modulus = 1u64 << exponent;
+    let mut blocked = vec![false; modulus as usize];
+    let mut blocked_count = 0u64;
+    for &v in graph.neighbors(u) {
+        if let Some(x) = assigned[v] {
+            let r = (x % modulus) as usize;
+            if !blocked[r] {
+                blocked[r] = true;
+                blocked_count += 1;
+                if blocked_count == modulus {
+                    return None;
+                }
+            }
+        }
+    }
+    blocked.iter().position(|&b| !b).map(|x| x as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhg_graph::generators::erdos_renyi;
+    use fhg_graph::generators::structured::{complete, star};
+    use proptest::prelude::*;
+
+    #[test]
+    fn slot_exponent_values() {
+        assert_eq!(slot_exponent(0), 0); // isolated node: period 1
+        assert_eq!(slot_exponent(1), 1); // period 2
+        assert_eq!(slot_exponent(2), 2); // period 4
+        assert_eq!(slot_exponent(3), 2);
+        assert_eq!(slot_exponent(4), 3);
+        assert_eq!(slot_exponent(7), 3);
+        assert_eq!(slot_exponent(8), 4);
+        assert_eq!(slot_exponent(1000), 10);
+    }
+
+    #[test]
+    fn slot_exponent_gives_period_at_most_two_d() {
+        for d in 1..10_000usize {
+            let period = 1u64 << slot_exponent(d);
+            assert!(period >= (d + 1) as u64, "period must exceed degree at d={d}");
+            assert!(period <= (2 * d) as u64, "period must be at most 2d at d={d}");
+        }
+    }
+
+    #[test]
+    fn restricted_slot_picks_smallest_free_residue() {
+        let g = complete(4);
+        // Node 0's neighbours hold 0, 5 (=1 mod 4) and nothing.
+        let assigned = vec![None, Some(0), Some(5), None];
+        assert_eq!(restricted_greedy_slot(&g, &assigned, 0, 2), Some(2));
+    }
+
+    #[test]
+    fn restricted_slot_none_when_all_blocked() {
+        let g = complete(3);
+        let assigned = vec![None, Some(0), Some(1)];
+        assert_eq!(restricted_greedy_slot(&g, &assigned, 0, 1), None);
+        // With the correct exponent (ceil log2(3) = 2) a slot exists.
+        assert_eq!(restricted_greedy_slot(&g, &assigned, 0, 2), Some(2));
+    }
+
+    #[test]
+    fn unassigned_neighbors_do_not_block() {
+        let g = star(5);
+        let assigned = vec![None; 5];
+        assert_eq!(restricted_greedy_slot(&g, &assigned, 0, 3), Some(0));
+    }
+
+    #[test]
+    fn exponent_zero_has_single_slot() {
+        let g = fhg_graph::Graph::new(2);
+        let assigned = vec![None, None];
+        assert_eq!(restricted_greedy_slot(&g, &assigned, 0, 0), Some(0));
+    }
+
+    proptest! {
+        #[test]
+        fn decreasing_degree_assignment_always_succeeds(seed in 0u64..40, p in 0.02f64..0.4) {
+            // Reproduce the Lemma 5.1 counting argument empirically: assigning
+            // in decreasing-degree order with exponent ceil(log2(d+1)) never
+            // runs out of residues.
+            let g = erdos_renyi(50, p, seed);
+            let mut order: Vec<usize> = g.nodes().collect();
+            order.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+            let mut assigned: Vec<Option<u64>> = vec![None; 50];
+            for &u in &order {
+                let j = slot_exponent(g.degree(u));
+                let slot = restricted_greedy_slot(&g, &assigned, u, j);
+                prop_assert!(slot.is_some(), "node {u} of degree {} found no slot", g.degree(u));
+                assigned[u] = slot;
+            }
+            // And the resulting assignment is conflict-free: adjacent nodes
+            // never share a residue modulo the smaller of their moduli.
+            for e in g.edges() {
+                let (ju, jv) = (slot_exponent(g.degree(e.u)), slot_exponent(g.degree(e.v)));
+                let m = 1u64 << ju.min(jv);
+                prop_assert_ne!(assigned[e.u].unwrap() % m, assigned[e.v].unwrap() % m);
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Local (re)colouring primitives.
+//!
+//! Both the §3 phased-greedy scheduler and the §6 dynamic setting repeatedly
+//! recolour a *single* node using only its neighbours' colours — the
+//! "smallest free colour" rule.  These helpers are shared by the sequential
+//! colourers, the schedulers in `fhg-core` and the distributed algorithms.
+
+use fhg_graph::{Graph, NodeId};
+
+use crate::Color;
+
+/// The smallest positive colour not used by any neighbour of `u`.
+///
+/// `colors[v] == 0` means "uncoloured" and does not block any colour.
+/// Because `u` has `deg(u)` neighbours, the result is at most `deg(u) + 1`.
+pub fn smallest_free_color(graph: &Graph, colors: &[Color], u: NodeId) -> Color {
+    smallest_free_color_above(graph, colors, u, 0)
+}
+
+/// The smallest colour strictly greater than `lower` not used by any
+/// neighbour of `u`.
+///
+/// This is the recolouring rule of the §3 Phased Greedy Coloring algorithm:
+/// at holiday `i` a node that was just happy picks the smallest `s > i` such
+/// that no neighbour has colour `s`; the result never exceeds
+/// `lower + deg(u) + 1`.
+pub fn smallest_free_color_above(
+    graph: &Graph,
+    colors: &[Color],
+    u: NodeId,
+    lower: Color,
+) -> Color {
+    let neighbors = graph.neighbors(u);
+    // Collect neighbour colours in the candidate window (lower, lower+deg+1].
+    let window = neighbors.len() + 1;
+    let mut used = vec![false; window];
+    for &v in neighbors {
+        let c = colors[v];
+        if c > lower && (c - lower) as usize <= window {
+            used[(c - lower - 1) as usize] = true;
+        }
+    }
+    for (i, &taken) in used.iter().enumerate() {
+        if !taken {
+            return lower + i as Color + 1;
+        }
+    }
+    // Unreachable: there are deg+1 candidates and at most deg blockers.
+    lower + window as Color
+}
+
+/// Recolours node `u` in place with the smallest free colour, returning the
+/// new colour.  This is the §6 local repair applied after an edge insertion
+/// makes `u`'s colour clash with a new neighbour.
+pub fn recolor_node(graph: &Graph, colors: &mut [Color], u: NodeId) -> Color {
+    let c = smallest_free_color(graph, colors, u);
+    colors[u] = c;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhg_graph::generators::erdos_renyi;
+    use fhg_graph::generators::structured::{complete, star};
+    use fhg_graph::Graph;
+    use proptest::prelude::*;
+
+    #[test]
+    fn smallest_free_color_on_uncolored_graph_is_one() {
+        let g = star(4);
+        let colors = vec![0; 4];
+        assert_eq!(smallest_free_color(&g, &colors, 0), 1);
+        assert_eq!(smallest_free_color(&g, &colors, 3), 1);
+    }
+
+    #[test]
+    fn smallest_free_color_skips_neighbor_colors() {
+        let g = complete(4);
+        let colors = vec![0, 1, 2, 4];
+        assert_eq!(smallest_free_color(&g, &colors, 0), 3);
+    }
+
+    #[test]
+    fn smallest_free_color_is_at_most_degree_plus_one() {
+        let g = complete(5);
+        let colors = vec![0, 1, 2, 3, 4];
+        assert_eq!(smallest_free_color(&g, &colors, 0), 5);
+    }
+
+    #[test]
+    fn above_variant_respects_lower_bound() {
+        let g = complete(4);
+        // Neighbours of node 0 have colours 11, 12, 14.
+        let colors = vec![0, 11, 12, 14];
+        assert_eq!(smallest_free_color_above(&g, &colors, 0, 10), 13);
+        // With lower = 14 every neighbour colour is out of the window.
+        assert_eq!(smallest_free_color_above(&g, &colors, 0, 14), 15);
+        // Plain variant ignores all of them because they exceed deg + 1 window.
+        assert_eq!(smallest_free_color(&g, &colors, 0), 1);
+    }
+
+    #[test]
+    fn above_variant_with_dense_blockers() {
+        let g = complete(4);
+        let colors = vec![0, 5, 6, 7];
+        assert_eq!(smallest_free_color_above(&g, &colors, 0, 4), 8);
+        let colors = vec![0, 5, 7, 8];
+        assert_eq!(smallest_free_color_above(&g, &colors, 0, 4), 6);
+    }
+
+    #[test]
+    fn isolated_node_gets_color_one() {
+        let g = Graph::new(3);
+        let colors = vec![0, 0, 0];
+        assert_eq!(smallest_free_color(&g, &colors, 1), 1);
+    }
+
+    #[test]
+    fn recolor_node_updates_in_place() {
+        let g = star(3);
+        let mut colors = vec![1, 1, 2];
+        let new = recolor_node(&g, &mut colors, 0);
+        assert_eq!(new, 3);
+        assert_eq!(colors[0], 3);
+        // Now it is proper.
+        for &v in g.neighbors(0) {
+            assert_ne!(colors[0], colors[v]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn free_color_is_free_and_bounded(seed in 0u64..30, u in 0usize..40) {
+            let g = erdos_renyi(40, 0.15, seed);
+            // Arbitrary partial colouring of everyone else.
+            let mut colors: Vec<Color> = (0..40).map(|v| (v as Color * 7 + seed as Color) % 9).collect();
+            colors[u] = 0;
+            let c = smallest_free_color(&g, &colors, u);
+            prop_assert!(c >= 1);
+            prop_assert!((c as usize) <= g.degree(u) + 1);
+            for &v in g.neighbors(u) {
+                prop_assert_ne!(colors[v], c);
+            }
+        }
+
+        #[test]
+        fn free_color_above_is_free_and_bounded(seed in 0u64..30, u in 0usize..40, lower in 0u32..50) {
+            let g = erdos_renyi(40, 0.15, seed);
+            let colors: Vec<Color> = (0..40).map(|v| (v as Color * 13 + 1) % 60 + 1).collect();
+            let c = smallest_free_color_above(&g, &colors, u, lower);
+            prop_assert!(c > lower);
+            prop_assert!((c - lower) as usize <= g.degree(u) + 1);
+            for &v in g.neighbors(u) {
+                prop_assert_ne!(colors[v], c);
+            }
+        }
+    }
+}

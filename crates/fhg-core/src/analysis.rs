@@ -1,0 +1,345 @@
+//! Schedule analysis: measuring `mul`, periodicity, fairness and validity.
+//!
+//! [`analyze_schedule`] drives a scheduler over a finite horizon and records,
+//! for every node, the quantities the paper's theorems bound:
+//!
+//! * the **maximum unhappiness streak** — the longest run of consecutive
+//!   holidays with no happy appearance (Definition 2.2's `mul`, measured as
+//!   the streak length, so a perfectly periodic node of period `π` has streak
+//!   `π - 1`);
+//! * the **observed period** — `Some(π)` when every gap between consecutive
+//!   happy holidays equals `π` (the perfect-periodicity check of §4/§5);
+//! * happiness counts and first-happiness times, used for the fairness
+//!   comparisons against the `1/(deg+1)` landmark of §1.
+//!
+//! The analysis also verifies, holiday by holiday, that every happy set is an
+//! independent set of the conflict graph — the correctness requirement of
+//! Definition 2.1.
+
+use serde::{Deserialize, Serialize};
+
+use fhg_graph::{properties, Graph, NodeId};
+
+use crate::scheduler::Scheduler;
+
+/// Per-node measurements over the analysed horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeAnalysis {
+    /// The node.
+    pub node: NodeId,
+    /// Its degree in the conflict graph.
+    pub degree: usize,
+    /// Number of holidays (within the horizon) at which the node was happy.
+    pub happy_count: u64,
+    /// Longest run of consecutive holidays with no happiness (including the
+    /// stretches before the first and after the last happy holiday).
+    pub max_unhappiness: u64,
+    /// Exact period if every gap between consecutive happy holidays is equal
+    /// (requires at least two happy holidays).
+    pub observed_period: Option<u64>,
+    /// Offset (from the start of the horizon) of the first happy holiday.
+    pub first_happy: Option<u64>,
+    /// Mean gap between consecutive happy holidays (`NaN` if fewer than two).
+    pub mean_gap: f64,
+}
+
+/// Whole-schedule measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleAnalysis {
+    /// Name of the analysed scheduler.
+    pub scheduler: String,
+    /// Number of holidays simulated.
+    pub horizon: u64,
+    /// Per-node measurements, indexed by node id.
+    pub per_node: Vec<NodeAnalysis>,
+    /// Whether every happy set produced was an independent set of the graph.
+    pub all_happy_sets_independent: bool,
+    /// Nodes that were never happy within the horizon.
+    pub never_happy: Vec<NodeId>,
+    /// Mean happy-set size per holiday.
+    pub mean_happy_set_size: f64,
+    /// Total happy appearances across all nodes and holidays.
+    pub total_happiness: u64,
+}
+
+impl ScheduleAnalysis {
+    /// The largest unhappiness streak over all nodes.
+    pub fn max_unhappiness(&self) -> u64 {
+        self.per_node.iter().map(|n| n.max_unhappiness).max().unwrap_or(0)
+    }
+
+    /// Whether every node's observed behaviour is perfectly periodic.
+    pub fn all_periodic(&self) -> bool {
+        self.per_node.iter().all(|n| n.observed_period.is_some())
+    }
+
+    /// Nodes whose measured unhappiness streak reaches or exceeds the
+    /// scheduler's claimed bound (i.e. a window of `bound` consecutive
+    /// holidays containing no happy one), indicating a violated guarantee.
+    pub fn bound_violations<S: Scheduler + ?Sized>(&self, scheduler: &S) -> Vec<NodeId> {
+        self.per_node
+            .iter()
+            .filter(|n| {
+                scheduler
+                    .unhappiness_bound(n.node)
+                    .is_some_and(|bound| n.max_unhappiness >= bound)
+            })
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// Jain's fairness index of the degree-normalised happiness rates
+    /// `happy_count · (deg + 1) / horizon`.  A value of 1 means every parent
+    /// is happy exactly in proportion to the `1/(deg+1)` landmark of §1.
+    pub fn jain_fairness(&self) -> f64 {
+        if self.per_node.is_empty() || self.horizon == 0 {
+            return 1.0;
+        }
+        let rates: Vec<f64> = self
+            .per_node
+            .iter()
+            .map(|n| n.happy_count as f64 * (n.degree as f64 + 1.0) / self.horizon as f64)
+            .collect();
+        let sum: f64 = rates.iter().sum();
+        let sum_sq: f64 = rates.iter().map(|r| r * r).sum();
+        if sum_sq == 0.0 {
+            return 0.0;
+        }
+        sum * sum / (rates.len() as f64 * sum_sq)
+    }
+}
+
+/// Runs `scheduler` for `horizon` holidays (starting at its
+/// [`Scheduler::first_holiday`]) and measures every quantity above.
+pub fn analyze_schedule<S: Scheduler + ?Sized>(
+    graph: &Graph,
+    scheduler: &mut S,
+    horizon: u64,
+) -> ScheduleAnalysis {
+    let n = graph.node_count();
+    let start = scheduler.first_holiday();
+    let mut last_happy: Vec<Option<u64>> = vec![None; n];
+    let mut first_happy: Vec<Option<u64>> = vec![None; n];
+    let mut max_streak: Vec<u64> = vec![0; n];
+    let mut happy_count: Vec<u64> = vec![0; n];
+    let mut gap_sum: Vec<u64> = vec![0; n];
+    let mut gap_count: Vec<u64> = vec![0; n];
+    let mut common_gap: Vec<Option<u64>> = vec![None; n];
+    let mut gaps_uniform: Vec<bool> = vec![true; n];
+    let mut all_independent = true;
+    let mut total_happiness = 0u64;
+
+    for offset in 0..horizon {
+        let t = start + offset;
+        let happy = scheduler.happy_set(t);
+        if all_independent && !properties::is_independent_set(graph, &happy) {
+            all_independent = false;
+        }
+        total_happiness += happy.len() as u64;
+        for &p in &happy {
+            if p >= n {
+                all_independent = false;
+                continue;
+            }
+            happy_count[p] += 1;
+            match last_happy[p] {
+                None => {
+                    first_happy[p] = Some(offset);
+                    max_streak[p] = max_streak[p].max(offset);
+                }
+                Some(prev) => {
+                    let gap = offset - prev;
+                    max_streak[p] = max_streak[p].max(gap - 1);
+                    gap_sum[p] += gap;
+                    gap_count[p] += 1;
+                    match common_gap[p] {
+                        None => common_gap[p] = Some(gap),
+                        Some(g) if g != gap => gaps_uniform[p] = false,
+                        Some(_) => {}
+                    }
+                }
+            }
+            last_happy[p] = Some(offset);
+        }
+    }
+
+    let per_node: Vec<NodeAnalysis> = (0..n)
+        .map(|p| {
+            // Account for the trailing unhappy stretch.
+            let trailing = match last_happy[p] {
+                None => horizon,
+                Some(last) => horizon - 1 - last,
+            };
+            let max_unhappiness = max_streak[p].max(trailing);
+            let observed_period = if gaps_uniform[p] { common_gap[p] } else { None };
+            let mean_gap = if gap_count[p] > 0 {
+                gap_sum[p] as f64 / gap_count[p] as f64
+            } else {
+                f64::NAN
+            };
+            NodeAnalysis {
+                node: p,
+                degree: graph.degree(p),
+                happy_count: happy_count[p],
+                max_unhappiness,
+                observed_period,
+                first_happy: first_happy[p],
+                mean_gap,
+            }
+        })
+        .collect();
+
+    let never_happy = per_node.iter().filter(|n| n.happy_count == 0).map(|n| n.node).collect();
+    ScheduleAnalysis {
+        scheduler: scheduler.name().to_string(),
+        horizon,
+        mean_happy_set_size: if horizon == 0 { 0.0 } else { total_happiness as f64 / horizon as f64 },
+        per_node,
+        all_happy_sets_independent: all_independent,
+        never_happy,
+        total_happiness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Scheduler;
+    use fhg_graph::generators::structured::{cycle, path};
+
+    /// A scripted scheduler for exercising the analysis edge cases.
+    struct Scripted {
+        sets: Vec<Vec<NodeId>>,
+    }
+
+    impl Scheduler for Scripted {
+        fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
+            self.sets.get(t as usize).cloned().unwrap_or_default()
+        }
+        fn first_holiday(&self) -> u64 {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+        fn is_periodic(&self) -> bool {
+            false
+        }
+        fn period(&self, _p: NodeId) -> Option<u64> {
+            None
+        }
+        fn unhappiness_bound(&self, _p: NodeId) -> Option<u64> {
+            Some(3)
+        }
+    }
+
+    #[test]
+    fn measures_streaks_periods_and_counts() {
+        let g = path(3);
+        // Node 0 happy at offsets 1, 3, 5 (period 2); node 1 never happy;
+        // node 2 happy only at offset 0.
+        let mut s = Scripted {
+            sets: vec![vec![2], vec![0], vec![], vec![0], vec![], vec![0]],
+        };
+        let a = analyze_schedule(&g, &mut s, 6);
+        assert_eq!(a.scheduler, "scripted");
+        assert_eq!(a.horizon, 6);
+        assert!(a.all_happy_sets_independent);
+
+        let n0 = &a.per_node[0];
+        assert_eq!(n0.happy_count, 3);
+        assert_eq!(n0.first_happy, Some(1));
+        assert_eq!(n0.observed_period, Some(2));
+        assert_eq!(n0.max_unhappiness, 1);
+        assert!((n0.mean_gap - 2.0).abs() < 1e-12);
+
+        let n1 = &a.per_node[1];
+        assert_eq!(n1.happy_count, 0);
+        assert_eq!(n1.max_unhappiness, 6, "never happy: the whole horizon is a streak");
+        assert_eq!(n1.observed_period, None);
+        assert!(n1.mean_gap.is_nan());
+
+        let n2 = &a.per_node[2];
+        assert_eq!(n2.happy_count, 1);
+        assert_eq!(n2.first_happy, Some(0));
+        assert_eq!(n2.max_unhappiness, 5, "trailing streak after the single happy holiday");
+        assert_eq!(n2.observed_period, None, "one occurrence is not enough to call it periodic");
+
+        assert_eq!(a.never_happy, vec![1]);
+        assert_eq!(a.total_happiness, 4);
+        assert!((a.mean_happy_set_size - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(a.max_unhappiness(), 6);
+        assert!(!a.all_periodic());
+    }
+
+    #[test]
+    fn detects_non_independent_happy_sets() {
+        let g = path(3);
+        let mut s = Scripted { sets: vec![vec![0, 1]] };
+        let a = analyze_schedule(&g, &mut s, 1);
+        assert!(!a.all_happy_sets_independent);
+    }
+
+    #[test]
+    fn detects_out_of_range_nodes() {
+        let g = path(2);
+        let mut s = Scripted { sets: vec![vec![5]] };
+        let a = analyze_schedule(&g, &mut s, 1);
+        assert!(!a.all_happy_sets_independent);
+    }
+
+    #[test]
+    fn bound_violations_reports_nodes_exceeding_the_claim() {
+        let g = path(2);
+        // Bound claimed by Scripted is 3; node 0 has a streak of exactly 3.
+        let mut s = Scripted { sets: vec![vec![0], vec![], vec![], vec![], vec![0]] };
+        let a = analyze_schedule(&g, &mut s, 5);
+        let violations = a.bound_violations(&s);
+        assert!(violations.contains(&0), "streak of 3 >= bound 3 is a violation");
+        assert!(violations.contains(&1), "never-happy node violates any bound");
+    }
+
+    #[test]
+    fn irregular_gaps_are_not_periodic() {
+        let g = path(1);
+        let mut s = Scripted { sets: vec![vec![0], vec![0], vec![], vec![0]] };
+        let a = analyze_schedule(&g, &mut s, 4);
+        assert_eq!(a.per_node[0].observed_period, None);
+        assert_eq!(a.per_node[0].max_unhappiness, 1);
+    }
+
+    #[test]
+    fn jain_fairness_of_uniform_and_skewed_schedules() {
+        let g = cycle(4);
+        // Perfectly alternating 2-colour schedule: everyone happy every other
+        // holiday; all degrees equal; fairness must be 1.
+        let mut s = Scripted {
+            sets: (0..8).map(|t| if t % 2 == 0 { vec![0, 2] } else { vec![1, 3] }).collect(),
+        };
+        let a = analyze_schedule(&g, &mut s, 8);
+        assert!((a.jain_fairness() - 1.0).abs() < 1e-12);
+
+        // Only node 0 is ever happy: fairness drops to 1/n.
+        let mut s = Scripted { sets: (0..8).map(|_| vec![0]).collect() };
+        let a = analyze_schedule(&g, &mut s, 8);
+        assert!((a.jain_fairness() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_horizon_and_empty_graph() {
+        let g = path(2);
+        let mut s = Scripted { sets: vec![] };
+        let a = analyze_schedule(&g, &mut s, 0);
+        assert_eq!(a.max_unhappiness(), 0);
+        assert_eq!(a.never_happy, vec![0, 1]);
+        assert_eq!(a.mean_happy_set_size, 0.0);
+        assert!((a.jain_fairness() - 1.0).abs() < 1e-12);
+
+        let g = Graph::new(0);
+        let mut s = Scripted { sets: vec![vec![]] };
+        let a = analyze_schedule(&g, &mut s, 1);
+        assert!(a.per_node.is_empty());
+        assert!(a.all_happy_sets_independent);
+        assert!(a.all_periodic());
+    }
+}

@@ -1,0 +1,150 @@
+//! Gatherings: the per-holiday outcome.
+//!
+//! Definition 2.1 of the paper: a *family holiday gathering* is an
+//! orientation of the conflict edges; a parent is *happy* if it is a sink.
+//! The set of happy parents is therefore an independent set.  Schedulers in
+//! this crate produce happy sets directly; this module provides the
+//! orientation view and the checks connecting the two.
+
+use serde::{Deserialize, Serialize};
+
+use fhg_graph::{properties, FixedBitSet, Graph, NodeId};
+
+/// One holiday's outcome: which parents are happy, plus the holiday index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gathering {
+    /// The holiday index this gathering belongs to.
+    pub holiday: u64,
+    /// The happy parents, sorted by node id.
+    pub happy: Vec<NodeId>,
+}
+
+impl Gathering {
+    /// Creates a gathering, sorting and deduplicating the happy set.
+    pub fn new(holiday: u64, mut happy: Vec<NodeId>) -> Self {
+        happy.sort_unstable();
+        happy.dedup();
+        Gathering { holiday, happy }
+    }
+
+    /// Whether parent `p` is happy in this gathering.
+    pub fn is_happy(&self, p: NodeId) -> bool {
+        self.happy.binary_search(&p).is_ok()
+    }
+
+    /// Number of happy parents.
+    pub fn happy_count(&self) -> usize {
+        self.happy.len()
+    }
+
+    /// Whether the happy set is an independent set of `graph` — the
+    /// correctness requirement every scheduler must satisfy.
+    pub fn is_valid(&self, graph: &Graph) -> bool {
+        self.happy.iter().all(|&p| p < graph.node_count())
+            && properties::is_independent_set(graph, &self.happy)
+    }
+}
+
+/// Builds an explicit edge orientation realising a happy set (Definition 2.1):
+/// each edge incident to a happy node is directed towards it; the remaining
+/// edges are directed towards their lower-id endpoint.
+///
+/// Returns, for every edge of `graph.edges()` in order, the node the edge
+/// points *to*.  Returns `None` if the happy set is not independent (two
+/// adjacent happy parents would both demand the shared edge).
+pub fn orientation_from_happy_set(graph: &Graph, happy: &[NodeId]) -> Option<Vec<NodeId>> {
+    if !properties::is_independent_set(graph, happy) {
+        return None;
+    }
+    let mut is_happy = FixedBitSet::new(graph.node_count());
+    for &p in happy {
+        is_happy.insert(p);
+    }
+    Some(
+        graph
+            .edges()
+            .map(|e| {
+                if is_happy.contains(e.u) {
+                    e.u
+                } else if is_happy.contains(e.v) {
+                    e.v
+                } else {
+                    e.u.min(e.v)
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhg_graph::generators::erdos_renyi;
+    use fhg_graph::generators::structured::{cycle, star};
+    use proptest::prelude::*;
+
+    #[test]
+    fn gathering_normalises_its_happy_set() {
+        let g = Gathering::new(7, vec![3, 1, 3, 2]);
+        assert_eq!(g.happy, vec![1, 2, 3]);
+        assert_eq!(g.holiday, 7);
+        assert!(g.is_happy(2));
+        assert!(!g.is_happy(0));
+        assert_eq!(g.happy_count(), 3);
+    }
+
+    #[test]
+    fn validity_requires_independence_and_range() {
+        let graph = cycle(5);
+        assert!(Gathering::new(0, vec![0, 2]).is_valid(&graph));
+        assert!(!Gathering::new(0, vec![0, 1]).is_valid(&graph), "adjacent parents");
+        assert!(!Gathering::new(0, vec![0, 9]).is_valid(&graph), "out of range");
+        assert!(Gathering::new(0, vec![]).is_valid(&graph), "empty set is vacuously fine");
+    }
+
+    #[test]
+    fn orientation_points_every_incident_edge_at_happy_nodes() {
+        let graph = star(6);
+        let orientation = orientation_from_happy_set(&graph, &[0]).unwrap();
+        // Every edge of the star is incident to the centre, so all point to 0.
+        assert!(orientation.iter().all(|&sink| sink == 0));
+
+        let orientation = orientation_from_happy_set(&graph, &[1, 2, 3, 4, 5]).unwrap();
+        let edges: Vec<_> = graph.edges().collect();
+        for (e, &sink) in edges.iter().zip(&orientation) {
+            assert_eq!(sink, e.v, "each leaf edge must point to the leaf");
+        }
+    }
+
+    #[test]
+    fn orientation_rejects_non_independent_sets() {
+        let graph = cycle(4);
+        assert!(orientation_from_happy_set(&graph, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn happy_nodes_are_exactly_the_sinks_of_the_orientation() {
+        let graph = cycle(6);
+        let happy = vec![0, 2, 4];
+        let orientation = orientation_from_happy_set(&graph, &happy).unwrap();
+        let edges: Vec<_> = graph.edges().collect();
+        for &p in &happy {
+            for (e, &sink) in edges.iter().zip(&orientation) {
+                if e.u == p || e.v == p {
+                    assert_eq!(sink, p, "edge ({}, {}) must point at happy node {p}", e.u, e.v);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn orientation_exists_iff_independent(seed in 0u64..30, k in 0usize..10) {
+            let graph = erdos_renyi(25, 0.15, seed);
+            // Take an arbitrary candidate subset.
+            let candidate: Vec<NodeId> = (0..25).filter(|u| (u * 7 + k) % 3 == 0).collect();
+            let independent = properties::is_independent_set(&graph, &candidate);
+            prop_assert_eq!(orientation_from_happy_set(&graph, &candidate).is_some(), independent);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The [`Scheduler`] trait: the common interface of every algorithm in the
+//! paper.
+//!
+//! A scheduler is queried holiday by holiday and returns the set of happy
+//! parents.  Stateful schedulers (the §3 phased-greedy algorithm and the
+//! random baseline) must be queried with consecutive holiday numbers starting
+//! from [`Scheduler::first_holiday`]; perfectly periodic schedulers (§4, §5)
+//! are pure functions of the holiday number.
+
+use fhg_graph::NodeId;
+
+/// A (possibly stateful) holiday-gathering scheduler.
+pub trait Scheduler {
+    /// The happy parents of holiday `t`.
+    ///
+    /// For stateful schedulers this must be called with consecutive values of
+    /// `t` starting at [`Scheduler::first_holiday`]; perfectly periodic
+    /// schedulers accept any `t`.
+    fn happy_set(&mut self, t: u64) -> Vec<NodeId>;
+
+    /// The first holiday index this scheduler is defined for (the paper
+    /// starts at 1; purely periodic schedulers also accept 0).
+    fn first_holiday(&self) -> u64 {
+        1
+    }
+
+    /// Short machine-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether the schedule is perfectly periodic (every node is happy every
+    /// fixed number of holidays).
+    fn is_periodic(&self) -> bool;
+
+    /// The exact period of node `p`, when the schedule is perfectly periodic.
+    fn period(&self, p: NodeId) -> Option<u64>;
+
+    /// The scheduler's *a-priori* upper bound on the maximum unhappiness
+    /// interval of node `p`, if it offers one (e.g. `d_p + 1` for the §3
+    /// algorithm, `2^ρ(c_p)` for §4, `2^⌈log(d_p+1)⌉` for §5).
+    fn unhappiness_bound(&self, p: NodeId) -> Option<u64>;
+
+    /// Number of LOCAL-model communication rounds charged to the
+    /// initialisation of this scheduler (0 for purely sequential ones).
+    fn init_rounds(&self) -> u64 {
+        0
+    }
+
+    /// Number of LOCAL-model communication rounds charged to *each holiday*
+    /// (the §3 algorithm pays O(1) per holiday; periodic schedulers pay 0).
+    fn rounds_per_holiday(&self) -> u64 {
+        0
+    }
+}
+
+/// Convenience blanket helpers available on every scheduler.
+pub trait SchedulerExt: Scheduler {
+    /// Collects the happy sets of the first `horizon` holidays, starting at
+    /// [`Scheduler::first_holiday`].
+    fn run(&mut self, horizon: u64) -> Vec<Vec<NodeId>> {
+        let start = self.first_holiday();
+        (start..start + horizon).map(|t| self.happy_set(t)).collect()
+    }
+}
+
+impl<S: Scheduler + ?Sized> SchedulerExt for S {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal scheduler for exercising the trait defaults.
+    struct EveryOther {
+        n: usize,
+    }
+
+    impl Scheduler for EveryOther {
+        fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
+            if t % 2 == 0 {
+                (0..self.n).collect()
+            } else {
+                Vec::new()
+            }
+        }
+        fn name(&self) -> &'static str {
+            "every-other"
+        }
+        fn is_periodic(&self) -> bool {
+            true
+        }
+        fn period(&self, _p: NodeId) -> Option<u64> {
+            Some(2)
+        }
+        fn unhappiness_bound(&self, _p: NodeId) -> Option<u64> {
+            Some(2)
+        }
+    }
+
+    #[test]
+    fn trait_defaults() {
+        let s = EveryOther { n: 3 };
+        assert_eq!(s.first_holiday(), 1);
+        assert_eq!(s.init_rounds(), 0);
+        assert_eq!(s.rounds_per_holiday(), 0);
+    }
+
+    #[test]
+    fn run_collects_consecutive_holidays() {
+        let mut s = EveryOther { n: 2 };
+        let sets = s.run(4); // holidays 1, 2, 3, 4
+        assert_eq!(sets.len(), 4);
+        assert!(sets[0].is_empty());
+        assert_eq!(sets[1], vec![0, 1]);
+        assert!(sets[2].is_empty());
+        assert_eq!(sets[3], vec![0, 1]);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut boxed: Box<dyn Scheduler> = Box::new(EveryOther { n: 1 });
+        assert_eq!(boxed.name(), "every-other");
+        assert_eq!(boxed.happy_set(2), vec![0]);
+        let sets = boxed.run(2);
+        assert_eq!(sets.len(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! The schedulers of the paper, one module per algorithm.
+//!
+//! * [`trivial`] — §4 example 1: colour nodes `0..n` sequentially, one node
+//!   per holiday.  Global `mul(p) = n`; the strawman.
+//! * [`round_robin`] — §1: any `k`-colouring cycled round-robin.  Global
+//!   `mul(p) = k ≤ Δ + 1`.
+//! * [`phased_greedy`] — §3: the non-periodic degree-bound algorithm,
+//!   `mul(p) ≤ d_p + 1`, O(1) communication rounds per holiday (Theorem 3.1).
+//! * [`prefix_code`] — §4.2: the perfectly periodic colour-bound algorithm
+//!   driven by a prefix-free code (Elias omega by default), period
+//!   `2^ρ(c_p)` (Theorem 4.2).
+//! * [`degree_bound`] — §5: the perfectly periodic degree-bound algorithm,
+//!   period `2^⌈log₂(d_p+1)⌉ ≤ 2 d_p` (Theorem 5.3), in both the sequential
+//!   (§5.1) and distributed (§5.2) variants.
+//! * [`first_grab`] — §1: the chaotic "first come first grab" baseline with
+//!   expected waiting time `d_p + 1`.
+
+pub mod degree_bound;
+pub mod first_grab;
+pub mod phased_greedy;
+pub mod prefix_code;
+pub mod round_robin;
+pub mod trivial;
+
+pub use degree_bound::{DistributedDegreeBound, PeriodicDegreeBound};
+pub use first_grab::FirstComeFirstGrab;
+pub use phased_greedy::PhasedGreedy;
+pub use prefix_code::PrefixCodeScheduler;
+pub use round_robin::RoundRobinColoring;
+pub use trivial::TrivialSequential;
+
+use fhg_graph::Graph;
+
+use crate::scheduler::Scheduler;
+
+/// Builds one instance of every scheduler in the paper (plus baselines) for a
+/// head-to-head comparison on `graph` — the configuration used by experiment
+/// E6 and the `scheduler_comparison` example.
+pub fn standard_suite(graph: &Graph, seed: u64) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(TrivialSequential::new(graph)),
+        Box::new(RoundRobinColoring::new(graph)),
+        Box::new(PhasedGreedy::new(graph)),
+        Box::new(PrefixCodeScheduler::omega(graph)),
+        Box::new(PrefixCodeScheduler::gamma(graph)),
+        Box::new(PeriodicDegreeBound::new(graph)),
+        Box::new(DistributedDegreeBound::new(graph, seed)),
+        Box::new(FirstComeFirstGrab::new(graph, seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_schedule;
+    use fhg_graph::generators::erdos_renyi;
+
+    #[test]
+    fn standard_suite_contains_every_scheduler_once() {
+        let g = erdos_renyi(30, 0.1, 1);
+        let suite = standard_suite(&g, 7);
+        let names: Vec<&str> = suite.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 8);
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "scheduler names must be distinct: {names:?}");
+    }
+
+    #[test]
+    fn every_suite_member_produces_valid_schedules() {
+        let g = erdos_renyi(25, 0.15, 3);
+        for mut s in standard_suite(&g, 11) {
+            let a = analyze_schedule(&g, s.as_mut(), 64);
+            assert!(a.all_happy_sets_independent, "{} produced a conflicting set", s.name());
+        }
+    }
+}

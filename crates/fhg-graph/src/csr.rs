@@ -1,0 +1,203 @@
+//! Compressed-sparse-row (CSR) immutable graph.
+//!
+//! Schedulers and the distributed simulator scan neighbourhoods billions of
+//! times across an experiment sweep; the CSR layout keeps each node's
+//! neighbour list contiguous so those scans stay in cache.  A [`CsrGraph`]
+//! is built once from a [`Graph`] (or directly from an edge list) and never
+//! mutated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::graph::{Edge, Graph};
+use crate::NodeId;
+
+/// An immutable undirected simple graph in compressed-sparse-row form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[u]..offsets[u+1]` indexes `targets` with the neighbours of `u`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node-sorted neighbour lists.
+    targets: Vec<NodeId>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from a mutable graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for u in 0..n {
+            targets.extend_from_slice(g.neighbors(u));
+            offsets.push(targets.len());
+        }
+        CsrGraph { offsets, targets, edge_count: g.edge_count() }
+    }
+
+    /// Builds a CSR graph over `n` nodes directly from an edge list.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        Ok(Self::from_graph(&Graph::from_edges(n, edges)?))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count()
+    }
+
+    /// Sorted neighbours of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Whether edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u >= self.node_count() || v >= self.node_count() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Vector of degrees indexed by node id.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.node_count()).map(|u| self.degree(u)).collect()
+    }
+
+    /// Iterator over edges with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u).iter().filter(move |&&v| u < v).map(move |&v| Edge { u, v })
+        })
+    }
+
+    /// Converts back into a mutable [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.node_count());
+        for e in self.edges() {
+            g.add_edge(e.u, e.v).expect("CSR edges are simple");
+        }
+        g
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+impl From<Graph> for CsrGraph {
+    fn from(g: Graph) -> Self {
+        CsrGraph::from_graph(&g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn csr_mirrors_graph() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.node_count(), 5);
+        assert_eq!(c.edge_count(), 4);
+        assert_eq!(c.neighbors(0), &[1, 2]);
+        assert_eq!(c.neighbors(3), &[4]);
+        assert_eq!(c.degree(1), 2);
+        assert_eq!(c.max_degree(), 2);
+        assert!(c.has_edge(2, 1));
+        assert!(!c.has_edge(2, 3));
+        assert!(!c.has_edge(2, 99));
+        assert_eq!(c.degrees(), g.degrees());
+    }
+
+    #[test]
+    fn csr_from_edges_and_back() {
+        let c = CsrGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let g = c.to_graph();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn csr_rejects_invalid_edges() {
+        assert!(CsrGraph::from_edges(2, [(0, 0)]).is_err());
+        assert!(CsrGraph::from_edges(2, [(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn empty_csr() {
+        let c = CsrGraph::from_graph(&Graph::new(0));
+        assert_eq!(c.node_count(), 0);
+        assert_eq!(c.edge_count(), 0);
+        assert_eq!(c.max_degree(), 0);
+        assert_eq!(c.edges().count(), 0);
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let g = sample();
+        let c1: CsrGraph = (&g).into();
+        let c2: CsrGraph = g.clone().into();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn edge_iterator_matches_graph() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        let ge: Vec<Edge> = g.edges().collect();
+        let ce: Vec<Edge> = c.edges().collect();
+        assert_eq!(ge, ce);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_graph_csr_graph(pairs in proptest::collection::vec((0usize..25, 0usize..25), 0..100)) {
+            let mut g = Graph::new(25);
+            for (u, v) in pairs {
+                if u != v {
+                    let _ = g.add_edge_if_absent(u, v);
+                }
+            }
+            let c = CsrGraph::from_graph(&g);
+            prop_assert_eq!(c.to_graph(), g.clone());
+            prop_assert_eq!(c.edge_count(), g.edge_count());
+            for u in g.nodes() {
+                prop_assert_eq!(c.neighbors(u), g.neighbors(u));
+            }
+        }
+    }
+}

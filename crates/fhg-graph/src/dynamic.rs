@@ -1,0 +1,247 @@
+//! Dynamic conflict graphs (paper §6).
+//!
+//! Relationships are not fixed: new couples form (edge insertions) and old
+//! ones dissolve (edge deletions).  [`DynamicGraph`] wraps a [`Graph`] with
+//! an applied-event log so that schedulers can observe *which nodes were
+//! affected* by each event and react locally (recolouring only the endpoints,
+//! as §6 prescribes for the colour-bound algorithm).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::{Graph, NodeId};
+
+/// The kind of a dynamic edge event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeEventKind {
+    /// A new conflict (marriage) appears.
+    Insert,
+    /// An existing conflict dissolves.
+    Delete,
+}
+
+/// A single edge event applied to a dynamic graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeEvent {
+    /// Insert or delete.
+    pub kind: EdgeEventKind,
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// The holiday index at which the event takes effect.
+    pub holiday: u64,
+}
+
+/// A conflict graph subject to edge insertions and deletions over time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicGraph {
+    graph: Graph,
+    history: Vec<EdgeEvent>,
+}
+
+impl DynamicGraph {
+    /// Wraps an initial graph.
+    pub fn new(initial: Graph) -> Self {
+        DynamicGraph { graph: initial, history: Vec::new() }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// All events applied so far, in application order.
+    pub fn history(&self) -> &[EdgeEvent] {
+        &self.history
+    }
+
+    /// Number of events applied so far.
+    pub fn event_count(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Inserts edge `(u, v)` at `holiday`; returns the affected endpoints.
+    pub fn insert_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        holiday: u64,
+    ) -> Result<[NodeId; 2], GraphError> {
+        self.graph.add_edge(u, v)?;
+        self.history.push(EdgeEvent { kind: EdgeEventKind::Insert, u, v, holiday });
+        Ok([u, v])
+    }
+
+    /// Deletes edge `(u, v)` at `holiday`; returns the affected endpoints.
+    pub fn delete_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        holiday: u64,
+    ) -> Result<[NodeId; 2], GraphError> {
+        self.graph.remove_edge(u, v)?;
+        self.history.push(EdgeEvent { kind: EdgeEventKind::Delete, u, v, holiday });
+        Ok([u, v])
+    }
+
+    /// Applies a pre-computed event, dispatching on its kind.
+    pub fn apply(&mut self, event: EdgeEvent) -> Result<[NodeId; 2], GraphError> {
+        match event.kind {
+            EdgeEventKind::Insert => self.insert_edge(event.u, event.v, event.holiday),
+            EdgeEventKind::Delete => self.delete_edge(event.u, event.v, event.holiday),
+        }
+    }
+
+    /// Replays the event history onto a copy of `initial`, returning the graph
+    /// that results.  Used by tests to confirm the history fully describes
+    /// the current state.
+    pub fn replay(initial: Graph, events: &[EdgeEvent]) -> Result<Graph, GraphError> {
+        let mut dynamic = DynamicGraph::new(initial);
+        for &e in events {
+            dynamic.apply(e)?;
+        }
+        Ok(dynamic.graph)
+    }
+}
+
+/// Generates a random churn workload of `count` events against `graph`.
+///
+/// Each event is an insertion of a uniformly random missing edge with
+/// probability `insert_prob`, otherwise a deletion of a uniformly random
+/// existing edge (skipped if the graph has no edges).  Events are spaced one
+/// holiday apart starting at `start_holiday`.  This is the adversary used by
+/// experiment E8.
+pub fn random_churn(
+    graph: &Graph,
+    count: usize,
+    insert_prob: f64,
+    start_holiday: u64,
+    seed: u64,
+) -> Vec<EdgeEvent> {
+    assert!((0.0..=1.0).contains(&insert_prob), "insert_prob must be in [0,1]");
+    let n = graph.node_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut current = graph.clone();
+    let mut events = Vec::with_capacity(count);
+    let mut holiday = start_holiday;
+    let mut attempts_left = count * 50 + 100;
+    while events.len() < count && attempts_left > 0 {
+        attempts_left -= 1;
+        let insert = rng.gen_bool(insert_prob);
+        if insert {
+            if n < 2 {
+                continue;
+            }
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v || current.has_edge(u, v) {
+                continue;
+            }
+            current.add_edge(u, v).expect("checked absent");
+            events.push(EdgeEvent { kind: EdgeEventKind::Insert, u, v, holiday });
+        } else {
+            if current.edge_count() == 0 {
+                continue;
+            }
+            let edges: Vec<_> = current.edges().collect();
+            let e = edges[rng.gen_range(0..edges.len())];
+            current.remove_edge(e.u, e.v).expect("edge listed as present");
+            events.push(EdgeEvent { kind: EdgeEventKind::Delete, u: e.u, v: e.v, holiday });
+        }
+        holiday += 1;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi, structured::cycle};
+
+    #[test]
+    fn insert_and_delete_update_graph_and_history() {
+        let mut d = DynamicGraph::new(Graph::new(4));
+        assert_eq!(d.insert_edge(0, 1, 3).unwrap(), [0, 1]);
+        assert_eq!(d.insert_edge(1, 2, 4).unwrap(), [1, 2]);
+        assert!(d.graph().has_edge(0, 1));
+        assert_eq!(d.event_count(), 2);
+        assert_eq!(d.delete_edge(0, 1, 7).unwrap(), [0, 1]);
+        assert!(!d.graph().has_edge(0, 1));
+        assert_eq!(d.history()[2].kind, EdgeEventKind::Delete);
+        assert_eq!(d.history()[2].holiday, 7);
+    }
+
+    #[test]
+    fn invalid_events_are_rejected_and_not_logged() {
+        let mut d = DynamicGraph::new(cycle(4));
+        assert!(d.insert_edge(0, 1, 0).is_err(), "edge already exists");
+        assert!(d.delete_edge(0, 2, 0).is_err(), "edge missing");
+        assert!(d.insert_edge(0, 9, 0).is_err(), "node out of range");
+        assert_eq!(d.event_count(), 0);
+    }
+
+    #[test]
+    fn apply_dispatches_on_kind() {
+        let mut d = DynamicGraph::new(Graph::new(3));
+        d.apply(EdgeEvent { kind: EdgeEventKind::Insert, u: 0, v: 2, holiday: 1 }).unwrap();
+        assert!(d.graph().has_edge(0, 2));
+        d.apply(EdgeEvent { kind: EdgeEventKind::Delete, u: 0, v: 2, holiday: 2 }).unwrap();
+        assert!(!d.graph().has_edge(0, 2));
+    }
+
+    #[test]
+    fn replay_reconstructs_current_graph() {
+        let initial = erdos_renyi(30, 0.1, 1);
+        let events = random_churn(&initial, 40, 0.5, 100, 2);
+        let mut d = DynamicGraph::new(initial.clone());
+        for &e in &events {
+            d.apply(e).unwrap();
+        }
+        let replayed = DynamicGraph::replay(initial, &events).unwrap();
+        assert_eq!(&replayed, d.graph());
+    }
+
+    #[test]
+    fn random_churn_produces_requested_count_and_valid_events() {
+        let g = erdos_renyi(50, 0.1, 3);
+        let events = random_churn(&g, 100, 0.6, 10, 4);
+        assert_eq!(events.len(), 100);
+        // All events must be applicable in sequence.
+        DynamicGraph::replay(g, &events).unwrap();
+        // Holidays are non-decreasing.
+        assert!(events.windows(2).all(|w| w[0].holiday <= w[1].holiday));
+        assert!(events.iter().all(|e| e.holiday >= 10));
+    }
+
+    #[test]
+    fn random_churn_pure_insertions_and_pure_deletions() {
+        let g = erdos_renyi(20, 0.2, 5);
+        let inserts = random_churn(&g, 15, 1.0, 0, 6);
+        assert!(inserts.iter().all(|e| e.kind == EdgeEventKind::Insert));
+        let deletes = random_churn(&g, 10, 0.0, 0, 6);
+        assert!(deletes.iter().all(|e| e.kind == EdgeEventKind::Delete));
+    }
+
+    #[test]
+    fn random_churn_on_degenerate_graphs_terminates() {
+        // Single node: no insertion or deletion is ever possible.
+        let g = Graph::new(1);
+        let events = random_churn(&g, 5, 0.5, 0, 0);
+        assert!(events.is_empty());
+        // Complete graph with pure insertions: nothing can be inserted.
+        let g = crate::generators::structured::complete(5);
+        let events = random_churn(&g, 5, 1.0, 0, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_of_events() {
+        let e = EdgeEvent { kind: EdgeEventKind::Insert, u: 1, v: 2, holiday: 9 };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: EdgeEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors raised by graph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier was outside `0..node_count()`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph at the time of the call.
+        node_count: usize,
+    },
+    /// A self-loop `(u, u)` was requested; conflict graphs are simple.
+    SelfLoop(NodeId),
+    /// The edge already exists and duplicates are not allowed.
+    DuplicateEdge(NodeId, NodeId),
+    /// The edge was expected to exist but does not.
+    MissingEdge(NodeId, NodeId),
+    /// A generator was asked for an impossible parameter combination.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offenders() {
+        let e = GraphError::NodeOutOfBounds { node: 7, node_count: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        assert!(GraphError::SelfLoop(4).to_string().contains('4'));
+        assert!(GraphError::DuplicateEdge(1, 2).to_string().contains("(1, 2)"));
+        assert!(GraphError::MissingEdge(1, 2).to_string().contains("(1, 2)"));
+        assert!(GraphError::InvalidParameter("p must be in [0,1]".into())
+            .to_string()
+            .contains("[0,1]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GraphError::SelfLoop(0));
+    }
+}

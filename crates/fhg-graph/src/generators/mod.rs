@@ -1,0 +1,183 @@
+//! Synthetic conflict-graph generators.
+//!
+//! The experiments in `fhg-bench` sweep the schedulers over several graph
+//! families that stress different aspects of the paper's bounds:
+//!
+//! * **Erdős–Rényi** `G(n, p)` and `G(n, m)` — homogeneous degrees, the
+//!   "generic" conflict graph ([`erdos_renyi`], [`gnm`]).
+//! * **Unit-disk / random geometric** — the cellular-radio interference model
+//!   the paper's introduction motivates ([`random_geometric`]).
+//! * **Barabási–Albert preferential attachment** — heavy-tailed degrees, the
+//!   regime where local (degree/colour) bounds beat the global `Δ+1` bound by
+//!   the widest margin ([`barabasi_albert`]).
+//! * **Two-village bipartite marriages** — the paper's motivating example in
+//!   which a 2-colouring gives every parent a period of 2
+//!   ([`bipartite_villages`], [`complete_bipartite`]).
+//! * **Structured families** — cliques, cycles, paths, stars, grids, trees,
+//!   circulants: worst cases and sanity checks ([`structured`]).
+//!
+//! All generators are deterministic given a seed, so every experiment row in
+//! `EXPERIMENTS.md` is exactly reproducible.
+
+mod geometric;
+mod preferential;
+mod random;
+pub mod structured;
+
+pub use geometric::{random_geometric, GeometricGraph};
+pub use preferential::barabasi_albert;
+pub use random::{bipartite_villages, erdos_renyi, gnm};
+pub use structured::{
+    caterpillar, complete, complete_bipartite, cycle, grid, path, random_tree, regular_circulant,
+    star,
+};
+
+use crate::Graph;
+
+/// The graph families used by the experiment sweeps, as an enum so that the
+/// bench harness can iterate over them uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Family {
+    /// Erdős–Rényi `G(n, p)` with expected average degree given by the parameter.
+    ErdosRenyi,
+    /// Random geometric (unit-disk) graph in the unit square.
+    UnitDisk,
+    /// Barabási–Albert preferential attachment.
+    BarabasiAlbert,
+    /// Two-village random bipartite marriages.
+    BipartiteVillages,
+    /// Complete graph (clique).
+    Complete,
+    /// Simple cycle.
+    Cycle,
+    /// Two-dimensional grid.
+    Grid,
+    /// Uniform random labelled tree.
+    RandomTree,
+}
+
+impl Family {
+    /// All families, in the order used by the experiment tables.
+    pub const ALL: [Family; 8] = [
+        Family::ErdosRenyi,
+        Family::UnitDisk,
+        Family::BarabasiAlbert,
+        Family::BipartiteVillages,
+        Family::Complete,
+        Family::Cycle,
+        Family::Grid,
+        Family::RandomTree,
+    ];
+
+    /// Short machine-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::ErdosRenyi => "erdos-renyi",
+            Family::UnitDisk => "unit-disk",
+            Family::BarabasiAlbert => "barabasi-albert",
+            Family::BipartiteVillages => "bipartite-villages",
+            Family::Complete => "complete",
+            Family::Cycle => "cycle",
+            Family::Grid => "grid",
+            Family::RandomTree => "random-tree",
+        }
+    }
+
+    /// Generates an instance of the family with roughly `n` nodes and an
+    /// average degree close to `target_avg_degree` where the family permits.
+    ///
+    /// Families whose degree is structurally fixed (cycle, tree, complete,
+    /// grid) ignore `target_avg_degree`.
+    pub fn generate(&self, n: usize, target_avg_degree: f64, seed: u64) -> Graph {
+        match self {
+            Family::ErdosRenyi => {
+                let p = if n <= 1 { 0.0 } else { (target_avg_degree / (n as f64 - 1.0)).min(1.0) };
+                erdos_renyi(n, p, seed)
+            }
+            Family::UnitDisk => {
+                // Expected degree of a node away from the border is
+                // (n-1) * pi * r^2, so pick r to hit the target.
+                let r = if n <= 1 {
+                    0.0
+                } else {
+                    (target_avg_degree / ((n as f64 - 1.0) * std::f64::consts::PI)).sqrt()
+                };
+                random_geometric(n, r, seed).into_graph()
+            }
+            Family::BarabasiAlbert => {
+                if n < 2 {
+                    return Graph::new(n);
+                }
+                let m = ((target_avg_degree / 2.0).round() as usize).clamp(1, n - 1);
+                barabasi_albert(n, m, seed)
+            }
+            Family::BipartiteVillages => {
+                let half = n / 2;
+                let p = if half == 0 {
+                    0.0
+                } else {
+                    (target_avg_degree / half as f64).min(1.0)
+                };
+                bipartite_villages(half, n - half, p, seed)
+            }
+            Family::Complete => complete(n),
+            Family::Cycle => cycle(n),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                grid(side, side)
+            }
+            Family::RandomTree => random_tree(n, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_are_unique() {
+        let names: std::collections::HashSet<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn family_generate_produces_simple_graphs() {
+        for family in Family::ALL {
+            let g = family.generate(64, 6.0, 7);
+            assert!(g.node_count() >= 1, "{}", family.name());
+            for u in g.nodes() {
+                assert!(!g.has_edge(u, u));
+            }
+        }
+    }
+
+    #[test]
+    fn family_generate_respects_target_degree_roughly() {
+        let g = Family::ErdosRenyi.generate(2000, 10.0, 3);
+        let avg = g.average_degree();
+        assert!((avg - 10.0).abs() < 2.0, "ER average degree {avg} too far from 10");
+
+        let g = Family::BarabasiAlbert.generate(2000, 10.0, 3);
+        let avg = g.average_degree();
+        assert!((avg - 10.0).abs() < 2.0, "BA average degree {avg} too far from 10");
+    }
+
+    #[test]
+    fn family_generate_small_n_edge_cases() {
+        for family in Family::ALL {
+            let g = family.generate(1, 4.0, 1);
+            assert!(g.node_count() <= 2, "{} blew up on n=1", family.name());
+            assert_eq!(g.edge_count(), 0);
+            let g = family.generate(2, 4.0, 1);
+            assert!(g.node_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn family_serde_roundtrip() {
+        let json = serde_json::to_string(&Family::UnitDisk).unwrap();
+        let back: Family = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Family::UnitDisk);
+    }
+}

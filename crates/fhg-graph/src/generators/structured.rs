@@ -1,0 +1,277 @@
+//! Deterministic structured graph families.
+//!
+//! These families are the worst cases and sanity checks referenced throughout
+//! the paper: the clique (where `d + 1` is unbeatable), the cycle (odd cycles
+//! need 3 colours), complete bipartite "two villages" graphs (period 2 for
+//! everyone), grids, stars, caterpillars, trees and circulants.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::Graph;
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v).expect("complete graph edges are simple");
+        }
+    }
+    g
+}
+
+/// Simple path `P_n` on `n` nodes (`n - 1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge(u - 1, u).expect("path edges are simple");
+    }
+    g
+}
+
+/// Simple cycle `C_n`.  For `n < 3` this degenerates to a path.
+pub fn cycle(n: usize) -> Graph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge(n - 1, 0).expect("closing edge is new");
+    }
+    g
+}
+
+/// Star `K_{1,n-1}`: node 0 is the centre.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v).expect("star edges are simple");
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}`; the first `a` nodes form one side.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u, a + v).expect("bipartite edges are simple");
+        }
+    }
+    g
+}
+
+/// `rows x cols` 2D grid graph; node `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1).expect("grid edges are simple");
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols).expect("grid edges are simple");
+            }
+        }
+    }
+    g
+}
+
+/// Uniform random labelled tree on `n` nodes via a random Prüfer sequence.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut g = Graph::new(n);
+    if n < 2 {
+        return g;
+    }
+    if n == 2 {
+        g.add_edge(0, 1).expect("single edge");
+        return g;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &x in &prufer {
+        degree[x] += 1;
+    }
+    // Standard Prüfer decoding with a pointer + leaf variable, O(n) time.
+    let mut ptr = 0;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &x in &prufer {
+        g.add_edge(leaf, x).expect("Prüfer decoding yields a simple tree");
+        degree[x] -= 1;
+        if degree[x] == 1 && x < ptr {
+            leaf = x;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    g.add_edge(leaf, n - 1).expect("final Prüfer edge");
+    g
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` pendant leaves.
+///
+/// Caterpillars exercise the degree-bound schedulers with a mix of degree-2
+/// spine nodes and degree-1 leaves hanging off higher-degree hubs.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut g = Graph::new(n);
+    for u in 1..spine {
+        g.add_edge(u - 1, u).expect("spine edges are simple");
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + s * legs + l;
+            g.add_edge(s, leaf).expect("leg edges are simple");
+        }
+    }
+    g
+}
+
+/// Circulant graph `C_n(1..=k)`: node `i` is adjacent to `i ± 1, …, i ± k`
+/// (mod `n`), giving a `2k`-regular graph when `2k < n`.
+///
+/// Regular graphs make every node's local bound identical, isolating the
+/// scheduler's behaviour from degree variance.
+///
+/// # Panics
+/// Panics if `2 * k >= n` and `n > 0` (the construction would not be simple).
+pub fn regular_circulant(n: usize, k: usize) -> Graph {
+    if n == 0 {
+        return Graph::new(0);
+    }
+    assert!(2 * k < n, "circulant requires 2k < n (got n={n}, k={k})");
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for d in 1..=k {
+            let v = (u + d) % n;
+            g.add_edge_if_absent(u, v).expect("nodes are in range");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(g.min_degree(), 5);
+        assert_eq!(complete(0).node_count(), 0);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn path_and_cycle_counts() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(path(1).edge_count(), 0);
+        assert_eq!(path(0).edge_count(), 0);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(cycle(2).edge_count(), 1, "C_2 degenerates to an edge");
+        assert_eq!(cycle(3).max_degree(), 2);
+    }
+
+    #[test]
+    fn cycle_parity_and_bipartiteness() {
+        assert!(properties::is_bipartite(&cycle(8)));
+        assert!(!properties::is_bipartite(&cycle(7)));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        for v in 1..10 {
+            assert_eq!(g.degree(v), 1);
+        }
+        assert_eq!(star(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!(properties::is_bipartite(&g));
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 4);
+        }
+        for v in 3..7 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn grid_counts_and_degrees() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.degree(0), 2); // corner
+        assert!(properties::is_bipartite(&g));
+        assert_eq!(grid(1, 1).edge_count(), 0);
+        assert_eq!(grid(0, 5).node_count(), 0);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..10u64 {
+            for &n in &[2usize, 3, 5, 17, 64, 301] {
+                let g = random_tree(n, seed);
+                assert_eq!(g.edge_count(), n - 1, "tree edge count, n={n}");
+                let comps = properties::connected_components(&g);
+                assert_eq!(comps.component_count(), 1, "tree is connected, n={n}");
+            }
+        }
+        assert_eq!(random_tree(1, 0).edge_count(), 0);
+        assert_eq!(random_tree(0, 0).node_count(), 0);
+    }
+
+    #[test]
+    fn random_tree_varies_with_seed() {
+        assert_ne!(random_tree(50, 1), random_tree(50, 2));
+        assert_eq!(random_tree(50, 1), random_tree(50, 1));
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 3 + 12);
+        // Interior spine node: 2 spine neighbours + 3 legs.
+        assert_eq!(g.degree(1), 5);
+        // Leaves have degree 1.
+        assert_eq!(g.degree(15), 1);
+        assert_eq!(caterpillar(0, 3).node_count(), 0);
+        assert_eq!(caterpillar(3, 0).edge_count(), 2);
+    }
+
+    #[test]
+    fn circulant_is_regular() {
+        let g = regular_circulant(11, 3);
+        assert_eq!(g.edge_count(), 11 * 3);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 6);
+        }
+        assert_eq!(regular_circulant(0, 2).node_count(), 0);
+        let g = regular_circulant(5, 2);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "2k < n")]
+    fn circulant_rejects_wraparound() {
+        regular_circulant(6, 3);
+    }
+}

@@ -1,0 +1,368 @@
+//! Mutable adjacency-list graph.
+//!
+//! [`Graph`] is the workhorse representation used while building conflict
+//! graphs (generators), while applying dynamic edge events (paper §6) and by
+//! algorithms that need cheap mutation.  Algorithms that only *read* the
+//! graph usually convert to [`crate::CsrGraph`] first.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::NodeId;
+
+/// An undirected edge, stored with `u <= v` when produced by [`Graph::edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge, normalising so that `u <= v`.
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        if a <= b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Returns the endpoint different from `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of the edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+}
+
+/// A mutable, undirected, simple graph stored as sorted adjacency lists.
+///
+/// Invariants maintained by every method:
+///
+/// * no self-loops, no parallel edges;
+/// * each adjacency list is sorted in increasing node order;
+/// * `edge_count` equals the number of unordered edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Creates a graph from an edge list over nodes `0..n`.
+    ///
+    /// Duplicate edges and self-loops are rejected.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (unordered) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns an iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count()
+    }
+
+    /// Adds an isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of bounds.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Sorted slice of neighbours of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u]
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u >= self.node_count() || v >= self.node_count() {
+            return false;
+        }
+        self.adj[u].binary_search(&v).is_ok()
+    }
+
+    fn check_node(&self, u: NodeId) -> Result<(), GraphError> {
+        if u >= self.node_count() {
+            Err(GraphError::NodeOutOfBounds { node: u, node_count: self.node_count() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        match self.adj[u].binary_search(&v) {
+            Ok(_) => Err(GraphError::DuplicateEdge(u, v)),
+            Err(pos_u) => {
+                self.adj[u].insert(pos_u, v);
+                let pos_v = self.adj[v].binary_search(&u).unwrap_err();
+                self.adj[v].insert(pos_v, u);
+                self.edge_count += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Adds the edge `(u, v)` if it is absent; returns whether it was added.
+    pub fn add_edge_if_absent(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge(..)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Removes the undirected edge `(u, v)`.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        match self.adj[u].binary_search(&v) {
+            Ok(pos_u) => {
+                self.adj[u].remove(pos_u);
+                let pos_v = self.adj[v].binary_search(&u).expect("adjacency symmetry");
+                self.adj[v].remove(pos_v);
+                self.edge_count -= 1;
+                Ok(())
+            }
+            Err(_) => Err(GraphError::MissingEdge(u, v)),
+        }
+    }
+
+    /// Iterator over all edges with `u <= v`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter().filter(move |&&v| u < v).map(move |&v| Edge { u, v })
+        })
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree δ of the graph (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Vector of all node degrees, indexed by node id.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(Vec::len).collect()
+    }
+
+    /// Average degree `2m / n` (0.0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Consumes self and returns the adjacency lists.
+    pub fn into_adjacency(self) -> Vec<Vec<NodeId>> {
+        self.adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = Graph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.min_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.nodes().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(3, 1).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(1), 3);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+
+        g.remove_edge(1, 2).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(2, 1));
+        assert_eq!(g.neighbors(1), &[0, 3]);
+    }
+
+    #[test]
+    fn rejects_self_loops_duplicates_and_bad_nodes() {
+        let mut g = Graph::new(3);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.add_edge(0, 1), Err(GraphError::DuplicateEdge(0, 1)));
+        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge(1, 0)));
+        assert!(matches!(g.add_edge(0, 9), Err(GraphError::NodeOutOfBounds { node: 9, .. })));
+        assert_eq!(g.remove_edge(0, 2), Err(GraphError::MissingEdge(0, 2)));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn add_edge_if_absent_is_idempotent() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge_if_absent(0, 1).unwrap());
+        assert!(!g.add_edge_if_absent(1, 0).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.add_edge_if_absent(0, 7).is_err());
+    }
+
+    #[test]
+    fn edges_are_lexicographic_and_unique() {
+        let g = Graph::from_edges(4, [(2, 3), (0, 3), (0, 1)]).unwrap();
+        let e: Vec<(usize, usize)> = g.edges().map(|e| (e.u, e.v)).collect();
+        assert_eq!(e, vec![(0, 1), (0, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut g = Graph::new(1);
+        let v = g.add_node();
+        assert_eq!(v, 1);
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(5, 2);
+        assert_eq!((e.u, e.v), (2, 5));
+        assert_eq!(e.other(2), 5);
+        assert_eq!(e.other(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        Edge::new(0, 1).other(2);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.degrees(), vec![3, 1, 1, 1]);
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    fn arb_edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+        proptest::collection::vec((0..n, 0..n), 0..max_edges)
+    }
+
+    proptest! {
+        #[test]
+        fn adjacency_is_always_symmetric_and_sorted(pairs in arb_edges(30, 120)) {
+            let mut g = Graph::new(30);
+            for (u, v) in pairs {
+                if u != v {
+                    let _ = g.add_edge_if_absent(u, v);
+                }
+            }
+            let mut m = 0;
+            for u in g.nodes() {
+                let nbrs = g.neighbors(u);
+                prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted, no dup");
+                for &v in nbrs {
+                    prop_assert!(g.neighbors(v).contains(&u), "symmetry");
+                    prop_assert_ne!(v, u, "no self loops");
+                }
+                m += nbrs.len();
+            }
+            prop_assert_eq!(m, 2 * g.edge_count());
+            prop_assert_eq!(g.edges().count(), g.edge_count());
+        }
+
+        #[test]
+        fn remove_undoes_add(pairs in arb_edges(20, 60)) {
+            let mut g = Graph::new(20);
+            let mut added = Vec::new();
+            for (u, v) in pairs {
+                if u != v && g.add_edge_if_absent(u, v).unwrap() {
+                    added.push((u, v));
+                }
+            }
+            for &(u, v) in added.iter().rev() {
+                g.remove_edge(u, v).unwrap();
+            }
+            prop_assert_eq!(g.edge_count(), 0);
+            for u in g.nodes() {
+                prop_assert_eq!(g.degree(u), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # fhg-graph
+//!
+//! Graph substrate for the Family Holiday Gathering (FHG) library.
+//!
+//! The paper "The Family Holiday Gathering Problem or Fair and Periodic
+//! Scheduling of Independent Sets" (Amir, Kapah, Kopelowitz, Naor, Porat)
+//! models the world as a *conflict graph* `G = (P, E)`: nodes are parents and
+//! an edge connects two parents whose children are in a relationship.  Every
+//! scheduler in the companion crates consumes graphs produced by this crate.
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] — a mutable, adjacency-list undirected simple graph used while
+//!   building or dynamically updating a conflict graph.
+//! * [`CsrGraph`] — a compact, immutable compressed-sparse-row view used by
+//!   the schedulers and the distributed simulator for cache-friendly
+//!   neighbourhood scans.
+//! * [`generators`] — synthetic conflict-graph families (Erdős–Rényi,
+//!   unit-disk/radio, Barabási–Albert, bipartite "two villages", cliques,
+//!   cycles, grids, trees, regular circulants, …) used by the experiments.
+//! * [`properties`] — structural measurements (degree statistics, components,
+//!   bipartiteness, degeneracy, triangles, independence checks).
+//! * [`dynamic`] — the dynamic-setting substrate of paper §6: an edge-event
+//!   stream applied to a graph with notification of affected nodes.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fhg_graph::{Graph, generators, properties};
+//!
+//! let g = generators::erdos_renyi(100, 0.05, 42);
+//! assert_eq!(g.node_count(), 100);
+//! let comps = properties::connected_components(&g);
+//! assert!(comps.component_count() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod csr;
+pub mod dynamic;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod properties;
+
+pub use bitset::FixedBitSet;
+pub use csr::CsrGraph;
+pub use dynamic::{DynamicGraph, EdgeEvent, EdgeEventKind};
+pub use error::GraphError;
+pub use graph::{Edge, Graph};
+
+/// Identifier of a node (a "parent" in the paper's terminology).
+///
+/// Nodes are always numbered `0..n` densely; all graph types in this crate
+/// and every algorithm in the workspace rely on that invariant.
+pub type NodeId = usize;

@@ -1,0 +1,288 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! Appendix A.3 reduces maximum satisfaction to maximum matching in the
+//! bipartite graph whose left side is the parents and whose right side is the
+//! children (each child connected to its two parents); Hopcroft–Karp solves
+//! it in `O(√V · E)` [15].  The implementation is a standard BFS-layer /
+//! DFS-augment phase algorithm over an explicit bipartite adjacency list.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// A bipartite graph with `left` and `right` vertex sets, edges stored as
+/// adjacency lists from the left side.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    adj: Vec<Vec<usize>>,
+    right_count: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates a bipartite graph with `left_count` left vertices and
+    /// `right_count` right vertices and no edges.
+    pub fn new(left_count: usize, right_count: usize) -> Self {
+        BipartiteGraph { adj: vec![Vec::new(); left_count], right_count }
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.adj.len(), "left vertex {l} out of range");
+        assert!(r < self.right_count, "right vertex {r} out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Number of left vertices.
+    pub fn left_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right vertices.
+    pub fn right_count(&self) -> usize {
+        self.right_count
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Neighbours (right vertices) of left vertex `l`.
+    pub fn neighbors(&self, l: usize) -> &[usize] {
+        &self.adj[l]
+    }
+}
+
+/// A matching in a bipartite graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matching {
+    /// `pair_left[l]` is the right vertex matched to `l`, if any.
+    pub pair_left: Vec<Option<usize>>,
+    /// `pair_right[r]` is the left vertex matched to `r`, if any.
+    pub pair_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.pair_left.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Whether the matching is consistent with the graph (every matched pair
+    /// is an edge and the pairing is an involution).
+    pub fn is_valid(&self, graph: &BipartiteGraph) -> bool {
+        if self.pair_left.len() != graph.left_count()
+            || self.pair_right.len() != graph.right_count()
+        {
+            return false;
+        }
+        for (l, &pr) in self.pair_left.iter().enumerate() {
+            if let Some(r) = pr {
+                if !graph.neighbors(l).contains(&r) || self.pair_right[r] != Some(l) {
+                    return false;
+                }
+            }
+        }
+        for (r, &pl) in self.pair_right.iter().enumerate() {
+            if let Some(l) = pl {
+                if self.pair_left[l] != Some(r) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum matching with the Hopcroft–Karp algorithm.
+pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
+    let n_left = graph.left_count();
+    let n_right = graph.right_count();
+    let mut pair_left: Vec<Option<usize>> = vec![None; n_left];
+    let mut pair_right: Vec<Option<usize>> = vec![None; n_right];
+    let mut dist: Vec<u32> = vec![INF; n_left];
+
+    loop {
+        // BFS phase: layer the free left vertices.
+        let mut queue = VecDeque::new();
+        for l in 0..n_left {
+            if pair_left[l].is_none() {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_augmenting_layer = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in graph.neighbors(l) {
+                match pair_right[r] {
+                    None => found_augmenting_layer = true,
+                    Some(l2) => {
+                        if dist[l2] == INF {
+                            dist[l2] = dist[l] + 1;
+                            queue.push_back(l2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+        // DFS phase: find a maximal set of vertex-disjoint shortest
+        // augmenting paths.
+        let mut augmented = 0usize;
+        for l in 0..n_left {
+            if pair_left[l].is_none()
+                && try_augment(graph, l, &mut pair_left, &mut pair_right, &mut dist)
+            {
+                augmented += 1;
+            }
+        }
+        if augmented == 0 {
+            break;
+        }
+    }
+
+    Matching { pair_left, pair_right }
+}
+
+fn try_augment(
+    graph: &BipartiteGraph,
+    l: usize,
+    pair_left: &mut Vec<Option<usize>>,
+    pair_right: &mut Vec<Option<usize>>,
+    dist: &mut Vec<u32>,
+) -> bool {
+    for &r in graph.neighbors(l) {
+        let advance = match pair_right[r] {
+            None => true,
+            Some(l2) => {
+                dist[l2] == dist[l].saturating_add(1)
+                    && try_augment(graph, l2, pair_left, pair_right, dist)
+            }
+        };
+        if advance {
+            pair_left[l] = Some(r);
+            pair_right[r] = Some(l);
+            return true;
+        }
+    }
+    dist[l] = INF;
+    false
+}
+
+/// Brute-force maximum matching size for cross-checking on small graphs.
+pub fn matching_brute_force(graph: &BipartiteGraph) -> usize {
+    fn recurse(graph: &BipartiteGraph, l: usize, used_right: &mut Vec<bool>) -> usize {
+        if l == graph.left_count() {
+            return 0;
+        }
+        // Option 1: leave l unmatched.
+        let mut best = recurse(graph, l + 1, used_right);
+        // Option 2: match l to each free neighbour.
+        for &r in graph.neighbors(l) {
+            if !used_right[r] {
+                used_right[r] = true;
+                best = best.max(1 + recurse(graph, l + 1, used_right));
+                used_right[r] = false;
+            }
+        }
+        best
+    }
+    let mut used = vec![false; graph.right_count()];
+    recurse(graph, 0, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph_from_edges(l: usize, r: usize, edges: &[(usize, usize)]) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(l, r);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    #[test]
+    fn perfect_matching_on_a_cycle() {
+        // Left {0,1,2}, right {0,1,2}, edges forming a 6-cycle.
+        let g = graph_from_edges(3, 3, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 3);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn star_matches_only_one() {
+        let g = graph_from_edges(4, 1, &[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 1);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn empty_graphs() {
+        let g = BipartiteGraph::new(0, 0);
+        assert_eq!(hopcroft_karp(&g).size(), 0);
+        let g = BipartiteGraph::new(3, 4);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 0);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn augmenting_path_is_found_through_rematching() {
+        // Classic example where greedy gets 2 but the optimum is 3.
+        let g = graph_from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (2, 1), (2, 2)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_validates_endpoints() {
+        BipartiteGraph::new(2, 2).add_edge(0, 5);
+    }
+
+    #[test]
+    fn accessors() {
+        let g = graph_from_edges(2, 3, &[(0, 2), (1, 0)]);
+        assert_eq!(g.left_count(), 2);
+        assert_eq!(g.right_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(0), &[2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_brute_force_on_random_graphs(seed in 0u64..500) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let l = rng.gen_range(1..8usize);
+            let r = rng.gen_range(1..8usize);
+            let mut g = BipartiteGraph::new(l, r);
+            for a in 0..l {
+                for b in 0..r {
+                    if rng.gen_bool(0.35) {
+                        g.add_edge(a, b);
+                    }
+                }
+            }
+            let m = hopcroft_karp(&g);
+            prop_assert!(m.is_valid(&g));
+            prop_assert_eq!(m.size(), matching_brute_force(&g));
+        }
+    }
+}

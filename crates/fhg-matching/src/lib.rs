@@ -1,0 +1,33 @@
+//! # fhg-matching
+//!
+//! The Appendix A algorithms of the Family Holiday Gathering paper: what can
+//! be achieved in a *single* holiday, with no regard for other years.
+//!
+//! * **Maximum happiness** (every child home) is exactly maximum independent
+//!   set on the conflict graph, hence MAXSNP-hard (Observation A.1).  We
+//!   provide an exact branch-and-bound solver for small instances and the
+//!   greedy heuristic, so experiment E10 can measure the gap ([`mis`]).
+//! * **Maximum satisfaction** (at least one child home) is a maximum
+//!   matching in the bipartite parent–child graph, computable in linear time
+//!   for this special structure where every child has exactly two parents
+//!   (Theorem A.2).  We provide Hopcroft–Karp as the general-purpose solver
+//!   and the specialised peeling algorithm ([`satisfaction`],
+//!   [`hopcroft_karp`]).
+//! * **Fair satisfaction over time**: each child alternating between its two
+//!   parents guarantees every parent is satisfied at least every other
+//!   holiday ([`satisfaction::AlternatingSatisfaction`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hopcroft_karp;
+pub mod mis;
+pub mod satisfaction;
+pub mod shapley;
+
+pub use hopcroft_karp::{hopcroft_karp, BipartiteGraph, Matching};
+pub use mis::{exact_mis, greedy_mis, mis_brute_force};
+pub use satisfaction::{
+    max_satisfaction_linear, max_satisfaction_matching, AlternatingSatisfaction,
+};
+pub use shapley::{coalition_value, shapley_estimate};

@@ -1,0 +1,297 @@
+//! Maximum satisfaction (Appendix A.3).
+//!
+//! A parent is *satisfied* in a gathering if at least one of its children
+//! comes home.  Every edge of the conflict graph is a married couple that
+//! spends the holiday with exactly one of the two parent households, so
+//! maximising the number of satisfied parents is a maximum matching in the
+//! bipartite graph (parents × couples) in which every couple has exactly two
+//! parent neighbours.  Theorem A.2: this is solvable in linear time by
+//! repeatedly satisfying "single-child" parents (parents with exactly one
+//! unassigned couple left) and otherwise assigning arbitrarily.
+//!
+//! The appendix also notes that satisfaction can be made *fair over time*
+//! trivially: every couple alternates between its two parent households, so
+//! every parent with at least one child is satisfied at least every other
+//! holiday ([`AlternatingSatisfaction`]).
+
+use std::collections::VecDeque;
+
+use fhg_graph::{Edge, Graph, NodeId};
+
+use crate::hopcroft_karp::{hopcroft_karp, BipartiteGraph};
+
+/// Builds the parents × couples bipartite graph of Appendix A.3 from a
+/// conflict graph: left vertices are parents, right vertices are the conflict
+/// edges (couples), and each couple is adjacent to its two parents.
+pub fn parents_couples_graph(graph: &Graph) -> (BipartiteGraph, Vec<Edge>) {
+    let edges: Vec<Edge> = graph.edges().collect();
+    let mut bip = BipartiteGraph::new(graph.node_count(), edges.len());
+    for (i, e) in edges.iter().enumerate() {
+        bip.add_edge(e.u, i);
+        bip.add_edge(e.v, i);
+    }
+    (bip, edges)
+}
+
+/// Maximum satisfaction via general-purpose Hopcroft–Karp (`O(√n · |E|)`),
+/// returning for every parent the index (into `graph.edges()`) of the couple
+/// that visits it, if any.
+pub fn max_satisfaction_matching(graph: &Graph) -> Vec<Option<usize>> {
+    let (bip, _) = parents_couples_graph(graph);
+    hopcroft_karp(&bip).pair_left
+}
+
+/// Maximum satisfaction via the specialised linear-time algorithm of
+/// Appendix A.3: repeatedly satisfy a parent with exactly one unassigned
+/// couple; when none exists, satisfy an arbitrary unsatisfied parent with an
+/// arbitrary unassigned couple.
+///
+/// Returns, for every parent, the index of the couple assigned to it (if it
+/// could be satisfied).  The number of satisfied parents equals the maximum
+/// matching size.
+pub fn max_satisfaction_linear(graph: &Graph) -> Vec<Option<usize>> {
+    let edges: Vec<Edge> = graph.edges().collect();
+    let n = graph.node_count();
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut couple_used: Vec<bool> = vec![false; edges.len()];
+    // For every parent, the indices of its incident couples.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in edges.iter().enumerate() {
+        incident[e.u].push(i);
+        incident[e.v].push(i);
+    }
+    let mut available: Vec<usize> = incident.iter().map(Vec::len).collect();
+    let mut queue: VecDeque<NodeId> = (0..n).filter(|&p| available[p] == 1).collect();
+    let mut satisfied = vec![false; n];
+
+    let assign = |p: NodeId,
+                      couple: usize,
+                      couple_used: &mut Vec<bool>,
+                      available: &mut Vec<usize>,
+                      satisfied: &mut Vec<bool>,
+                      assignment: &mut Vec<Option<usize>>,
+                      queue: &mut VecDeque<NodeId>| {
+        couple_used[couple] = true;
+        assignment[p] = Some(couple);
+        satisfied[p] = true;
+        let e = edges[couple];
+        for q in [e.u, e.v] {
+            available[q] -= 1;
+            if !satisfied[q] && available[q] == 1 {
+                queue.push_back(q);
+            }
+        }
+    };
+
+    // Phase 1 + 2 interleaved: prefer single-couple parents, otherwise pick
+    // any unsatisfied parent with an unassigned couple.  The "arbitrary
+    // parent" cursor only moves forward: once a parent is satisfied it stays
+    // satisfied, and once its available count hits zero it never recovers, so
+    // skipped parents never need to be revisited — keeping the whole
+    // algorithm linear in |P| + |E| as Theorem A.2 requires.
+    let mut cursor: NodeId = 0;
+    loop {
+        // Drain the single-couple queue first.
+        while let Some(p) = queue.pop_front() {
+            if satisfied[p] || available[p] != 1 {
+                continue;
+            }
+            let couple = incident[p]
+                .iter()
+                .copied()
+                .find(|&c| !couple_used[c])
+                .expect("available count says one couple remains");
+            assign(
+                p,
+                couple,
+                &mut couple_used,
+                &mut available,
+                &mut satisfied,
+                &mut assignment,
+                &mut queue,
+            );
+        }
+        // Pick the next unsatisfied parent that still has a couple.
+        while cursor < n && (satisfied[cursor] || available[cursor] == 0) {
+            cursor += 1;
+        }
+        if cursor >= n {
+            break;
+        }
+        let p = cursor;
+        let couple = incident[p]
+            .iter()
+            .copied()
+            .find(|&c| !couple_used[c])
+            .expect("available count is positive");
+        assign(
+            p,
+            couple,
+            &mut couple_used,
+            &mut available,
+            &mut satisfied,
+            &mut assignment,
+            &mut queue,
+        );
+    }
+    assignment
+}
+
+/// Checks that a satisfaction assignment is consistent: every assigned couple
+/// is incident to its parent and no couple is assigned twice.
+pub fn satisfaction_is_valid(graph: &Graph, assignment: &[Option<usize>]) -> bool {
+    let edges: Vec<Edge> = graph.edges().collect();
+    if assignment.len() != graph.node_count() {
+        return false;
+    }
+    let mut used = vec![false; edges.len()];
+    for (p, &a) in assignment.iter().enumerate() {
+        if let Some(c) = a {
+            if c >= edges.len() || (edges[c].u != p && edges[c].v != p) || used[c] {
+                return false;
+            }
+            used[c] = true;
+        }
+    }
+    true
+}
+
+/// The fair-over-time satisfaction schedule: every couple alternates between
+/// its two parent households, visiting the lower-id parent on even holidays
+/// and the higher-id parent on odd holidays.  Every parent with at least one
+/// child is satisfied at least every other holiday.
+#[derive(Debug, Clone)]
+pub struct AlternatingSatisfaction {
+    edges: Vec<Edge>,
+    n: usize,
+}
+
+impl AlternatingSatisfaction {
+    /// Builds the alternating schedule for a conflict graph.
+    pub fn new(graph: &Graph) -> Self {
+        AlternatingSatisfaction { edges: graph.edges().collect(), n: graph.node_count() }
+    }
+
+    /// The parents satisfied at holiday `t` (sorted).
+    pub fn satisfied_set(&self, t: u64) -> Vec<NodeId> {
+        let mut satisfied = vec![false; self.n];
+        for e in &self.edges {
+            let visited = if t % 2 == 0 { e.u.min(e.v) } else { e.u.max(e.v) };
+            satisfied[visited] = true;
+        }
+        (0..self.n).filter(|&p| satisfied[p]).collect()
+    }
+
+    /// Whether parent `p` is satisfied at holiday `t`.
+    pub fn is_satisfied(&self, p: NodeId, t: u64) -> bool {
+        self.satisfied_set(t).binary_search(&p).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhg_graph::generators::structured::{complete, cycle, path, star};
+    use fhg_graph::generators::{barabasi_albert, erdos_renyi};
+    use proptest::prelude::*;
+
+    fn satisfied_count(assignment: &[Option<usize>]) -> usize {
+        assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    #[test]
+    fn star_satisfies_all_but_one() {
+        // The hub has five couples; each leaf has one.  Only five couples
+        // exist for six parents, so the maximum satisfaction is 5: four
+        // leaves keep their couple, one couple visits the hub.
+        let g = star(6);
+        let matching = max_satisfaction_matching(&g);
+        let linear = max_satisfaction_linear(&g);
+        assert!(satisfaction_is_valid(&g, &matching));
+        assert!(satisfaction_is_valid(&g, &linear));
+        assert_eq!(satisfied_count(&matching), 5);
+        assert_eq!(satisfied_count(&linear), 5);
+    }
+
+    #[test]
+    fn single_edge_satisfies_only_one_parent() {
+        let g = path(2);
+        let linear = max_satisfaction_linear(&g);
+        assert_eq!(satisfied_count(&linear), 1, "in-law single-child parents: one wins");
+        assert_eq!(satisfied_count(&max_satisfaction_matching(&g)), 1);
+    }
+
+    #[test]
+    fn cycles_satisfy_everyone() {
+        for n in [3usize, 4, 7, 10] {
+            let g = cycle(n);
+            assert_eq!(satisfied_count(&max_satisfaction_linear(&g)), n);
+            assert_eq!(satisfied_count(&max_satisfaction_matching(&g)), n);
+        }
+    }
+
+    #[test]
+    fn paths_leave_at_most_one_unsatisfied_per_two() {
+        // P_n has n-1 couples, so at most n-1 parents can be satisfied.
+        let g = path(5);
+        assert_eq!(satisfied_count(&max_satisfaction_linear(&g)), 4);
+    }
+
+    #[test]
+    fn empty_and_isolated_parents() {
+        let g = Graph::new(4);
+        let linear = max_satisfaction_linear(&g);
+        assert_eq!(satisfied_count(&linear), 0, "childless parents cannot be satisfied");
+        assert!(satisfaction_is_valid(&g, &linear));
+        assert!(max_satisfaction_linear(&Graph::new(0)).is_empty());
+    }
+
+    #[test]
+    fn linear_matches_hopcroft_karp_on_classic_graphs() {
+        for g in [star(9), cycle(11), path(12), complete(6), barabasi_albert(40, 2, 3)] {
+            let linear = satisfied_count(&max_satisfaction_linear(&g));
+            let hk = satisfied_count(&max_satisfaction_matching(&g));
+            assert_eq!(linear, hk);
+        }
+    }
+
+    #[test]
+    fn alternation_satisfies_every_parent_with_children_every_other_holiday() {
+        let g = erdos_renyi(30, 0.1, 5);
+        let alt = AlternatingSatisfaction::new(&g);
+        for p in g.nodes() {
+            if g.degree(p) == 0 {
+                assert!(!alt.is_satisfied(p, 0) && !alt.is_satisfied(p, 1));
+            } else {
+                assert!(
+                    alt.is_satisfied(p, 0) || alt.is_satisfied(p, 1),
+                    "parent {p} must be satisfied in one of two consecutive holidays"
+                );
+                // And the schedule has period 2.
+                assert_eq!(alt.is_satisfied(p, 0), alt.is_satisfied(p, 4));
+                assert_eq!(alt.is_satisfied(p, 1), alt.is_satisfied(p, 7));
+            }
+        }
+    }
+
+    #[test]
+    fn alternation_on_a_single_couple() {
+        let g = path(2);
+        let alt = AlternatingSatisfaction::new(&g);
+        assert_eq!(alt.satisfied_set(0), vec![0]);
+        assert_eq!(alt.satisfied_set(1), vec![1]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn linear_algorithm_is_optimal(seed in 0u64..400, p in 0.03f64..0.3) {
+            let g = erdos_renyi(24, p, seed);
+            let linear = max_satisfaction_linear(&g);
+            prop_assert!(satisfaction_is_valid(&g, &linear));
+            let optimal = satisfied_count(&max_satisfaction_matching(&g));
+            prop_assert_eq!(satisfied_count(&linear), optimal,
+                "linear-time algorithm must match Hopcroft-Karp");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Fair-share estimation for the happiness coalition game (Appendix A.2).
+//!
+//! Appendix A.2 defines a coalitional game on the conflict graph: the value
+//! `v(S)` of a set of parents `S` is the size of the maximum independent set
+//! of the subgraph induced by `S` (the most happiness those parents could
+//! collectively obtain if everyone else gave up).  The appendix argues that
+//! fairness notions built on this game — such as the Shapley value — are hard
+//! to compute, because the sum of all marginal contributions along any node
+//! order equals `MIS(G)`, so approximating the shares approximates MIS, which
+//! is inapproximable within `n^{1-ε}`.
+//!
+//! This module makes that argument executable: a Monte-Carlo Shapley
+//! estimator over random orders (each marginal contribution evaluated with
+//! the exact MIS solver on the induced prefix subgraph), plus the identity
+//! check that the shares sum to `MIS(G)`.  It is intended for *small* graphs
+//! only — which is exactly the point the appendix makes.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use fhg_graph::{Graph, NodeId};
+
+use crate::mis::exact_mis;
+
+/// Size of the maximum independent set of the subgraph of `graph` induced by
+/// `members` — the coalition value `v(S)` of Appendix A.2.
+pub fn coalition_value(graph: &Graph, members: &[NodeId]) -> usize {
+    let mut index = vec![usize::MAX; graph.node_count()];
+    for (i, &p) in members.iter().enumerate() {
+        index[p] = i;
+    }
+    let mut induced = Graph::new(members.len());
+    for (i, &p) in members.iter().enumerate() {
+        for &q in graph.neighbors(p) {
+            if index[q] != usize::MAX && index[q] > i {
+                induced.add_edge(i, index[q]).expect("induced edges are simple");
+            }
+        }
+    }
+    exact_mis(&induced).len()
+}
+
+/// Monte-Carlo estimate of the Shapley value of every parent in the
+/// happiness coalition game, using `samples` random orders.
+///
+/// Returns one estimated share per node.  The estimator preserves the
+/// identity of Appendix A.2 exactly on every sampled order: the marginal
+/// contributions along an order sum to `MIS(G)`, so the returned shares
+/// always sum to `MIS(G)` (up to floating-point rounding).
+///
+/// # Panics
+/// Panics if `samples == 0`.  Intended for graphs small enough for
+/// [`exact_mis`] (≲ 50 nodes).
+pub fn shapley_estimate(graph: &Graph, samples: u32, seed: u64) -> Vec<f64> {
+    assert!(samples > 0, "at least one sampled order is required");
+    let n = graph.node_count();
+    let mut totals = vec![0.0f64; n];
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut order: Vec<NodeId> = (0..n).collect();
+    for _ in 0..samples {
+        order.shuffle(&mut rng);
+        let mut prefix: Vec<NodeId> = Vec::with_capacity(n);
+        let mut previous = 0usize;
+        for &p in &order {
+            prefix.push(p);
+            let value = coalition_value(graph, &prefix);
+            totals[p] += (value - previous) as f64;
+            previous = value;
+        }
+    }
+    totals.iter().map(|t| t / f64::from(samples)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhg_graph::generators::erdos_renyi;
+    use fhg_graph::generators::structured::{complete, path, star};
+
+    #[test]
+    fn coalition_values_of_known_sets() {
+        let g = star(5);
+        assert_eq!(coalition_value(&g, &[1, 2, 3, 4]), 4, "leaves are pairwise independent");
+        assert_eq!(coalition_value(&g, &[0, 1]), 1);
+        assert_eq!(coalition_value(&g, &[]), 0);
+        let g = complete(4);
+        assert_eq!(coalition_value(&g, &[0, 1, 2, 3]), 1);
+        assert_eq!(coalition_value(&g, &[2]), 1);
+    }
+
+    #[test]
+    fn shares_sum_to_the_grand_coalition_mis() {
+        for (i, g) in [star(6), path(7), complete(5), erdos_renyi(14, 0.25, 3)]
+            .into_iter()
+            .enumerate()
+        {
+            let shares = shapley_estimate(&g, 40, i as u64);
+            let total: f64 = shares.iter().sum();
+            let mis = exact_mis(&g).len() as f64;
+            assert!(
+                (total - mis).abs() < 1e-9,
+                "graph #{i}: shares sum to {total}, MIS is {mis}"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_shares_are_symmetric() {
+        // On K_n every parent is interchangeable, so each fair share is 1/n.
+        let g = complete(6);
+        let shares = shapley_estimate(&g, 400, 9);
+        for &s in &shares {
+            assert!((s - 1.0 / 6.0).abs() < 0.05, "clique share {s} far from 1/6");
+        }
+    }
+
+    #[test]
+    fn star_center_gets_a_small_share() {
+        // The centre only contributes when it appears before every leaf, so
+        // its share is far below a leaf's.
+        let g = star(7);
+        let shares = shapley_estimate(&g, 600, 4);
+        let center = shares[0];
+        let leaf_mean: f64 = shares[1..].iter().sum::<f64>() / 6.0;
+        assert!(center < leaf_mean, "centre {center} should be below leaf mean {leaf_mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = erdos_renyi(12, 0.3, 7);
+        assert_eq!(shapley_estimate(&g, 25, 11), shapley_estimate(&g, 25, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_samples_rejected() {
+        shapley_estimate(&path(3), 0, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # fhg-radio
+//!
+//! The cellular-radio application layer the paper's introduction motivates:
+//! "it would be beneficial if cellular radios could guarantee that when they
+//! broadcast none of the other radios interfere.  In this application the
+//! shared resource is the air which is within transmission radius of more
+//! than one radio."
+//!
+//! A [`network::RadioNetwork`] places radios in the unit square and derives
+//! the interference (conflict) graph; [`tdma`] turns any Family Holiday
+//! Gathering [`Scheduler`](fhg_core::Scheduler) into a TDMA transmission
+//! schedule — slot `t` carries exactly the happy set of holiday `t` — and
+//! measures throughput, worst-case access latency and energy (wake-ups), the
+//! quantities that make the periodic schedulers of §4/§5 attractive for
+//! radios: a node only needs to wake up in its own slots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod tdma;
+
+pub use network::RadioNetwork;
+pub use tdma::{evaluate_tdma, NodeRadioStats, TdmaReport};

@@ -1,0 +1,108 @@
+//! Radio placement and interference graphs.
+
+use serde::{Deserialize, Serialize};
+
+use fhg_graph::generators::{random_geometric, GeometricGraph};
+use fhg_graph::{Graph, NodeId};
+
+/// A field of radios with a common transmission radius and the induced
+/// interference graph.
+///
+/// Two radios interfere (conflict) when their transmission disks overlap,
+/// i.e. when their distance is at most twice the transmission radius — the
+/// "shared air" of the paper's introduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RadioNetwork {
+    geometric: GeometricGraph,
+    tx_radius: f64,
+}
+
+impl RadioNetwork {
+    /// Places `n` radios uniformly at random in the unit square with the
+    /// given transmission radius.
+    ///
+    /// # Panics
+    /// Panics if `tx_radius` is negative or not finite.
+    pub fn random(n: usize, tx_radius: f64, seed: u64) -> Self {
+        assert!(tx_radius >= 0.0 && tx_radius.is_finite(), "transmission radius must be finite and non-negative");
+        RadioNetwork { geometric: random_geometric(n, 2.0 * tx_radius, seed), tx_radius }
+    }
+
+    /// Number of radios.
+    pub fn radio_count(&self) -> usize {
+        self.geometric.graph().node_count()
+    }
+
+    /// The interference (conflict) graph.
+    pub fn interference_graph(&self) -> &Graph {
+        self.geometric.graph()
+    }
+
+    /// The transmission radius of every radio.
+    pub fn tx_radius(&self) -> f64 {
+        self.tx_radius
+    }
+
+    /// Position of radio `u` in the unit square, as `(x, y)`.
+    pub fn position(&self, u: NodeId) -> (f64, f64) {
+        let p = self.geometric.position(u);
+        (p.x, p.y)
+    }
+
+    /// Number of radios whose transmissions interfere with radio `u`.
+    pub fn interferer_count(&self, u: NodeId) -> usize {
+        self.geometric.graph().degree(u)
+    }
+
+    /// Mean number of interferers per radio.
+    pub fn mean_interferers(&self) -> f64 {
+        self.geometric.graph().average_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interference_requires_overlapping_disks() {
+        let net = RadioNetwork::random(150, 0.06, 7);
+        let g = net.interference_graph();
+        for e in g.edges() {
+            let (ax, ay) = net.position(e.u);
+            let (bx, by) = net.position(e.v);
+            let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+            assert!(dist <= 2.0 * net.tx_radius() + 1e-12);
+        }
+        assert_eq!(net.radio_count(), 150);
+        assert!((net.tx_radius() - 0.06).abs() < 1e-15);
+    }
+
+    #[test]
+    fn denser_fields_interfere_more() {
+        let sparse = RadioNetwork::random(200, 0.02, 3);
+        let dense = RadioNetwork::random(200, 0.10, 3);
+        assert!(dense.mean_interferers() > sparse.mean_interferers());
+    }
+
+    #[test]
+    fn zero_radius_means_no_interference() {
+        let net = RadioNetwork::random(50, 0.0, 1);
+        assert_eq!(net.interference_graph().edge_count(), 0);
+        assert_eq!(net.interferer_count(0), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RadioNetwork::random(80, 0.05, 9);
+        let b = RadioNetwork::random(80, 0.05, 9);
+        assert_eq!(a.interference_graph(), b.interference_graph());
+        assert_eq!(a.position(3), b.position(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_rejected() {
+        RadioNetwork::random(10, -1.0, 0);
+    }
+}

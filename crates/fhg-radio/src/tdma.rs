@@ -1,0 +1,218 @@
+//! TDMA evaluation of holiday schedulers on radio networks.
+//!
+//! A holiday scheduler becomes a TDMA (time-division multiple access)
+//! transmission schedule by letting slot `t` carry exactly the happy set of
+//! holiday `t`: since happy sets are independent sets of the interference
+//! graph, no two interfering radios ever transmit in the same slot.  The
+//! metrics collected here are the radio-facing versions of the paper's
+//! objectives:
+//!
+//! * **throughput share** — fraction of slots in which a radio transmits
+//!   (the fairness landmark is `1/(interferers + 1)`);
+//! * **worst-case access latency** — the longest stretch of slots without a
+//!   transmission opportunity (`mul`);
+//! * **energy** — for periodic schedules a radio only wakes in its own slots,
+//!   so wake-ups equal transmissions; non-periodic schedules additionally pay
+//!   a listen/communication wake-up *every* slot (the §3 downside).
+
+use serde::{Deserialize, Serialize};
+
+use fhg_core::analysis::analyze_schedule;
+use fhg_core::Scheduler;
+use fhg_graph::NodeId;
+
+use crate::network::RadioNetwork;
+
+/// Per-radio TDMA statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeRadioStats {
+    /// The radio.
+    pub radio: NodeId,
+    /// Number of radios it interferes with.
+    pub interferers: usize,
+    /// Number of slots in which it transmitted.
+    pub transmissions: u64,
+    /// Fraction of slots in which it transmitted.
+    pub throughput_share: f64,
+    /// The fair-share landmark `1/(interferers + 1)`.
+    pub fair_share: f64,
+    /// Longest stretch of consecutive slots with no transmission opportunity.
+    pub worst_latency: u64,
+    /// Number of slots in which the radio had to be awake (transmitting,
+    /// or listening for the per-slot coordination a non-periodic scheduler
+    /// requires).
+    pub wakeups: u64,
+}
+
+/// Whole-network TDMA evaluation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdmaReport {
+    /// Name of the scheduler that produced the schedule.
+    pub scheduler: String,
+    /// Number of slots simulated.
+    pub slots: u64,
+    /// Per-radio statistics.
+    pub per_radio: Vec<NodeRadioStats>,
+    /// Whether any slot contained two interfering transmitters (must be false).
+    pub interference_detected: bool,
+    /// Mean number of transmitters per slot (spatial reuse).
+    pub mean_transmitters_per_slot: f64,
+    /// Total wake-ups across all radios (the energy proxy).
+    pub total_wakeups: u64,
+}
+
+impl TdmaReport {
+    /// The largest worst-case access latency over all radios.
+    pub fn max_latency(&self) -> u64 {
+        self.per_radio.iter().map(|r| r.worst_latency).max().unwrap_or(0)
+    }
+
+    /// Mean ratio of achieved throughput share to the `1/(d+1)` fair share.
+    pub fn mean_fairness_ratio(&self) -> f64 {
+        if self.per_radio.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self
+            .per_radio
+            .iter()
+            .map(|r| if r.fair_share > 0.0 { r.throughput_share / r.fair_share } else { 1.0 })
+            .sum();
+        sum / self.per_radio.len() as f64
+    }
+}
+
+/// Runs `scheduler` as a TDMA schedule on `network` for `slots` slots.
+pub fn evaluate_tdma<S: Scheduler + ?Sized>(
+    network: &RadioNetwork,
+    scheduler: &mut S,
+    slots: u64,
+) -> TdmaReport {
+    let graph = network.interference_graph();
+    let analysis = analyze_schedule(graph, scheduler, slots);
+    let periodic = scheduler.is_periodic();
+    let per_radio: Vec<NodeRadioStats> = analysis
+        .per_node
+        .iter()
+        .map(|node| {
+            let wakeups = if periodic {
+                node.happy_count
+            } else {
+                // Non-periodic schedulers require the radio to participate in
+                // coordination every slot.
+                slots
+            };
+            NodeRadioStats {
+                radio: node.node,
+                interferers: node.degree,
+                transmissions: node.happy_count,
+                throughput_share: if slots == 0 {
+                    0.0
+                } else {
+                    node.happy_count as f64 / slots as f64
+                },
+                fair_share: 1.0 / (node.degree as f64 + 1.0),
+                worst_latency: node.max_unhappiness,
+                wakeups,
+            }
+        })
+        .collect();
+    let total_wakeups = per_radio.iter().map(|r| r.wakeups).sum();
+    TdmaReport {
+        scheduler: analysis.scheduler.clone(),
+        slots,
+        interference_detected: !analysis.all_happy_sets_independent,
+        mean_transmitters_per_slot: analysis.mean_happy_set_size,
+        per_radio,
+        total_wakeups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhg_core::prelude::*;
+
+    fn network() -> RadioNetwork {
+        RadioNetwork::random(120, 0.05, 11)
+    }
+
+    #[test]
+    fn periodic_degree_bound_gives_interference_free_bounded_latency() {
+        let net = network();
+        let mut s = PeriodicDegreeBound::new(net.interference_graph());
+        let report = evaluate_tdma(&net, &mut s, 512);
+        assert!(!report.interference_detected);
+        for r in &report.per_radio {
+            if r.interferers > 0 {
+                assert!(
+                    r.worst_latency < 2 * r.interferers as u64,
+                    "radio {} latency {} vs 2d {}",
+                    r.radio,
+                    r.worst_latency,
+                    2 * r.interferers
+                );
+            }
+        }
+        assert!(report.max_latency() >= 1 || net.interference_graph().edge_count() == 0);
+    }
+
+    #[test]
+    fn periodic_schedulers_use_less_energy_than_phased_greedy() {
+        let net = network();
+        let g = net.interference_graph().clone();
+        let mut periodic = PeriodicDegreeBound::new(&g);
+        let mut phased = PhasedGreedy::new(&g);
+        let report_periodic = evaluate_tdma(&net, &mut periodic, 256);
+        let report_phased = evaluate_tdma(&net, &mut phased, 256);
+        assert!(
+            report_periodic.total_wakeups < report_phased.total_wakeups,
+            "periodic schedule must save wake-ups: {} vs {}",
+            report_periodic.total_wakeups,
+            report_phased.total_wakeups
+        );
+        assert!(!report_phased.interference_detected);
+    }
+
+    #[test]
+    fn round_robin_latency_is_global_while_degree_bound_is_local() {
+        let net = network();
+        let g = net.interference_graph().clone();
+        let mut rr = RoundRobinColoring::new(&g);
+        let mut db = PeriodicDegreeBound::new(&g);
+        let rr_report = evaluate_tdma(&net, &mut rr, 512);
+        let db_report = evaluate_tdma(&net, &mut db, 512);
+        // Low-interference radios get much better latency under the local
+        // scheduler than under the global round robin whenever the colouring
+        // is larger than their local period.
+        let low = db_report
+            .per_radio
+            .iter()
+            .filter(|r| r.interferers <= 1)
+            .map(|r| r.worst_latency)
+            .max()
+            .unwrap_or(0);
+        assert!(low <= 2);
+        assert!(rr_report.max_latency() >= db_report.per_radio.iter().filter(|r| r.interferers <= 1).map(|r| r.worst_latency).max().unwrap_or(0));
+    }
+
+    #[test]
+    fn fairness_ratio_is_close_to_one_for_first_grab() {
+        let net = RadioNetwork::random(60, 0.06, 3);
+        let mut s = FirstComeFirstGrab::new(net.interference_graph(), 5);
+        let report = evaluate_tdma(&net, &mut s, 3000);
+        let ratio = report.mean_fairness_ratio();
+        assert!((ratio - 1.0).abs() < 0.15, "mean fairness ratio {ratio} too far from 1");
+        assert!(!report.interference_detected);
+    }
+
+    #[test]
+    fn zero_slots_report() {
+        let net = RadioNetwork::random(10, 0.05, 1);
+        let mut s = TrivialSequential::new(net.interference_graph());
+        let report = evaluate_tdma(&net, &mut s, 0);
+        assert_eq!(report.total_wakeups, 0);
+        assert_eq!(report.mean_transmitters_per_slot, 0.0);
+        assert_eq!(report.max_latency(), 0);
+        assert!((report.mean_fairness_ratio() - 0.0).abs() < 1.01, "defined even with zero slots");
+    }
+}

@@ -1,0 +1,69 @@
+//! The family-dinner scenario with a changing family (paper §6).
+//!
+//! Starts from the paper's "two villages" society (bipartite marriages: every
+//! family gathers every second year), then lets relationships change: new
+//! couples form across previously unconnected families and some couples
+//! separate.  The dynamic colour-bound scheduler repairs colours locally and
+//! the example reports how quickly affected families get to host again.
+//!
+//! Run with: `cargo run --release --example family_dinner`
+
+use fhg::core::dynamic::DynamicColorBound;
+use fhg::core::Scheduler;
+use fhg::graph::dynamic::random_churn;
+use fhg::graph::generators;
+
+fn main() {
+    // Two villages of 60 families each; only inter-village marriages at first.
+    let initial = generators::bipartite_villages(60, 60, 0.05, 7);
+    println!(
+        "Initial society: {} families, {} marriages (bipartite: {})",
+        initial.node_count(),
+        initial.edge_count(),
+        fhg::graph::properties::is_bipartite(&initial)
+    );
+
+    let mut scheduler = DynamicColorBound::new(&initial);
+
+    // In the quiescent bipartite phase every family hosts with a short period.
+    let worst_initial_period =
+        initial.nodes().map(|p| scheduler.current_period(p)).max().unwrap_or(1);
+    println!("Worst hosting period while the society stays bipartite: {worst_initial_period}");
+
+    // 80 relationship changes: 70% new marriages (possibly within a village —
+    // the society stops being bipartite), 30% separations.
+    let events = random_churn(&initial, 80, 0.7, 0, 99);
+    let mut repaired_families = 0usize;
+    let mut max_recovery = 0u64;
+    let mut holiday = 0u64;
+    for event in events {
+        // A few holidays pass between events.
+        for _ in 0..4 {
+            let happy = scheduler.happy_set(holiday);
+            assert!(fhg::graph::properties::is_independent_set(scheduler.graph(), &happy));
+            holiday += 1;
+        }
+        let repaired = scheduler.apply_event(event).expect("churn events are valid");
+        for p in repaired {
+            repaired_families += 1;
+            // After the repair the family hosts again within its new period,
+            // which §6 bounds by phi(d) * 2^(log* d + 1).
+            let period = scheduler.current_period(p);
+            let bound = scheduler.recovery_bound(p);
+            assert!(period <= bound, "family {p}: period {period} exceeds recovery bound {bound}");
+            max_recovery = max_recovery.max(period);
+        }
+    }
+
+    println!("Applied 80 relationship changes; {repaired_families} families needed recolouring");
+    println!("Worst post-repair hosting period: {max_recovery}");
+    println!(
+        "Recolouring events recorded by the scheduler: {}",
+        scheduler.recolor_events()
+    );
+
+    // The colouring is still proper, so every future gathering remains valid.
+    assert!(scheduler.coloring_is_proper());
+    let final_worst = scheduler.graph().nodes().map(|p| scheduler.current_period(p)).max().unwrap();
+    println!("Worst hosting period in the final society: {final_worst}");
+}
