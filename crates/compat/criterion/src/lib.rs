@@ -1,0 +1,252 @@
+//! Offline micro-benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset of the `criterion` API the workspace's `[[bench]]` targets use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher::iter`, the
+//! [`criterion_group!`] / [`criterion_main!`] macros and [`black_box`].
+//!
+//! Methodology: each benchmark is warmed up, then measured over
+//! `sample_size` samples; each sample runs enough iterations to cover a
+//! minimum measurement window, and the reported statistics are the median,
+//! minimum and maximum of the per-iteration times.  Results print to stdout
+//! in a stable `name ... time: [median min..max]` format.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock time of one measured sample.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(5);
+/// Warm-up budget per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(20);
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards CLI args after `--`; the first free-standing
+        // argument is a name filter (upstream convention). Flags are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter, default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let samples = self.default_sample_size;
+        self.run_one(&name, samples, &mut f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, sample_size: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { sample_size, result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some(r) => println!(
+                "{name:<60} time: [{} {} {}]  ({} samples)",
+                format_ns(r.median_ns),
+                format_ns(r.min_ns),
+                format_ns(r.max_ns),
+                r.samples,
+            ),
+            None => println!("{name:<60} (no measurement recorded)"),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&name, samples, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&name, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (statistics are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+struct Measurement {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// Timing loop driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`, preventing its result from being optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates how many iterations fill a sample window.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_WINDOW {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let iters_per_sample =
+            ((SAMPLE_WINDOW.as_secs_f64() / per_iter).ceil() as u64).clamp(1, u64::MAX);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            per_iter_ns.push(elapsed / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        self.result = Some(Measurement {
+            median_ns: median,
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().expect("at least one sample"),
+            samples: per_iter_ns.len(),
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` entry point, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut b = Bencher { sample_size: 3, result: None };
+        b.iter(|| black_box(21u64 * 2));
+        let r = b.result.expect("measurement recorded");
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_upstream() {
+        assert_eq!(BenchmarkId::new("phased-greedy", 1000).to_string(), "phased-greedy/1000");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2_000_000_000.0).ends_with(" s"));
+    }
+}

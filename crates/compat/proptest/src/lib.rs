@@ -1,0 +1,380 @@
+//! Offline mini property-testing engine.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset of the `proptest` API the workspace's tests use: the
+//! [`Strategy`] trait over ranges, tuples, collections and value selection,
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]` header),
+//! and the `prop_assert*` family.  There is no shrinking: a failing case
+//! panics with the case number and seed so it can be replayed by rerunning
+//! the deterministic generator.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG handed to strategies while generating a test case.
+pub type TestRng = ChaCha8Rng;
+
+/// Runtime configuration of a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite fast while still
+        // exploring a meaningful slice of each input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::*;
+
+    /// Strategy producing `Vec`s with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of values from `element`, length uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `HashSet`s with a target size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `HashSet` of values from `element`; up to `size` attempts, so the
+    /// resulting set can be smaller when duplicates collide (upstream
+    /// semantics are a size *range*; the lower bound is respected as long as
+    /// the element space allows it).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            let mut out = HashSet::with_capacity(target);
+            // Bounded retries so tiny element domains cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(20) + 100 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Strategies that pick from explicit value lists.
+pub mod sample {
+    use super::*;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses uniformly from `options`.
+    ///
+    /// # Panics
+    /// Panics at sampling time if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "select requires at least one option");
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Derives the deterministic per-test RNG from the test's identity, so each
+/// test explores a stable but distinct stream run over run.
+pub fn rng_for(test_ident: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_ident.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests.  Supports the subset of the upstream grammar the
+/// workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0usize..9, 0..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        // The immediately-called closure gives `prop_assume!` an early-return
+        // scope per generated case.
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let guard = $crate::CaseGuard::new(stringify!($name), case);
+                (|| $body)();
+                guard.disarm();
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Prints which generated case failed when a property panics, since this
+/// engine has no shrinker.  Created armed; disarmed on success.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for `case` of test `name`.
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard { name, case, armed: true }
+    }
+
+    /// Marks the case as passed.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest: property `{}` failed at generated case {} \
+                 (deterministic; rerun reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_name() {
+        let mut a = crate::rng_for("x::y");
+        let mut b = crate::rng_for("x::y");
+        let mut c = crate::rng_for("x::z");
+        use rand::Rng;
+        let va: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        let vc: Vec<u64> = (0..4).map(|_| c.gen()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u64..5, f in 0.25f64..0.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.25..0.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pairs in prop::collection::vec((0usize..10, 0usize..10), 0..25)) {
+            prop_assert!(pairs.len() < 25);
+            for (a, b) in pairs {
+                prop_assert!(a < 10 && b < 10);
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u32..4, b in 0u32..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn configured_case_count_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn hash_sets_reach_their_target_size(s in prop::collection::hash_set(0u64..10_000, 5..30)) {
+            prop_assert!(s.len() >= 5 && s.len() < 30);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn select_picks_listed_values(v in prop::sample::select(vec![2usize, 3, 5, 7])) {
+            prop_assert!([2, 3, 5, 7].contains(&v));
+        }
+    }
+}

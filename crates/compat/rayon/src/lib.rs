@@ -1,0 +1,93 @@
+//! Offline sequential stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the `par_iter` / `par_iter_mut` entry points the workspace uses, executing
+//! them on ordinary sequential iterators.  All protocols in the workspace are
+//! written to produce identical results under sequential and parallel
+//! stepping (per-node RNGs, no shared mutable state), so substituting
+//! sequential execution changes timing only, never results.  When a vendored
+//! or registry `rayon` becomes available, swapping the path dependency back
+//! restores real parallelism with no source changes.
+
+#![forbid(unsafe_code)]
+
+/// Sequential re-implementations of the rayon parallel-iterator entry points.
+pub mod prelude {
+    /// `par_iter()` on shared slices (sequential fallback).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type yielded by the iterator.
+        type Item: 'a;
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` on exclusive slices (sequential fallback).
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item type yielded by the iterator.
+        type Item: 'a;
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_maps_and_collects_like_std() {
+        let mut v = vec![1, 2, 3];
+        let doubled: Vec<i32> =
+            v.par_iter_mut().enumerate().map(|(i, x)| *x * 2 + i as i32).collect();
+        assert_eq!(doubled, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn par_iter_reads_in_order() {
+        let v = vec![5, 6, 7];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 18);
+    }
+}

@@ -11,7 +11,9 @@ fn bench_coloring(c: &mut Criterion) {
     let mut group = c.benchmark_group("coloring");
     for &n in &[1_000usize, 10_000] {
         let graph = generators::erdos_renyi(n, 10.0 / (n as f64 - 1.0), 9);
-        for order in [GreedyOrder::Natural, GreedyOrder::DegreeDescending, GreedyOrder::SmallestLast] {
+        for order in
+            [GreedyOrder::Natural, GreedyOrder::DegreeDescending, GreedyOrder::SmallestLast]
+        {
             group.bench_with_input(
                 BenchmarkId::new(format!("greedy-{}", order.name()), n),
                 &graph,

@@ -29,7 +29,9 @@ fn bench_properties(c: &mut Criterion) {
     let graph = generators::erdos_renyi(50_000, 10.0 / 49_999.0, 2);
     let mut group = c.benchmark_group("properties");
     group.sample_size(20);
-    group.bench_function("csr-conversion-50k", |b| b.iter(|| black_box(CsrGraph::from_graph(&graph))));
+    group.bench_function("csr-conversion-50k", |b| {
+        b.iter(|| black_box(CsrGraph::from_graph(&graph)))
+    });
     group.bench_function("connected-components-50k", |b| {
         b.iter(|| black_box(properties::connected_components(&graph)))
     });

@@ -27,9 +27,7 @@ fn bench_mis(c: &mut Criterion) {
     let mut group = c.benchmark_group("mis");
     group.sample_size(10);
     let small = generators::erdos_renyi(45, 0.15, 44);
-    group.bench_function("exact-branch-and-bound-45", |b| {
-        b.iter(|| black_box(exact_mis(&small)))
-    });
+    group.bench_function("exact-branch-and-bound-45", |b| b.iter(|| black_box(exact_mis(&small))));
     let large = generators::erdos_renyi(50_000, 6.0 / 49_999.0, 45);
     group.bench_function("greedy-50k", |b| b.iter(|| black_box(greedy_mis(&large))));
     group.finish();

@@ -15,18 +15,26 @@ fn bench_radio(c: &mut Criterion) {
             b.iter(|| black_box(RadioNetwork::random(n, 0.02, 7)))
         });
         let network = RadioNetwork::random(n, 0.02, 7);
-        group.bench_with_input(BenchmarkId::new("tdma-degree-bound-256-slots", n), &network, |b, net| {
-            b.iter(|| {
-                let mut s = PeriodicDegreeBound::new(net.interference_graph());
-                black_box(evaluate_tdma(net, &mut s, 256))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("tdma-round-robin-256-slots", n), &network, |b, net| {
-            b.iter(|| {
-                let mut s = RoundRobinColoring::new(net.interference_graph());
-                black_box(evaluate_tdma(net, &mut s, 256))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tdma-degree-bound-256-slots", n),
+            &network,
+            |b, net| {
+                b.iter(|| {
+                    let mut s = PeriodicDegreeBound::new(net.interference_graph());
+                    black_box(evaluate_tdma(net, &mut s, 256))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tdma-round-robin-256-slots", n),
+            &network,
+            |b, net| {
+                b.iter(|| {
+                    let mut s = RoundRobinColoring::new(net.interference_graph());
+                    black_box(evaluate_tdma(net, &mut s, 256))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -8,7 +8,7 @@ use std::hint::black_box;
 use fhg_core::analysis::analyze_schedule;
 use fhg_core::prelude::*;
 use fhg_graph::generators;
-use fhg_graph::Graph;
+use fhg_graph::{properties, CsrGraph, Graph, HappySet};
 
 fn test_graph(n: usize) -> Graph {
     generators::erdos_renyi(n, 8.0 / (n as f64 - 1.0), 42)
@@ -95,5 +95,78 @@ fn bench_full_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_construction, bench_per_holiday, bench_full_analysis);
+/// The engine comparison behind the `HappySet` refactor: drive the §5
+/// periodic degree-bound scheduler over a 4096-holiday horizon on an
+/// `erdos_renyi(10_000, 0.001)` conflict graph through both scheduler APIs.
+///
+/// The `emit` pair measures the APIs themselves — `happy_set(t)` allocates
+/// and converts a fresh `Vec<NodeId>` per holiday, `fill_happy_set(t, &buf)`
+/// reuses one `HappySet` with zero allocations per holiday after warm-up.
+/// The `verified` pair additionally checks every holiday's independence the
+/// way `analyze_schedule` does: the Vec path with the slice-based
+/// `properties::is_independent_set` (one fresh bit set per holiday), the
+/// fill path with branchless CSR word probes on the reused buffer.
+fn bench_happy_set_engine(c: &mut Criterion) {
+    let graph = generators::erdos_renyi(10_000, 0.001, 42);
+    let csr = CsrGraph::from_graph(&graph);
+    const HORIZON: u64 = 4096;
+    let mut group = c.benchmark_group("happy-set-engine-10k-4096");
+    group.sample_size(10);
+    group.bench_function("emit/vec", |b| {
+        let mut s = PeriodicDegreeBound::new(&graph);
+        b.iter(|| {
+            let mut total = 0usize;
+            for t in 0..HORIZON {
+                total += black_box(s.happy_set(t)).len();
+            }
+            total
+        })
+    });
+    group.bench_function("emit/fill", |b| {
+        let mut s = PeriodicDegreeBound::new(&graph);
+        let mut buf = HappySet::new(graph.node_count());
+        b.iter(|| {
+            let mut total = 0usize;
+            for t in 0..HORIZON {
+                s.fill_happy_set(t, &mut buf);
+                total += black_box(&buf).len();
+            }
+            total
+        })
+    });
+    group.bench_function("verified/vec", |b| {
+        let mut s = PeriodicDegreeBound::new(&graph);
+        b.iter(|| {
+            let mut independent = true;
+            for t in 0..HORIZON {
+                let happy = s.happy_set(t);
+                independent &= properties::is_independent_set(&graph, &happy);
+                black_box(&happy);
+            }
+            assert!(independent);
+        })
+    });
+    group.bench_function("verified/fill", |b| {
+        let mut s = PeriodicDegreeBound::new(&graph);
+        let mut buf = HappySet::new(graph.node_count());
+        b.iter(|| {
+            let mut independent = true;
+            for t in 0..HORIZON {
+                s.fill_happy_set(t, &mut buf);
+                independent &= csr.is_independent(buf.as_bitset());
+                black_box(&buf);
+            }
+            assert!(independent);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_per_holiday,
+    bench_full_analysis,
+    bench_happy_set_engine
+);
 criterion_main!(benches);

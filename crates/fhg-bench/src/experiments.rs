@@ -140,10 +140,9 @@ pub fn e2_elias_omega_periods() -> Vec<Table> {
         let mean_period = periods.iter().sum::<u64>() as f64 / periods.len().max(1) as f64;
         let horizon = 1024;
         let analysis = analyze_schedule(&graph, &mut sched, horizon);
-        let all_periodic = analysis
-            .per_node
-            .iter()
-            .all(|n| n.observed_period.is_none() || Some(n.observed_period.unwrap()) == sched.period(n.node));
+        let all_periodic = analysis.per_node.iter().all(|n| {
+            n.observed_period.is_none() || Some(n.observed_period.unwrap()) == sched.period(n.node)
+        });
         ablation.push(&[
             name.to_string(),
             max_color.to_string(),
@@ -326,10 +325,10 @@ pub fn e7_first_come_first_grab() -> Vec<Table> {
         &["family", "degree bucket", "parents", "mean frequency", "mean 1/(d+1)", "ratio"],
     );
     let horizon = 20_000u64;
-    for (family, graph) in
-        [(Family::ErdosRenyi, Family::ErdosRenyi.generate(300, 6.0, 23)),
-         (Family::BarabasiAlbert, Family::BarabasiAlbert.generate(300, 6.0, 23))]
-    {
+    for (family, graph) in [
+        (Family::ErdosRenyi, Family::ErdosRenyi.generate(300, 6.0, 23)),
+        (Family::BarabasiAlbert, Family::BarabasiAlbert.generate(300, 6.0, 23)),
+    ] {
         let mut scheduler = FirstComeFirstGrab::new(&graph, 31);
         let analysis = analyze_schedule(&graph, &mut scheduler, horizon);
         // Bucket parents by degree range.
@@ -340,8 +339,9 @@ pub fn e7_first_come_first_grab() -> Vec<Table> {
             if members.is_empty() {
                 continue;
             }
-            let mean_freq = members.iter().map(|n| n.happy_count as f64 / horizon as f64).sum::<f64>()
-                / members.len() as f64;
+            let mean_freq =
+                members.iter().map(|n| n.happy_count as f64 / horizon as f64).sum::<f64>()
+                    / members.len() as f64;
             let mean_target = members.iter().map(|n| 1.0 / (n.degree as f64 + 1.0)).sum::<f64>()
                 / members.len() as f64;
             let hi_label = if hi == usize::MAX { "+".to_string() } else { hi.to_string() };
@@ -548,7 +548,10 @@ mod tests {
         let md = tables[1].to_markdown();
         let paper_row: Vec<&str> =
             md.lines().find(|l| l.contains("decreasing degree")).unwrap().split('|').collect();
-        assert!(paper_row[2].trim().parse::<u64>().unwrap() == 0, "paper order must be conflict-free");
+        assert!(
+            paper_row[2].trim().parse::<u64>().unwrap() == 0,
+            "paper order must be conflict-free"
+        );
         assert!(paper_row[3].trim().parse::<u64>().unwrap() == 0, "paper order must never fail");
     }
 
@@ -556,7 +559,9 @@ mod tests {
     fn e2_analytic_table_never_exceeds_the_bound() {
         let tables = e2_elias_omega_periods();
         let md = tables[0].to_markdown();
-        for line in md.lines().filter(|l| l.starts_with('|') && !l.contains("colour") && !l.contains("---")) {
+        for line in
+            md.lines().filter(|l| l.starts_with('|') && !l.contains("colour") && !l.contains("---"))
+        {
             let cells: Vec<&str> = line.split('|').map(str::trim).collect();
             if cells.len() >= 6 && !cells[5].is_empty() {
                 if let Ok(ratio) = cells[5].parse::<f64>() {

@@ -54,11 +54,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {}\n", self.title);
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<width$}", width = w))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<width$}", width = w)).collect();
             format!("| {} |", padded.join(" | "))
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));

@@ -1,11 +1,10 @@
 //! Bit-level codeword representation and streaming reads.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A finite bit string, stored most-significant-bit first (the order in which
 /// a codeword is written on paper).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Codeword {
     bits: Vec<bool>,
 }
@@ -24,11 +23,16 @@ impl Codeword {
     /// Parses a codeword from a string of `'0'`/`'1'` characters; any other
     /// character (spaces are common in the paper's examples) is skipped.
     pub fn parse(s: &str) -> Self {
-        Codeword { bits: s.chars().filter_map(|c| match c {
-            '0' => Some(false),
-            '1' => Some(true),
-            _ => None,
-        }).collect() }
+        Codeword {
+            bits: s
+                .chars()
+                .filter_map(|c| match c {
+                    '0' => Some(false),
+                    '1' => Some(true),
+                    _ => None,
+                })
+                .collect(),
+        }
     }
 
     /// The standard binary representation `B(n)` of a positive integer: most
@@ -275,7 +279,11 @@ mod tests {
                 let codestr: String =
                     code.reversed().bits().iter().map(|&b| if b { '1' } else { '0' }).collect();
                 let expected = bin.ends_with(&codestr);
-                assert_eq!(code.matches_holiday(holiday), expected, "value {value} holiday {holiday}");
+                assert_eq!(
+                    code.matches_holiday(holiday),
+                    expected,
+                    "value {value} holiday {holiday}"
+                );
             }
         }
     }

@@ -6,13 +6,11 @@
 //! implemented as ablation points (they are also prefix-free, so they also
 //! give correct — just longer-period — schedules).
 
-use serde::{Deserialize, Serialize};
-
 use crate::bits::{BitReader, Codeword};
 use crate::PrefixFreeCode;
 
 /// Which Elias code to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EliasKind {
     /// Elias gamma: unary length prefix + binary value; `|γ(n)| = 2⌊log n⌋ + 1`.
     Gamma,
@@ -24,7 +22,7 @@ pub enum EliasKind {
 }
 
 /// An Elias prefix-free code of a particular [`EliasKind`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EliasCode {
     kind: EliasKind,
 }
@@ -64,11 +62,8 @@ impl EliasCode {
 
     fn decode_gamma(reader: &mut BitReader<'_>) -> Option<u64> {
         let mut zeros = 0usize;
-        loop {
-            match reader.read_bit()? {
-                false => zeros += 1,
-                true => break,
-            }
+        while !reader.read_bit()? {
+            zeros += 1;
         }
         if zeros > 63 {
             return None;
@@ -183,8 +178,21 @@ mod tests {
 
     /// The paper's Appendix B table: omega codes of 1..=15.
     const PAPER_OMEGA_TABLE: [&str; 15] = [
-        "0", "10 0", "11 0", "10 100 0", "10 101 0", "10 110 0", "10 111 0", "11 1000 0",
-        "11 1001 0", "11 1010 0", "11 1011 0", "11 1100 0", "11 1101 0", "11 1110 0", "11 1111 0",
+        "0",
+        "10 0",
+        "11 0",
+        "10 100 0",
+        "10 101 0",
+        "10 110 0",
+        "10 111 0",
+        "11 1000 0",
+        "11 1001 0",
+        "11 1010 0",
+        "11 1011 0",
+        "11 1100 0",
+        "11 1101 0",
+        "11 1110 0",
+        "11 1111 0",
     ];
 
     #[test]

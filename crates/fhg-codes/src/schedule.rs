@@ -9,13 +9,11 @@
 //! disjoint, and each colour's schedule is perfectly periodic with period
 //! `2^{len(c)}`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::PrefixFreeCode;
 
 /// The perfectly periodic slot owned by one colour: all holidays
 /// `≡ offset (mod period)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SlotAssignment {
     /// Residue of the owned holidays.
     pub offset: u64,

@@ -17,9 +17,7 @@ use crate::coloring::Coloring;
 /// Isolated nodes receive colour 1.
 pub fn two_coloring(graph: &Graph) -> Option<Coloring> {
     let sides = properties::bipartition(graph)?;
-    Some(Coloring::from_vec_unchecked(
-        sides.into_iter().map(|s| u32::from(s) + 1).collect(),
-    ))
+    Some(Coloring::from_vec_unchecked(sides.into_iter().map(|s| u32::from(s) + 1).collect()))
 }
 
 #[cfg(test)]

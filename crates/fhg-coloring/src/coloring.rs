@@ -1,7 +1,6 @@
 //! The [`Coloring`] type: a complete proper-colouring candidate with
 //! validation helpers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use fhg_graph::{Graph, NodeId};
@@ -41,7 +40,7 @@ impl fmt::Display for ColoringError {
 impl std::error::Error for ColoringError {}
 
 /// A complete assignment of a positive colour to every node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Coloring {
     colors: Vec<Color>,
 }
@@ -142,11 +141,7 @@ impl Coloring {
     /// The nodes of a given colour (a "colour class"), which is always an
     /// independent set in a proper colouring.
     pub fn color_class(&self, color: Color) -> Vec<NodeId> {
-        self.colors
-            .iter()
-            .enumerate()
-            .filter_map(|(u, &c)| (c == color).then_some(u))
-            .collect()
+        self.colors.iter().enumerate().filter_map(|(u, &c)| (c == color).then_some(u)).collect()
     }
 
     /// Consumes self, returning the colour vector.
@@ -186,10 +181,7 @@ mod tests {
     #[test]
     fn conflicts_rejected() {
         let g = path(3);
-        assert_eq!(
-            Coloring::new(&g, vec![1, 1, 2]),
-            Err(ColoringError::Conflict(0, 1))
-        );
+        assert_eq!(Coloring::new(&g, vec![1, 1, 2]), Err(ColoringError::Conflict(0, 1)));
     }
 
     #[test]

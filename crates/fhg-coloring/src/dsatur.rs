@@ -70,7 +70,11 @@ mod tests {
         ] {
             let c = dsatur(&g);
             assert!(c.is_proper(&g));
-            assert!(c.max_color() <= 2, "DSATUR used {} colours on a bipartite graph", c.max_color());
+            assert!(
+                c.max_color() <= 2,
+                "DSATUR used {} colours on a bipartite graph",
+                c.max_color()
+            );
         }
     }
 

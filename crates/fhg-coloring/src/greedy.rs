@@ -14,7 +14,6 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use fhg_graph::{properties, Graph, NodeId};
 
@@ -23,7 +22,7 @@ use crate::recolor::smallest_free_color;
 use crate::Color;
 
 /// Node orderings for greedy colouring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GreedyOrder {
     /// Nodes in id order `0, 1, 2, …`.
     Natural,

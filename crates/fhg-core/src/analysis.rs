@@ -15,15 +15,25 @@
 //! The analysis also verifies, holiday by holiday, that every happy set is an
 //! independent set of the conflict graph — the correctness requirement of
 //! Definition 2.1.
+//!
+//! The driver loop runs on the zero-allocation engine path: one reused
+//! [`HappySet`] buffer is filled per holiday via
+//! [`Scheduler::fill_happy_set`], independence is verified word-wise against
+//! dense adjacency rows ([`properties::AdjacencyBitmap`]) on graphs up to
+//! [`DENSE_ADJACENCY_LIMIT`] nodes and by CSR neighbour probes beyond that,
+//! and the streak accounting iterates set bits directly.
 
-use serde::{Deserialize, Serialize};
-
-use fhg_graph::{properties, Graph, NodeId};
+use fhg_graph::{properties, CsrGraph, Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
 
+/// Largest node count for which the analysis materialises dense adjacency
+/// bit rows (`n²/8` bytes — 2 MiB at the limit) to verify independence with
+/// whole-word ANDs; larger graphs fall back to CSR neighbour probes.
+pub const DENSE_ADJACENCY_LIMIT: usize = 4096;
+
 /// Per-node measurements over the analysed horizon.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeAnalysis {
     /// The node.
     pub node: NodeId,
@@ -44,7 +54,7 @@ pub struct NodeAnalysis {
 }
 
 /// Whole-schedule measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleAnalysis {
     /// Name of the analysed scheduler.
     pub scheduler: String,
@@ -80,9 +90,7 @@ impl ScheduleAnalysis {
         self.per_node
             .iter()
             .filter(|n| {
-                scheduler
-                    .unhappiness_bound(n.node)
-                    .is_some_and(|bound| n.max_unhappiness >= bound)
+                scheduler.unhappiness_bound(n.node).is_some_and(|bound| n.max_unhappiness >= bound)
             })
             .map(|n| n.node)
             .collect()
@@ -129,14 +137,28 @@ pub fn analyze_schedule<S: Scheduler + ?Sized>(
     let mut all_independent = true;
     let mut total_happiness = 0u64;
 
+    // The reused engine buffer plus the independence checker: dense
+    // word-wise adjacency rows for small graphs, CSR probes for large ones.
+    let mut happy = HappySet::new(scheduler.node_count());
+    let dense =
+        (n <= DENSE_ADJACENCY_LIMIT).then(|| properties::AdjacencyBitmap::from_graph(graph));
+    let csr = if dense.is_none() { Some(CsrGraph::from_graph(graph)) } else { None };
+
     for offset in 0..horizon {
         let t = start + offset;
-        let happy = scheduler.happy_set(t);
-        if all_independent && !properties::is_independent_set(graph, &happy) {
-            all_independent = false;
+        scheduler.fill_happy_set(t, &mut happy);
+        if all_independent {
+            let independent = match (&dense, &csr) {
+                (Some(adj), _) => adj.is_independent(happy.as_bitset()),
+                (None, Some(csr)) => csr.is_independent(happy.as_bitset()),
+                (None, None) => unreachable!("one independence checker is always built"),
+            };
+            if !independent {
+                all_independent = false;
+            }
         }
         total_happiness += happy.len() as u64;
-        for &p in &happy {
+        for p in happy.iter() {
             if p >= n {
                 all_independent = false;
                 continue;
@@ -172,11 +194,8 @@ pub fn analyze_schedule<S: Scheduler + ?Sized>(
             };
             let max_unhappiness = max_streak[p].max(trailing);
             let observed_period = if gaps_uniform[p] { common_gap[p] } else { None };
-            let mean_gap = if gap_count[p] > 0 {
-                gap_sum[p] as f64 / gap_count[p] as f64
-            } else {
-                f64::NAN
-            };
+            let mean_gap =
+                if gap_count[p] > 0 { gap_sum[p] as f64 / gap_count[p] as f64 } else { f64::NAN };
             NodeAnalysis {
                 node: p,
                 degree: graph.degree(p),
@@ -193,7 +212,11 @@ pub fn analyze_schedule<S: Scheduler + ?Sized>(
     ScheduleAnalysis {
         scheduler: scheduler.name().to_string(),
         horizon,
-        mean_happy_set_size: if horizon == 0 { 0.0 } else { total_happiness as f64 / horizon as f64 },
+        mean_happy_set_size: if horizon == 0 {
+            0.0
+        } else {
+            total_happiness as f64 / horizon as f64
+        },
         per_node,
         all_happy_sets_independent: all_independent,
         never_happy,
@@ -213,8 +236,16 @@ mod tests {
     }
 
     impl Scheduler for Scripted {
-        fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
-            self.sets.get(t as usize).cloned().unwrap_or_default()
+        fn node_count(&self) -> usize {
+            // Large enough for any scripted member, including the
+            // deliberately out-of-range ones the analysis must flag.
+            self.sets.iter().flatten().max().map_or(0, |&p| p + 1)
+        }
+        fn fill_happy_set(&mut self, t: u64, out: &mut fhg_graph::HappySet) {
+            out.reset(self.node_count());
+            for &p in self.sets.get(t as usize).map_or(&[][..], Vec::as_slice) {
+                out.insert(p);
+            }
         }
         fn first_holiday(&self) -> u64 {
             0
@@ -238,9 +269,7 @@ mod tests {
         let g = path(3);
         // Node 0 happy at offsets 1, 3, 5 (period 2); node 1 never happy;
         // node 2 happy only at offset 0.
-        let mut s = Scripted {
-            sets: vec![vec![2], vec![0], vec![], vec![0], vec![], vec![0]],
-        };
+        let mut s = Scripted { sets: vec![vec![2], vec![0], vec![], vec![0], vec![], vec![0]] };
         let a = analyze_schedule(&g, &mut s, 6);
         assert_eq!(a.scheduler, "scripted");
         assert_eq!(a.horizon, 6);

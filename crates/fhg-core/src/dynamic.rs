@@ -15,7 +15,7 @@
 
 use fhg_codes::{log_star, phi, CodeSchedule, EliasCode};
 use fhg_coloring::{greedy_coloring, recolor_node, Color, GreedyOrder};
-use fhg_graph::{EdgeEvent, EdgeEventKind, Graph, GraphError, NodeId};
+use fhg_graph::{EdgeEvent, EdgeEventKind, Graph, GraphError, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
 
@@ -122,9 +122,7 @@ impl DynamicColorBound {
     /// Applies a pre-recorded edge event.  Returns the recoloured nodes.
     pub fn apply_event(&mut self, event: EdgeEvent) -> Result<Vec<NodeId>, GraphError> {
         match event.kind {
-            EdgeEventKind::Insert => {
-                Ok(self.insert_edge(event.u, event.v)?.into_iter().collect())
-            }
+            EdgeEventKind::Insert => Ok(self.insert_edge(event.u, event.v)?.into_iter().collect()),
             EdgeEventKind::Delete => self.delete_edge(event.u, event.v),
         }
     }
@@ -137,10 +135,17 @@ impl DynamicColorBound {
 }
 
 impl Scheduler for DynamicColorBound {
-    fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
-        (0..self.colors.len())
-            .filter(|&p| self.schedule.is_happy(u64::from(self.colors[p]), t))
-            .collect()
+    fn node_count(&self) -> usize {
+        self.colors.len()
+    }
+
+    fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
+        out.reset(self.colors.len());
+        for (p, &c) in self.colors.iter().enumerate() {
+            if self.schedule.is_happy(u64::from(c), t) {
+                out.insert(p);
+            }
+        }
     }
 
     fn name(&self) -> &'static str {

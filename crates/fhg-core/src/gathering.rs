@@ -6,12 +6,10 @@
 //! this crate produce happy sets directly; this module provides the
 //! orientation view and the checks connecting the two.
 
-use serde::{Deserialize, Serialize};
-
 use fhg_graph::{properties, FixedBitSet, Graph, NodeId};
 
 /// One holiday's outcome: which parents are happy, plus the holiday index.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Gathering {
     /// The holiday index this gathering belongs to.
     pub holiday: u64,

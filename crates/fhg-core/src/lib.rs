@@ -41,6 +41,11 @@ pub use analysis::{analyze_schedule, NodeAnalysis, ScheduleAnalysis};
 pub use gathering::{orientation_from_happy_set, Gathering};
 pub use scheduler::Scheduler;
 
+/// The zero-allocation per-holiday buffer filled by
+/// [`Scheduler::fill_happy_set`] (defined in [`fhg_graph::happy_set`] so the
+/// distributed layer can fill it too).
+pub use fhg_graph::HappySet;
+
 /// Commonly used items, re-exported for `use fhg_core::prelude::*`.
 pub mod prelude {
     pub use crate::analysis::{analyze_schedule, ScheduleAnalysis};
@@ -49,4 +54,5 @@ pub mod prelude {
         DistributedDegreeBound, FirstComeFirstGrab, PeriodicDegreeBound, PhasedGreedy,
         PrefixCodeScheduler, RoundRobinColoring, TrivialSequential,
     };
+    pub use fhg_graph::HappySet;
 }

@@ -103,7 +103,7 @@ pub fn max_packable_colors(f: impl Fn(u64) -> u64, cap: u64) -> u64 {
 
 /// Summary of the Theorem 4.1 validation for one period function — the row
 /// format of experiment E3.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LowerBoundRow {
     /// Name of the period function.
     pub function: String,
@@ -188,9 +188,8 @@ mod tests {
         let offsets = greedy_offset_assignment(&periods).expect("packable");
         // Exhaustively verify disjointness over one full hyper-period.
         for t in 0..16u64 {
-            let owners: Vec<usize> = (0..periods.len())
-                .filter(|&i| t % periods[i] == offsets[i] % periods[i])
-                .collect();
+            let owners: Vec<usize> =
+                (0..periods.len()).filter(|&i| t % periods[i] == offsets[i] % periods[i]).collect();
             assert!(owners.len() <= 1, "holiday {t} owned by {owners:?}");
         }
     }

@@ -1,22 +1,57 @@
 //! The [`Scheduler`] trait: the common interface of every algorithm in the
 //! paper.
 //!
-//! A scheduler is queried holiday by holiday and returns the set of happy
-//! parents.  Stateful schedulers (the §3 phased-greedy algorithm and the
-//! random baseline) must be queried with consecutive holiday numbers starting
-//! from [`Scheduler::first_holiday`]; perfectly periodic schedulers (§4, §5)
-//! are pure functions of the holiday number.
+//! A scheduler is queried holiday by holiday and produces the set of happy
+//! parents.  The engine interface is [`Scheduler::fill_happy_set`], which
+//! writes into a caller-provided [`HappySet`] buffer and performs **zero heap
+//! allocations per holiday** once the buffer has warmed up to the right
+//! capacity; [`Scheduler::happy_set`] is a compatibility shim that allocates
+//! a fresh sorted `Vec<NodeId>` on every call.
+//!
+//! Stateful schedulers (the §3 phased-greedy algorithm and the random
+//! baseline) must be queried with consecutive holiday numbers starting from
+//! [`Scheduler::first_holiday`] — through *either* entry point, which share
+//! the same internal state; perfectly periodic schedulers (§4, §5) are pure
+//! functions of the holiday number.
 
-use fhg_graph::NodeId;
+use fhg_graph::{HappySet, NodeId};
 
 /// A (possibly stateful) holiday-gathering scheduler.
 pub trait Scheduler {
-    /// The happy parents of holiday `t`.
+    /// Number of parents in the conflict graph this scheduler was built for.
     ///
-    /// For stateful schedulers this must be called with consecutive values of
-    /// `t` starting at [`Scheduler::first_holiday`]; perfectly periodic
-    /// schedulers accept any `t`.
-    fn happy_set(&mut self, t: u64) -> Vec<NodeId>;
+    /// [`fill_happy_set`](Scheduler::fill_happy_set) resets its output buffer
+    /// to exactly this capacity.
+    fn node_count(&self) -> usize;
+
+    /// Writes the happy parents of holiday `t` into `out`.
+    ///
+    /// # Contract
+    ///
+    /// * Implementations begin with `out.reset(self.node_count())`, so the
+    ///   caller never has to clear the buffer between holidays and may reuse
+    ///   one buffer across different schedulers.  `reset` only reallocates
+    ///   when the capacity changes, so driving one scheduler over a horizon
+    ///   allocates nothing after the first call.
+    /// * Stateful schedulers (those with
+    ///   [`rounds_per_holiday`](Scheduler::rounds_per_holiday) `> 0` or
+    ///   internal randomness) must be called with **consecutive** values of
+    ///   `t` starting at [`first_holiday`](Scheduler::first_holiday); calls
+    ///   advance the same state as [`happy_set`](Scheduler::happy_set), so
+    ///   the two entry points can be mixed but not replayed.  Perfectly
+    ///   periodic schedulers accept any `t` in any order.
+    fn fill_happy_set(&mut self, t: u64, out: &mut HappySet);
+
+    /// The happy parents of holiday `t` as a freshly allocated sorted `Vec`.
+    ///
+    /// Compatibility shim over [`fill_happy_set`](Scheduler::fill_happy_set);
+    /// prefer the buffer API on hot paths.  The consecutive-`t` requirement
+    /// for stateful schedulers applies here too.
+    fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
+        let mut out = HappySet::new(self.node_count());
+        self.fill_happy_set(t, &mut out);
+        out.to_vec()
+    }
 
     /// The first holiday index this scheduler is defined for (the paper
     /// starts at 1; purely periodic schedulers also accept 0).
@@ -74,11 +109,15 @@ mod tests {
     }
 
     impl Scheduler for EveryOther {
-        fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
-            if t % 2 == 0 {
-                (0..self.n).collect()
-            } else {
-                Vec::new()
+        fn node_count(&self) -> usize {
+            self.n
+        }
+        fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
+            out.reset(self.n);
+            if t.is_multiple_of(2) {
+                for p in 0..self.n {
+                    out.insert(p);
+                }
             }
         }
         fn name(&self) -> &'static str {
@@ -101,6 +140,20 @@ mod tests {
         assert_eq!(s.first_holiday(), 1);
         assert_eq!(s.init_rounds(), 0);
         assert_eq!(s.rounds_per_holiday(), 0);
+        assert_eq!(s.node_count(), 3);
+    }
+
+    #[test]
+    fn happy_set_shim_matches_fill() {
+        let mut s = EveryOther { n: 4 };
+        let via_vec = s.happy_set(2);
+        let mut buf = HappySet::new(0); // wrong capacity on purpose
+        s.fill_happy_set(2, &mut buf);
+        assert_eq!(buf.capacity(), 4, "fill must reset the buffer to node_count");
+        assert_eq!(via_vec, buf.to_vec());
+        assert_eq!(via_vec, vec![0, 1, 2, 3]);
+        s.fill_happy_set(3, &mut buf);
+        assert!(buf.is_empty(), "fill must clear previous members");
     }
 
     #[test]
@@ -119,6 +172,9 @@ mod tests {
         let mut boxed: Box<dyn Scheduler> = Box::new(EveryOther { n: 1 });
         assert_eq!(boxed.name(), "every-other");
         assert_eq!(boxed.happy_set(2), vec![0]);
+        let mut buf = HappySet::new(1);
+        boxed.fill_happy_set(2, &mut buf);
+        assert_eq!(buf.to_vec(), vec![0]);
         let sets = boxed.run(2);
         assert_eq!(sets.len(), 2);
     }

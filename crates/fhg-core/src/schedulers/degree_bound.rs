@@ -12,13 +12,21 @@
 
 use fhg_coloring::{restricted_greedy_slot, slot_exponent};
 use fhg_distributed::{distributed_slot_assignment, SlotAssignmentOutcome};
-use fhg_graph::{Graph, NodeId};
+use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
+use crate::schedulers::residue::ResidueTable;
 
-/// Shared happy-set logic for the two variants.
-fn happy_at(slots: &[u64], exponents: &[u32], t: u64) -> Vec<NodeId> {
-    (0..slots.len()).filter(|&p| t % (1u64 << exponents[p]) == slots[p]).collect()
+/// Shared happy-set fallback for the two variants, used when the word-packed
+/// [`ResidueTable`] would exceed its memory budget.  Masks replace the
+/// hardware divide (`periods are powers of two`).
+fn fill_happy_at(slots: &[u64], exponents: &[u32], t: u64, out: &mut HappySet) {
+    out.reset(slots.len());
+    for (p, (&slot, &exp)) in slots.iter().zip(exponents).enumerate() {
+        if t & ((1u64 << exp) - 1) == slot {
+            out.insert(p);
+        }
+    }
 }
 
 /// The sequential §5.1 periodic degree-bound scheduler.
@@ -27,6 +35,8 @@ pub struct PeriodicDegreeBound {
     slots: Vec<u64>,
     exponents: Vec<u32>,
     degrees: Vec<usize>,
+    /// Word-packed emission rows; `None` when over the memory budget.
+    table: Option<ResidueTable>,
 }
 
 /// The slot-assignment order for the sequential §5.1 algorithm.
@@ -79,11 +89,10 @@ impl PeriodicDegreeBound {
             let slot = restricted_greedy_slot(graph, &assigned, u, exponents[u])?;
             assigned[u] = Some(slot);
         }
-        Some(PeriodicDegreeBound {
-            slots: assigned.into_iter().map(|s| s.expect("all nodes assigned")).collect(),
-            exponents,
-            degrees: graph.degrees(),
-        })
+        let slots: Vec<u64> =
+            assigned.into_iter().map(|s| s.expect("all nodes assigned")).collect();
+        let table = ResidueTable::build(&slots, &exponents);
+        Some(PeriodicDegreeBound { slots, exponents, degrees: graph.degrees(), table })
     }
 
     /// The slot (residue) of node `p`.
@@ -107,8 +116,15 @@ impl PeriodicDegreeBound {
 }
 
 impl Scheduler for PeriodicDegreeBound {
-    fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
-        happy_at(&self.slots, &self.exponents, t)
+    fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
+        match &self.table {
+            Some(table) => table.fill(t, out),
+            None => fill_happy_at(&self.slots, &self.exponents, t, out),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -136,15 +152,16 @@ impl Scheduler for PeriodicDegreeBound {
 pub struct DistributedDegreeBound {
     outcome: SlotAssignmentOutcome,
     degrees: Vec<usize>,
+    /// Word-packed emission rows; `None` when over the memory budget.
+    table: Option<ResidueTable>,
 }
 
 impl DistributedDegreeBound {
     /// Runs the §5.2 phased distributed slot assignment with the given seed.
     pub fn new(graph: &Graph, seed: u64) -> Self {
-        DistributedDegreeBound {
-            outcome: distributed_slot_assignment(graph, seed),
-            degrees: graph.degrees(),
-        }
+        let outcome = distributed_slot_assignment(graph, seed);
+        let table = ResidueTable::build(&outcome.slots, &outcome.exponents);
+        DistributedDegreeBound { outcome, degrees: graph.degrees(), table }
     }
 
     /// The underlying slot-assignment outcome (slots, exponents, round counts).
@@ -154,8 +171,15 @@ impl DistributedDegreeBound {
 }
 
 impl Scheduler for DistributedDegreeBound {
-    fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
-        happy_at(&self.outcome.slots, &self.outcome.exponents, t)
+    fn node_count(&self) -> usize {
+        self.outcome.slots.len()
+    }
+
+    fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
+        match &self.table {
+            Some(table) => table.fill(t, out),
+            None => self.outcome.fill_hosts(t, out),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -198,8 +222,13 @@ mod tests {
                 let d = node.degree as u64;
                 let period = s.period(node.node).unwrap();
                 if d > 0 {
-                    assert!(period <= 2 * d, "node {}: period {period} > 2d = {}", node.node, 2 * d);
-                    assert!(period >= d + 1, "period must exceed the degree");
+                    assert!(
+                        period <= 2 * d,
+                        "node {}: period {period} > 2d = {}",
+                        node.node,
+                        2 * d
+                    );
+                    assert!(period > d, "period must exceed the degree");
                 }
                 if period <= 512 / 2 {
                     assert_eq!(node.observed_period, Some(period), "node {}", node.node);

@@ -13,7 +13,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use fhg_graph::{Graph, NodeId};
+use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
 
@@ -22,12 +22,22 @@ use crate::scheduler::Scheduler;
 pub struct FirstComeFirstGrab {
     graph: Graph,
     rng: ChaCha8Rng,
+    /// Reusable wake-up order scratch (a permutation of the nodes).
+    order: Vec<NodeId>,
+    /// Reusable inverse permutation: `rank[p]` is `p`'s wake-up position.
+    rank: Vec<usize>,
 }
 
 impl FirstComeFirstGrab {
     /// Creates the baseline with a deterministic seed.
     pub fn new(graph: &Graph, seed: u64) -> Self {
-        FirstComeFirstGrab { graph: graph.clone(), rng: ChaCha8Rng::seed_from_u64(seed) }
+        let n = graph.node_count();
+        FirstComeFirstGrab {
+            graph: graph.clone(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            order: (0..n).collect(),
+            rank: vec![0; n],
+        }
     }
 
     /// The empirical happiness probability `1/(deg(p)+1)` the process targets.
@@ -37,19 +47,25 @@ impl FirstComeFirstGrab {
 }
 
 impl Scheduler for FirstComeFirstGrab {
-    fn happy_set(&mut self, _t: u64) -> Vec<NodeId> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn fill_happy_set(&mut self, _t: u64, out: &mut HappySet) {
         let n = self.graph.node_count();
-        // Draw a uniformly random wake-up order.
-        let mut order: Vec<NodeId> = (0..n).collect();
-        order.shuffle(&mut self.rng);
-        let mut rank = vec![0usize; n];
-        for (r, &p) in order.iter().enumerate() {
-            rank[p] = r;
+        out.reset(n);
+        // Draw a uniformly random wake-up order (the scratch permutation from
+        // the previous holiday is a fine starting point for the shuffle).
+        self.order.shuffle(&mut self.rng);
+        for (r, &p) in self.order.iter().enumerate() {
+            self.rank[p] = r;
         }
         // A parent is happy iff it wakes before every in-law.
-        (0..n)
-            .filter(|&p| self.graph.neighbors(p).iter().all(|&q| rank[p] < rank[q]))
-            .collect()
+        for p in 0..n {
+            if self.graph.neighbors(p).iter().all(|&q| self.rank[p] < self.rank[q]) {
+                out.insert(p);
+            }
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -19,6 +19,7 @@ pub mod degree_bound;
 pub mod first_grab;
 pub mod phased_greedy;
 pub mod prefix_code;
+pub mod residue;
 pub mod round_robin;
 pub mod trivial;
 

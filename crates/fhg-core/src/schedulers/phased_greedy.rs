@@ -14,7 +14,7 @@
 
 use fhg_coloring::{greedy_coloring, Coloring, GreedyOrder};
 use fhg_distributed::johansson_coloring;
-use fhg_graph::{Graph, NodeId};
+use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
 
@@ -29,6 +29,9 @@ pub struct PhasedGreedy {
     next_holiday: u64,
     /// Rounds charged to the distributed initialisation (0 when sequential).
     init_rounds: u64,
+    /// Reusable recolouring scratch (one flag per candidate colour offset,
+    /// max degree + 1 entries), so no holiday allocates.
+    used_offsets: Vec<bool>,
 }
 
 impl PhasedGreedy {
@@ -50,6 +53,7 @@ impl PhasedGreedy {
             "initial colouring must satisfy colour <= degree + 1"
         );
         PhasedGreedy {
+            used_offsets: vec![false; graph.max_degree() + 1],
             graph: graph.clone(),
             colors: coloring.as_slice().iter().map(|&c| u64::from(c)).collect(),
             next_holiday: 1,
@@ -73,11 +77,13 @@ impl PhasedGreedy {
     }
 
     /// Greedy recolouring rule of §3: the smallest colour greater than
-    /// `holiday` not used by any neighbour of `p`.
-    fn recolor(&self, p: NodeId, holiday: u64) -> u64 {
+    /// `holiday` not used by any neighbour of `p`.  Uses the reusable
+    /// `used_offsets` scratch; only the first `deg(p) + 1` entries are
+    /// touched (and re-cleared before returning).
+    fn recolor(&mut self, p: NodeId, holiday: u64) -> u64 {
         let neighbors = self.graph.neighbors(p);
         let window = neighbors.len() + 1;
-        let mut used = vec![false; window];
+        let used = &mut self.used_offsets[..window];
         for &v in neighbors {
             let c = self.colors[v];
             if c > holiday && (c - holiday) as usize <= window {
@@ -85,25 +91,36 @@ impl PhasedGreedy {
             }
         }
         let offset = used.iter().position(|&b| !b).unwrap_or(window - 1);
+        used.fill(false);
         holiday + offset as u64 + 1
     }
 }
 
 impl Scheduler for PhasedGreedy {
-    fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
         assert_eq!(
             t, self.next_holiday,
             "PhasedGreedy is stateful: holidays must be executed consecutively \
              (expected {}, got {t})",
             self.next_holiday
         );
-        let happy: Vec<NodeId> =
-            self.graph.nodes().filter(|&p| self.colors[p] == t).collect();
-        for &p in &happy {
-            self.colors[p] = self.recolor(p, t);
+        out.reset(self.graph.node_count());
+        for p in self.graph.nodes() {
+            if self.colors[p] == t {
+                out.insert(p);
+            }
+        }
+        // Recolour in increasing node order, matching the sequential rule:
+        // later happy nodes see the colours earlier ones just picked.
+        for p in out.iter() {
+            let c = self.recolor(p, t);
+            self.colors[p] = c;
         }
         self.next_holiday += 1;
-        happy
     }
 
     fn name(&self) -> &'static str {

@@ -11,9 +11,10 @@
 
 use fhg_codes::{CodeSchedule, EliasCode, PrefixFreeCode, SlotAssignment, UnaryCode};
 use fhg_coloring::{greedy_coloring, Coloring, GreedyOrder};
-use fhg_graph::{Graph, NodeId};
+use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
+use crate::schedulers::residue::ResidueTable;
 
 /// The §4.2 prefix-code scheduler, generic over the prefix-free code.
 #[derive(Debug, Clone)]
@@ -21,6 +22,9 @@ pub struct PrefixCodeScheduler {
     coloring: Coloring,
     slots: Vec<SlotAssignment>,
     code_name: &'static str,
+    /// Word-packed emission rows (code periods are powers of two); `None`
+    /// when over the memory budget.
+    table: Option<ResidueTable>,
 }
 
 impl PrefixCodeScheduler {
@@ -57,10 +61,15 @@ impl PrefixCodeScheduler {
         let schedule = CodeSchedule::new(code);
         let slots: Vec<SlotAssignment> =
             coloring.as_slice().iter().map(|&c| schedule.slot(u64::from(c))).collect();
+        let offsets: Vec<u64> = slots.iter().map(|s| s.offset).collect();
+        let exponents: Vec<u32> = slots.iter().map(|s| s.period.trailing_zeros()).collect();
+        debug_assert!(slots.iter().all(|s| s.period.is_power_of_two()));
+        let table = ResidueTable::build(&offsets, &exponents);
         PrefixCodeScheduler {
             coloring: coloring.clone(),
             slots,
             code_name: schedule.code().name(),
+            table,
         }
     }
 
@@ -81,8 +90,22 @@ impl PrefixCodeScheduler {
 }
 
 impl Scheduler for PrefixCodeScheduler {
-    fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
-        (0..self.slots.len()).filter(|&p| self.slots[p].contains(t)).collect()
+    fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
+        match &self.table {
+            Some(table) => table.fill(t, out),
+            None => {
+                out.reset(self.slots.len());
+                for (p, slot) in self.slots.iter().enumerate() {
+                    if slot.contains(t) {
+                        out.insert(p);
+                    }
+                }
+            }
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -8,7 +8,7 @@
 //! large brood.
 
 use fhg_coloring::{greedy_coloring, Coloring, GreedyOrder};
-use fhg_graph::{Graph, NodeId};
+use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
 
@@ -17,6 +17,12 @@ use crate::scheduler::Scheduler;
 pub struct RoundRobinColoring {
     coloring: Coloring,
     k: u64,
+    /// Colour class `c` (1-based, index `c - 1`) as a precomputed bit row,
+    /// so emitting a holiday is one word-wise OR.  `None` when `k · n/8`
+    /// bytes would exceed [`crate::schedulers::residue::ResidueTable::MAX_BYTES`]
+    /// (a many-colour colouring of a large graph); emission then falls back
+    /// to the per-node scan.
+    classes: Option<Vec<fhg_graph::FixedBitSet>>,
 }
 
 impl RoundRobinColoring {
@@ -30,7 +36,21 @@ impl RoundRobinColoring {
     /// bipartite 2-colouring, reproducing the paper's two-village example).
     pub fn with_coloring(coloring: Coloring) -> Self {
         let k = u64::from(coloring.max_color()).max(1);
-        RoundRobinColoring { coloring, k }
+        let n = coloring.len();
+        let row_bytes = n.div_ceil(64) as u64 * 8;
+        let budget = crate::schedulers::residue::ResidueTable::MAX_BYTES as u64;
+        let classes = if k.checked_mul(row_bytes).is_some_and(|b| b <= budget) {
+            let mut rows = vec![fhg_graph::FixedBitSet::new(n); k as usize];
+            for (p, &c) in coloring.as_slice().iter().enumerate() {
+                if c >= 1 && u64::from(c) <= k {
+                    rows[(c - 1) as usize].insert(p);
+                }
+            }
+            Some(rows)
+        } else {
+            None
+        };
+        RoundRobinColoring { coloring, k, classes }
     }
 
     /// The number of colours being cycled.
@@ -45,9 +65,23 @@ impl RoundRobinColoring {
 }
 
 impl Scheduler for RoundRobinColoring {
-    fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
+    fn node_count(&self) -> usize {
+        self.coloring.len()
+    }
+
+    fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
         let active = (t % self.k) as u32 + 1;
-        self.coloring.color_class(active)
+        out.reset(self.coloring.len());
+        match &self.classes {
+            Some(rows) => out.union_with(&rows[(active - 1) as usize]),
+            None => {
+                for (p, &c) in self.coloring.as_slice().iter().enumerate() {
+                    if c == active {
+                        out.insert(p);
+                    }
+                }
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -128,6 +162,19 @@ mod tests {
         let mut s = RoundRobinColoring::new(&g);
         assert_eq!(s.cycle_length(), 1);
         assert_eq!(s.happy_set(9), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fallback_scan_matches_precomputed_rows() {
+        // Force the scan path by rebuilding the scheduler with `classes`
+        // dropped, and compare schedules against the row path.
+        let g = erdos_renyi(40, 0.1, 2);
+        let mut with_rows = RoundRobinColoring::new(&g);
+        let mut scanned = with_rows.clone();
+        scanned.classes = None;
+        for t in 0..3 * with_rows.cycle_length() {
+            assert_eq!(with_rows.happy_set(t), scanned.happy_set(t), "holiday {t}");
+        }
     }
 
     #[test]

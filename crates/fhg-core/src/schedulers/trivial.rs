@@ -6,7 +6,7 @@
 //! the canonical example of a schedule whose guarantee depends on a *global*
 //! property of the graph, which the paper's algorithms are designed to avoid.
 
-use fhg_graph::{Graph, NodeId};
+use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
 
@@ -24,11 +24,15 @@ impl TrivialSequential {
 }
 
 impl Scheduler for TrivialSequential {
-    fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
-        if self.n == 0 {
-            return Vec::new();
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
+        out.reset(self.n);
+        if self.n > 0 {
+            out.insert((t % self.n as u64) as NodeId);
         }
-        vec![(t % self.n as u64) as NodeId]
     }
 
     fn name(&self) -> &'static str {

@@ -11,7 +11,6 @@
 //! colouring black box.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use fhg_coloring::Coloring;
 use fhg_graph::{Graph, NodeId};
@@ -19,7 +18,7 @@ use fhg_graph::{Graph, NodeId};
 use crate::simulator::{ExecutionStats, NodeContext, Protocol, RoundOutput, Simulator};
 
 /// Result of a distributed colouring execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ColoringOutcome {
     /// Final colour of every node (`None` only if the round limit was hit).
     pub colors: Vec<Option<u64>>,
@@ -86,7 +85,7 @@ impl ListColoringProtocol {
     }
 
     fn participates(&self, u: NodeId) -> bool {
-        self.participants.as_ref().map_or(true, |p| p[u])
+        self.participants.as_ref().is_none_or(|p| p[u])
     }
 }
 
@@ -206,9 +205,8 @@ pub fn johansson_coloring(graph: &Graph, seed: u64) -> (Coloring, ExecutionStats
     // O(log n) w.h.p.; 40 log2(n) + 64 rounds gives astronomically comfortable slack.
     let max_rounds = 64 + 40 * (graph.node_count().max(2) as f64).log2().ceil() as u64;
     let outcome = list_coloring(graph, palettes, seed, max_rounds);
-    let coloring = outcome
-        .to_coloring()
-        .expect("deg+1 palettes always terminate within the round budget");
+    let coloring =
+        outcome.to_coloring().expect("deg+1 palettes always terminate within the round budget");
     (coloring, outcome.stats)
 }
 
@@ -254,11 +252,7 @@ mod tests {
         let g = erdos_renyi(2000, 0.005, 1);
         let (_, stats) = johansson_coloring(&g, 0);
         assert!(stats.completed);
-        assert!(
-            stats.rounds <= 60,
-            "expected O(log n) rounds, got {} for n=2000",
-            stats.rounds
-        );
+        assert!(stats.rounds <= 60, "expected O(log n) rounds, got {} for n=2000", stats.rounds);
     }
 
     #[test]

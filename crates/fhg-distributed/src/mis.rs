@@ -9,14 +9,13 @@
 //! comparison point for happy-set sizes in experiment E10.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use fhg_graph::{properties, Graph, NodeId};
 
 use crate::simulator::{ExecutionStats, NodeContext, Protocol, RoundOutput, Simulator};
 
 /// Result of a distributed MIS execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MisOutcome {
     /// Membership flag per node.
     pub in_mis: Vec<bool>,
@@ -28,6 +27,18 @@ impl MisOutcome {
     /// The members as a node list.
     pub fn members(&self) -> Vec<NodeId> {
         self.in_mis.iter().enumerate().filter_map(|(u, &m)| m.then_some(u)).collect()
+    }
+
+    /// Writes the membership into a reusable [`fhg_graph::HappySet`] buffer
+    /// without allocating, for callers that treat the MIS as one holiday's
+    /// happy set.
+    pub fn fill_members(&self, out: &mut fhg_graph::HappySet) {
+        out.reset(self.in_mis.len());
+        for (u, &m) in self.in_mis.iter().enumerate() {
+            if m {
+                out.insert(u);
+            }
+        }
     }
 
     /// Verifies maximal independence against the graph.
@@ -93,7 +104,7 @@ impl Protocol for LubyProtocol {
             match msg {
                 LubyMsg::Priority(p) => {
                     let candidate = (*p, *from);
-                    if highest_neighbor_priority.map_or(true, |best| candidate > best) {
+                    if highest_neighbor_priority.is_none_or(|best| candidate > best) {
                         highest_neighbor_priority = Some(candidate);
                     }
                 }
@@ -182,9 +193,8 @@ mod tests {
 
     #[test]
     fn mis_on_classic_graphs() {
-        for (i, g) in [path(10), cycle(11), star(20), complete(8), random_tree(60, 1)]
-            .into_iter()
-            .enumerate()
+        for (i, g) in
+            [path(10), cycle(11), star(20), complete(8), random_tree(60, 1)].into_iter().enumerate()
         {
             let out = luby_mis(&g, i as u64, rounds_budget(g.node_count()));
             assert!(out.stats.completed, "graph #{i} did not complete");

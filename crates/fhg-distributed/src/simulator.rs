@@ -16,7 +16,6 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 use fhg_graph::{CsrGraph, Graph, NodeId};
 
@@ -77,7 +76,7 @@ pub trait Protocol: Sync {
 }
 
 /// Aggregate statistics of one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecutionStats {
     /// Number of rounds executed (not counting `init`).
     pub rounds: u64,
@@ -165,11 +164,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             };
 
             let outputs: Vec<RoundOutput<P::Message>> = if self.parallel {
-                slots
-                    .par_iter_mut()
-                    .enumerate()
-                    .map(|(u, slot)| step_one(u, slot))
-                    .collect()
+                slots.par_iter_mut().enumerate().map(|(u, slot)| step_one(u, slot)).collect()
             } else {
                 slots.iter_mut().enumerate().map(|(u, slot)| step_one(u, slot)).collect()
             };
@@ -221,8 +216,8 @@ fn node_rng(seed: u64, u: NodeId) -> ChaCha8Rng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fhg_graph::generators::structured::{complete, cycle, path, star};
     use fhg_graph::generators::erdos_renyi;
+    use fhg_graph::generators::structured::{complete, cycle, path, star};
     use rand::Rng;
 
     /// Every node broadcasts its id once; terminates after it has heard from
@@ -307,7 +302,12 @@ mod tests {
             0
         }
 
-        fn step(&self, state: &mut u64, _inbox: &[(NodeId, ())], _ctx: &mut NodeContext<'_>) -> RoundOutput<()> {
+        fn step(
+            &self,
+            state: &mut u64,
+            _inbox: &[(NodeId, ())],
+            _ctx: &mut NodeContext<'_>,
+        ) -> RoundOutput<()> {
             *state += 1;
             RoundOutput::Silent
         }
@@ -390,7 +390,12 @@ mod tests {
             fn init(&self, _ctx: &mut NodeContext<'_>) -> bool {
                 false
             }
-            fn step(&self, state: &mut bool, _inbox: &[(NodeId, ())], ctx: &mut NodeContext<'_>) -> RoundOutput<()> {
+            fn step(
+                &self,
+                state: &mut bool,
+                _inbox: &[(NodeId, ())],
+                ctx: &mut NodeContext<'_>,
+            ) -> RoundOutput<()> {
                 *state = true;
                 if ctx.node == 0 {
                     RoundOutput::Unicast(vec![(3, ())])
@@ -418,7 +423,12 @@ mod tests {
             vec![ctx.rng.gen()]
         }
 
-        fn step(&self, state: &mut Vec<u64>, _inbox: &[(NodeId, ())], ctx: &mut NodeContext<'_>) -> RoundOutput<()> {
+        fn step(
+            &self,
+            state: &mut Vec<u64>,
+            _inbox: &[(NodeId, ())],
+            ctx: &mut NodeContext<'_>,
+        ) -> RoundOutput<()> {
             state.push(ctx.rng.gen());
             RoundOutput::Silent
         }

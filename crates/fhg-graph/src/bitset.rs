@@ -6,12 +6,10 @@
 //! minimal word-packed bit set keeps those scans tight without pulling in an
 //! external dependency.
 
-use serde::{Deserialize, Serialize};
-
 const WORD_BITS: usize = 64;
 
 /// A fixed-capacity set of `usize` values in `0..len`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FixedBitSet {
     words: Vec<u64>,
     len: usize,
@@ -107,6 +105,24 @@ impl FixedBitSet {
             }
         }
         None
+    }
+
+    /// Read-only view of the backing words, least-significant bit first
+    /// (value `v` lives at bit `v % 64` of word `v / 64`).
+    ///
+    /// Exposed so hot paths (the scheduler engine's independence checks) can
+    /// run word-wise ANDs against adjacency rows instead of per-element
+    /// probes.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Whether the two sets share any element, computed word-wise.
+    ///
+    /// Capacities may differ; values beyond the shorter capacity cannot
+    /// intersect.
+    pub fn intersects(&self, other: &FixedBitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// In-place union with another set of the same capacity.
@@ -228,6 +244,38 @@ mod tests {
         let mut i = a.clone();
         i.intersect_with(&b);
         assert_eq!(i.iter().collect::<Vec<_>>(), vec![50]);
+    }
+
+    #[test]
+    fn intersects_is_word_accurate_and_capacity_tolerant() {
+        let mut a = FixedBitSet::new(130);
+        let mut b = FixedBitSet::new(130);
+        a.insert(129);
+        b.insert(128);
+        assert!(!a.intersects(&b), "neighbouring bits in the top word must not intersect");
+        b.insert(129);
+        assert!(a.intersects(&b));
+        let mut short = FixedBitSet::new(10);
+        short.insert(3);
+        assert!(!a.intersects(&short), "disjoint values across different capacities");
+        let mut short2 = FixedBitSet::new(10);
+        short2.insert(3);
+        let mut long = FixedBitSet::new(500);
+        long.insert(3);
+        assert!(long.intersects(&short2));
+    }
+
+    #[test]
+    fn as_words_matches_bit_layout() {
+        let mut s = FixedBitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        let words = s.as_words();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0], 1);
+        assert_eq!(words[1], 1);
+        assert_eq!(words[2], 2);
     }
 
     proptest! {

@@ -8,13 +8,12 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::error::GraphError;
 use crate::{Graph, NodeId};
 
 /// The kind of a dynamic edge event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeEventKind {
     /// A new conflict (marriage) appears.
     Insert,
@@ -23,7 +22,7 @@ pub enum EdgeEventKind {
 }
 
 /// A single edge event applied to a dynamic graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeEvent {
     /// Insert or delete.
     pub kind: EdgeEventKind,
@@ -36,7 +35,7 @@ pub struct EdgeEvent {
 }
 
 /// A conflict graph subject to edge insertions and deletions over time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DynamicGraph {
     graph: Graph,
     history: Vec<EdgeEvent>,
@@ -238,10 +237,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_of_events() {
+    fn event_value_semantics_roundtrip() {
         let e = EdgeEvent { kind: EdgeEventKind::Insert, u: 1, v: 2, holiday: 9 };
-        let json = serde_json::to_string(&e).unwrap();
-        let back: EdgeEvent = serde_json::from_str(&json).unwrap();
-        assert_eq!(e, back);
+        let copy = e;
+        assert_eq!(e, copy, "EdgeEvent is a plain value type");
+        let different = EdgeEvent { kind: EdgeEventKind::Delete, ..e };
+        assert_ne!(e, different);
     }
 }

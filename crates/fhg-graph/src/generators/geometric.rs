@@ -8,12 +8,11 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::{Graph, NodeId};
 
 /// A point in the unit square.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Horizontal coordinate in `[0, 1]`.
     pub x: f64,
@@ -34,7 +33,7 @@ impl Point {
 ///
 /// The positions are retained because the radio application (`fhg-radio`)
 /// needs them to compute interference statistics and to draw schedules.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeometricGraph {
     graph: Graph,
     positions: Vec<Point>,
@@ -102,7 +101,10 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> GeometricGraph {
                 for dx in -1i64..=1 {
                     let nx = cx as i64 + dx;
                     let ny = cy as i64 + dy;
-                    if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64
+                    if nx < 0
+                        || ny < 0
+                        || nx >= cells_per_side as i64
+                        || ny >= cells_per_side as i64
                     {
                         continue;
                     }

@@ -36,7 +36,7 @@ use crate::Graph;
 
 /// The graph families used by the experiment sweeps, as an enum so that the
 /// bench harness can iterate over them uniformly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Erdős–Rényi `G(n, p)` with expected average degree given by the parameter.
     ErdosRenyi,
@@ -113,11 +113,7 @@ impl Family {
             }
             Family::BipartiteVillages => {
                 let half = n / 2;
-                let p = if half == 0 {
-                    0.0
-                } else {
-                    (target_avg_degree / half as f64).min(1.0)
-                };
+                let p = if half == 0 { 0.0 } else { (target_avg_degree / half as f64).min(1.0) };
                 bipartite_villages(half, n - half, p, seed)
             }
             Family::Complete => complete(n),
@@ -175,9 +171,9 @@ mod tests {
     }
 
     #[test]
-    fn family_serde_roundtrip() {
-        let json = serde_json::to_string(&Family::UnitDisk).unwrap();
-        let back: Family = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, Family::UnitDisk);
+    fn family_names_are_unique_and_stable() {
+        let names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "family names must be distinct: {names:?}");
     }
 }

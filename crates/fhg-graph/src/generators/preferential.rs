@@ -21,7 +21,7 @@ use crate::{Graph, NodeId};
 /// Panics if `m == 0` or `n < m + 1`.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m >= 1, "attachment count m must be at least 1");
-    assert!(n >= m + 1, "need at least m+1 = {} nodes, got {n}", m + 1);
+    assert!(n > m, "need at least m+1 = {} nodes, got {n}", m + 1);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut g = Graph::new(n);
     // Urn of node ids, each appearing once per incident edge endpoint.
@@ -80,10 +80,7 @@ mod tests {
         let max = g.max_degree();
         let avg = g.average_degree();
         // Hubs should be far above the average degree (which is about 2m = 4).
-        assert!(
-            max as f64 > 5.0 * avg,
-            "expected heavy tail: max degree {max} vs average {avg}"
-        );
+        assert!(max as f64 > 5.0 * avg, "expected heavy tail: max degree {max} vs average {avg}");
     }
 
     #[test]

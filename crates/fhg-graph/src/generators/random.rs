@@ -70,9 +70,8 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Dense request: sample by enumerating all pairs and shuffling a prefix.
     if m * 3 >= max_edges {
-        let mut pairs: Vec<(usize, usize)> = (0..n)
-            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
-            .collect();
+        let mut pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
         // Partial Fisher-Yates: we only need the first m entries.
         for i in 0..m {
             let j = rng.gen_range(i..pairs.len());

@@ -5,13 +5,11 @@
 //! algorithms that need cheap mutation.  Algorithms that only *read* the
 //! graph usually convert to [`crate::CsrGraph`] first.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::GraphError;
 use crate::NodeId;
 
 /// An undirected edge, stored with `u <= v` when produced by [`Graph::edges`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Edge {
     /// One endpoint.
     pub u: NodeId,
@@ -51,7 +49,7 @@ impl Edge {
 /// * no self-loops, no parallel edges;
 /// * each adjacency list is sorted in increasing node order;
 /// * `edge_count` equals the number of unordered edges.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Graph {
     adj: Vec<Vec<NodeId>>,
     edge_count: usize,
@@ -173,9 +171,10 @@ impl Graph {
 
     /// Iterator over all edges with `u <= v`, in lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter().filter(move |&&v| u < v).map(move |&v| Edge { u, v })
-        })
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| Edge { u, v }))
     }
 
     /// Maximum degree Δ of the graph (0 for the empty graph).
@@ -313,10 +312,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn edge_list_text_roundtrip() {
         let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: Graph = serde_json::from_str(&json).unwrap();
+        let text = crate::io::to_edge_list(&g);
+        let back = crate::io::from_edge_list(&text).unwrap();
         assert_eq!(g, back);
     }
 

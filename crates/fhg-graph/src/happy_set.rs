@@ -1,0 +1,222 @@
+//! The reusable happy-set buffer at the heart of the scheduler engine.
+//!
+//! Every scheduler in the workspace answers the same question each holiday:
+//! *which parents are happy at time `t`?*  Returning a fresh `Vec<NodeId>`
+//! per holiday costs an allocation plus per-element pushes on a path executed
+//! 10⁵–10⁶ times per experiment.  A [`HappySet`] is the zero-allocation
+//! alternative: a word-packed [`FixedBitSet`] with a cached cardinality that
+//! callers allocate once and hand to `Scheduler::fill_happy_set` for every
+//! holiday.  Membership tests are O(1) bit probes and independence
+//! verification ANDs whole 64-bit words against adjacency rows.
+//!
+//! The type lives in `fhg-graph` (rather than next to the `Scheduler` trait
+//! in `fhg-core`) so that lower layers — the distributed slot assignment, the
+//! MIS outcomes — can fill the same buffers without a dependency cycle.
+
+use crate::bitset::FixedBitSet;
+use crate::NodeId;
+
+/// A set of happy parents for one holiday, backed by a word-packed bit set.
+///
+/// The buffer is designed for reuse: [`HappySet::reset`] only reallocates
+/// when the requested capacity actually changes, so driving a scheduler over
+/// a long horizon performs zero heap allocations after the first holiday.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HappySet {
+    bits: FixedBitSet,
+    len: usize,
+}
+
+impl HappySet {
+    /// Creates an empty happy set able to hold nodes `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        HappySet { bits: FixedBitSet::new(capacity), len: 0 }
+    }
+
+    /// Creates a happy set from explicit members (convenience for tests).
+    ///
+    /// # Panics
+    /// Panics if a member is `>= capacity`.
+    pub fn from_members(capacity: usize, members: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut s = Self::new(capacity);
+        for p in members {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Number of representable nodes (`0..capacity`), *not* the cardinality.
+    pub fn capacity(&self) -> usize {
+        self.bits.capacity()
+    }
+
+    /// Empties the set and ensures it can hold nodes `0..capacity`.
+    ///
+    /// Reallocates only when `capacity` differs from the current capacity;
+    /// the steady-state cost is a `memset` of the backing words.
+    pub fn reset(&mut self, capacity: usize) {
+        if self.bits.capacity() != capacity {
+            self.bits = FixedBitSet::new(capacity);
+        } else {
+            self.bits.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Empties the set, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+        self.len = 0;
+    }
+
+    /// Inserts node `p`. Returns `true` if it was not present before.
+    ///
+    /// # Panics
+    /// Panics if `p >= capacity()`.
+    pub fn insert(&mut self, p: NodeId) -> bool {
+        let fresh = self.bits.insert(p);
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Whether node `p` is happy.
+    pub fn contains(&self, p: NodeId) -> bool {
+        self.bits.contains(p)
+    }
+
+    /// Number of happy nodes (cached; O(1)).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no node is happy.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the happy nodes in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.bits.iter()
+    }
+
+    /// Collects the happy nodes into a sorted `Vec` (the compatibility shim
+    /// behind `Scheduler::happy_set`).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.len);
+        v.extend(self.iter());
+        v
+    }
+
+    /// In-place union with a raw bit row of the same capacity — the
+    /// word-packed bulk insert used by precomputed periodic schedules.
+    ///
+    /// # Panics
+    /// Panics if `row.capacity() != self.capacity()`.
+    pub fn union_with(&mut self, row: &FixedBitSet) {
+        self.bits.union_with(row);
+        self.len = self.bits.count();
+    }
+
+    /// In-place union with several rows at once, recounting the cardinality
+    /// only after the last OR — one count scan instead of one per row, which
+    /// matters on the per-holiday emission path.
+    ///
+    /// # Panics
+    /// Panics if any row's capacity differs from `self.capacity()`.
+    pub fn union_many<'a>(&mut self, rows: impl IntoIterator<Item = &'a FixedBitSet>) {
+        for row in rows {
+            self.bits.union_with(row);
+        }
+        self.len = self.bits.count();
+    }
+
+    /// The backing bit set, for word-wise algorithms.
+    pub fn as_bitset(&self) -> &FixedBitSet {
+        &self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_iter_roundtrip() {
+        let mut s = HappySet::new(200);
+        for p in [3usize, 199, 64, 3] {
+            s.insert(p);
+        }
+        assert_eq!(s.len(), 3, "duplicate insert must not inflate the cardinality");
+        assert_eq!(s.to_vec(), vec![3, 64, 199]);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_reallocates_on_change() {
+        let mut s = HappySet::new(100);
+        s.insert(7);
+        s.reset(100);
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 100);
+        s.reset(50);
+        assert_eq!(s.capacity(), 50);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_members_and_equality() {
+        let a = HappySet::from_members(10, [1, 4, 9]);
+        let b = HappySet::from_members(10, [9, 1, 4]);
+        assert_eq!(a, b, "membership equality is order-independent");
+        assert_ne!(a, HappySet::from_members(10, [1, 4]));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = HappySet::from_members(80, [0, 79]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 80);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_beyond_capacity_panics() {
+        HappySet::new(4).insert(4);
+    }
+
+    #[test]
+    fn union_with_merges_rows_and_recounts() {
+        let mut s = HappySet::from_members(130, [0, 64]);
+        let mut row = FixedBitSet::new(130);
+        row.insert(64);
+        row.insert(129);
+        s.union_with(&row);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_vec(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn union_many_matches_repeated_union_with() {
+        let mut a = FixedBitSet::new(100);
+        a.insert(1);
+        let mut b = FixedBitSet::new(100);
+        b.insert(64);
+        b.insert(1);
+        let mut c = FixedBitSet::new(100);
+        c.insert(99);
+        let mut many = HappySet::new(100);
+        many.union_many([&a, &b, &c]);
+        let mut repeated = HappySet::new(100);
+        for row in [&a, &b, &c] {
+            repeated.union_with(row);
+        }
+        assert_eq!(many, repeated);
+        assert_eq!(many.len(), 3);
+        assert_eq!(many.to_vec(), vec![1, 64, 99]);
+        many.union_many(std::iter::empty());
+        assert_eq!(many.len(), 3, "empty union is a no-op");
+    }
+}

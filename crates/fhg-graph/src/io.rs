@@ -31,10 +31,7 @@ pub fn to_edge_list(graph: &Graph) -> String {
 /// nodes below the declared count; duplicate edges and self-loops are
 /// rejected (conflict graphs are simple).
 pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
-    let mut lines = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
     let header = lines
         .next()
         .ok_or_else(|| GraphError::InvalidParameter("missing `n m` header line".into()))?;

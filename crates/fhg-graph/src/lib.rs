@@ -20,6 +20,8 @@
 //!   cycles, grids, trees, regular circulants, …) used by the experiments.
 //! * [`properties`] — structural measurements (degree statistics, components,
 //!   bipartiteness, degeneracy, triangles, independence checks).
+//! * [`happy_set`] — the reusable word-packed [`HappySet`] buffer the
+//!   scheduler engine fills once per holiday without allocating.
 //! * [`dynamic`] — the dynamic-setting substrate of paper §6: an edge-event
 //!   stream applied to a graph with notification of affected nodes.
 //!
@@ -43,6 +45,7 @@ pub mod dynamic;
 pub mod error;
 pub mod generators;
 pub mod graph;
+pub mod happy_set;
 pub mod io;
 pub mod properties;
 
@@ -51,6 +54,7 @@ pub use csr::CsrGraph;
 pub use dynamic::{DynamicGraph, EdgeEvent, EdgeEventKind};
 pub use error::GraphError;
 pub use graph::{Edge, Graph};
+pub use happy_set::HappySet;
 
 /// Identifier of a node (a "parent" in the paper's terminology).
 ///

@@ -7,13 +7,11 @@
 //! footnote) and independent-set verification (every gathering's happy set
 //! must be independent).
 
-use serde::{Deserialize, Serialize};
-
 use crate::bitset::FixedBitSet;
 use crate::{Graph, NodeId};
 
 /// Summary statistics of a degree sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegreeStats {
     /// Minimum degree δ.
     pub min: usize,
@@ -44,13 +42,12 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
     } else {
         (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
     };
-    let var =
-        degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
     DegreeStats { min, max, mean, median, std_dev: var.sqrt() }
 }
 
 /// Connected components of a graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Components {
     /// `component[u]` is the id of the component containing `u`.
     pub component: Vec<usize>,
@@ -227,6 +224,53 @@ pub fn triangle_count(g: &Graph) -> usize {
     count
 }
 
+/// Dense adjacency rows packed 64 nodes per word, for word-wise independence
+/// checks.
+///
+/// Row `u` is the neighbourhood `N(u)` as a bitmask, so "does any member of
+/// `S` conflict with `u`" is one AND-scan of `⌈n/64⌉` words instead of a
+/// per-neighbour probe.  Memory is `n²/8` bytes — callers should gate
+/// construction on graph size (the schedule analysis uses it up to a few
+/// thousand nodes and falls back to CSR scans beyond that).
+#[derive(Debug, Clone)]
+pub struct AdjacencyBitmap {
+    rows: Vec<FixedBitSet>,
+}
+
+impl AdjacencyBitmap {
+    /// Builds the dense rows from a graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let rows = (0..n)
+            .map(|u| {
+                let mut row = FixedBitSet::new(n);
+                for &v in g.neighbors(u) {
+                    row.insert(v);
+                }
+                row
+            })
+            .collect();
+        AdjacencyBitmap { rows }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The neighbourhood of `u` as a bit row.
+    pub fn row(&self, u: NodeId) -> &FixedBitSet {
+        &self.rows[u]
+    }
+
+    /// Whether `set` is an independent set, verified by ANDing every member's
+    /// adjacency row against the set.  Members `>= node_count()` make the set
+    /// invalid (mirroring [`is_independent_set`]).
+    pub fn is_independent(&self, set: &FixedBitSet) -> bool {
+        set.iter().all(|u| u < self.rows.len() && !self.rows[u].intersects(set))
+    }
+}
+
 /// Whether `set` is an independent set of `g` (no two members adjacent).
 pub fn is_independent_set(g: &Graph, set: &[NodeId]) -> bool {
     let mut members = FixedBitSet::new(g.node_count());
@@ -354,7 +398,7 @@ mod tests {
     fn degeneracy_ordering_is_a_permutation() {
         let g = erdos_renyi(80, 0.1, 4);
         let (order, _) = degeneracy_ordering(&g);
-        let mut seen = vec![false; 80];
+        let mut seen = [false; 80];
         for &u in &order {
             assert!(!seen[u]);
             seen[u] = true;
@@ -385,7 +429,34 @@ mod tests {
         assert!(!is_maximal_independent_set(&g, &[0, 1]));
     }
 
+    #[test]
+    fn adjacency_bitmap_mirrors_neighbourhoods() {
+        let g = cycle(5);
+        let adj = AdjacencyBitmap::from_graph(&g);
+        assert_eq!(adj.node_count(), 5);
+        assert_eq!(adj.row(0).iter().collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(adj.row(3).iter().collect::<Vec<_>>(), vec![2, 4]);
+    }
+
     proptest! {
+        /// The three independence checkers — slice scan, dense word-wise
+        /// bitmap, CSR bit probes — agree on arbitrary subsets of random
+        /// graphs.
+        #[test]
+        fn independence_checkers_agree(seed in 0u64..40, mask in 0u64..(1 << 20)) {
+            let g = erdos_renyi(20, 0.2, seed);
+            let adj = AdjacencyBitmap::from_graph(&g);
+            let csr = crate::CsrGraph::from_graph(&g);
+            let members: Vec<usize> = (0..20).filter(|u| mask & (1 << u) != 0).collect();
+            let mut bits = FixedBitSet::new(20);
+            for &u in &members {
+                bits.insert(u);
+            }
+            let reference = is_independent_set(&g, &members);
+            prop_assert_eq!(adj.is_independent(&bits), reference);
+            prop_assert_eq!(csr.is_independent(&bits), reference);
+        }
+
         #[test]
         fn degeneracy_is_at_most_max_degree(seed in 0u64..50) {
             let g = erdos_renyi(60, 0.08, seed);

@@ -8,11 +8,9 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 /// A bipartite graph with `left` and `right` vertex sets, edges stored as
 /// adjacency lists from the left side.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BipartiteGraph {
     adj: Vec<Vec<usize>>,
     right_count: usize,
@@ -57,7 +55,7 @@ impl BipartiteGraph {
 }
 
 /// A matching in a bipartite graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Matching {
     /// `pair_left[l]` is the right vertex matched to `l`, if any.
     pub pair_left: Vec<Option<usize>>,

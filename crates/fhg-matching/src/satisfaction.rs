@@ -65,12 +65,12 @@ pub fn max_satisfaction_linear(graph: &Graph) -> Vec<Option<usize>> {
     let mut satisfied = vec![false; n];
 
     let assign = |p: NodeId,
-                      couple: usize,
-                      couple_used: &mut Vec<bool>,
-                      available: &mut Vec<usize>,
-                      satisfied: &mut Vec<bool>,
-                      assignment: &mut Vec<Option<usize>>,
-                      queue: &mut VecDeque<NodeId>| {
+                  couple: usize,
+                  couple_used: &mut Vec<bool>,
+                  available: &mut Vec<usize>,
+                  satisfied: &mut Vec<bool>,
+                  assignment: &mut Vec<Option<usize>>,
+                  queue: &mut VecDeque<NodeId>| {
         couple_used[couple] = true;
         assignment[p] = Some(couple);
         satisfied[p] = true;
@@ -176,7 +176,7 @@ impl AlternatingSatisfaction {
     pub fn satisfied_set(&self, t: u64) -> Vec<NodeId> {
         let mut satisfied = vec![false; self.n];
         for e in &self.edges {
-            let visited = if t % 2 == 0 { e.u.min(e.v) } else { e.u.max(e.v) };
+            let visited = if t.is_multiple_of(2) { e.u.min(e.v) } else { e.u.max(e.v) };
             satisfied[visited] = true;
         }
         (0..self.n).filter(|&p| satisfied[p]).collect()

@@ -91,17 +91,13 @@ mod tests {
 
     #[test]
     fn shares_sum_to_the_grand_coalition_mis() {
-        for (i, g) in [star(6), path(7), complete(5), erdos_renyi(14, 0.25, 3)]
-            .into_iter()
-            .enumerate()
+        for (i, g) in
+            [star(6), path(7), complete(5), erdos_renyi(14, 0.25, 3)].into_iter().enumerate()
         {
             let shares = shapley_estimate(&g, 40, i as u64);
             let total: f64 = shares.iter().sum();
             let mis = exact_mis(&g).len() as f64;
-            assert!(
-                (total - mis).abs() < 1e-9,
-                "graph #{i}: shares sum to {total}, MIS is {mis}"
-            );
+            assert!((total - mis).abs() < 1e-9, "graph #{i}: shares sum to {total}, MIS is {mis}");
         }
     }
 

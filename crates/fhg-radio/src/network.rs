@@ -1,7 +1,5 @@
 //! Radio placement and interference graphs.
 
-use serde::{Deserialize, Serialize};
-
 use fhg_graph::generators::{random_geometric, GeometricGraph};
 use fhg_graph::{Graph, NodeId};
 
@@ -11,7 +9,7 @@ use fhg_graph::{Graph, NodeId};
 /// Two radios interfere (conflict) when their transmission disks overlap,
 /// i.e. when their distance is at most twice the transmission radius — the
 /// "shared air" of the paper's introduction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RadioNetwork {
     geometric: GeometricGraph,
     tx_radius: f64,
@@ -24,7 +22,10 @@ impl RadioNetwork {
     /// # Panics
     /// Panics if `tx_radius` is negative or not finite.
     pub fn random(n: usize, tx_radius: f64, seed: u64) -> Self {
-        assert!(tx_radius >= 0.0 && tx_radius.is_finite(), "transmission radius must be finite and non-negative");
+        assert!(
+            tx_radius >= 0.0 && tx_radius.is_finite(),
+            "transmission radius must be finite and non-negative"
+        );
         RadioNetwork { geometric: random_geometric(n, 2.0 * tx_radius, seed), tx_radius }
     }
 

@@ -15,8 +15,6 @@
 //!   so wake-ups equal transmissions; non-periodic schedules additionally pay
 //!   a listen/communication wake-up *every* slot (the §3 downside).
 
-use serde::{Deserialize, Serialize};
-
 use fhg_core::analysis::analyze_schedule;
 use fhg_core::Scheduler;
 use fhg_graph::NodeId;
@@ -24,7 +22,7 @@ use fhg_graph::NodeId;
 use crate::network::RadioNetwork;
 
 /// Per-radio TDMA statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeRadioStats {
     /// The radio.
     pub radio: NodeId,
@@ -45,7 +43,7 @@ pub struct NodeRadioStats {
 }
 
 /// Whole-network TDMA evaluation report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TdmaReport {
     /// Name of the scheduler that produced the schedule.
     pub scheduler: String,
@@ -192,7 +190,16 @@ mod tests {
             .max()
             .unwrap_or(0);
         assert!(low <= 2);
-        assert!(rr_report.max_latency() >= db_report.per_radio.iter().filter(|r| r.interferers <= 1).map(|r| r.worst_latency).max().unwrap_or(0));
+        assert!(
+            rr_report.max_latency()
+                >= db_report
+                    .per_radio
+                    .iter()
+                    .filter(|r| r.interferers <= 1)
+                    .map(|r| r.worst_latency)
+                    .max()
+                    .unwrap_or(0)
+        );
     }
 
     #[test]

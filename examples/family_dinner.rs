@@ -57,10 +57,7 @@ fn main() {
 
     println!("Applied 80 relationship changes; {repaired_families} families needed recolouring");
     println!("Worst post-repair hosting period: {max_recovery}");
-    println!(
-        "Recolouring events recorded by the scheduler: {}",
-        scheduler.recolor_events()
-    );
+    println!("Recolouring events recorded by the scheduler: {}", scheduler.recolor_events());
 
     // The colouring is still proper, so every future gathering remains valid.
     assert!(scheduler.coloring_is_proper());

@@ -30,7 +30,10 @@ fn main() {
         Box::new(PeriodicDegreeBound::new(&graph)),
     ];
 
-    println!("\n{:<28} {:>10} {:>12} {:>14} {:>10}", "scheduler", "max wait", "periodic?", "mean set size", "fairness");
+    println!(
+        "\n{:<28} {:>10} {:>12} {:>14} {:>10}",
+        "scheduler", "max wait", "periodic?", "mean set size", "fairness"
+    );
     for s in &mut schedulers {
         let analysis = analyze_schedule(&graph, s.as_mut(), horizon);
         assert!(analysis.all_happy_sets_independent, "schedules must be conflict-free");

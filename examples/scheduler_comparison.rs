@@ -46,8 +46,15 @@ fn main() {
     // Per-degree view for the two degree-bound algorithms: group parents by
     // degree and report the worst observed wait in each group.
     for (label, mut sched) in [
-        ("phased greedy (Thm 3.1, bound d+1)", Box::new(fhg::core::schedulers::PhasedGreedy::new(&graph)) as Box<dyn fhg::core::Scheduler>),
-        ("periodic degree-bound (Thm 5.3, bound 2d)", Box::new(fhg::core::schedulers::PeriodicDegreeBound::new(&graph))),
+        (
+            "phased greedy (Thm 3.1, bound d+1)",
+            Box::new(fhg::core::schedulers::PhasedGreedy::new(&graph))
+                as Box<dyn fhg::core::Scheduler>,
+        ),
+        (
+            "periodic degree-bound (Thm 5.3, bound 2d)",
+            Box::new(fhg::core::schedulers::PeriodicDegreeBound::new(&graph)),
+        ),
     ] {
         let analysis = analyze_schedule(&graph, sched.as_mut(), horizon);
         let mut worst_by_degree: BTreeMap<usize, u64> = BTreeMap::new();

@@ -16,13 +16,27 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`graph`] | conflict-graph substrate, generators, properties, dynamic edges |
+//! | [`graph`] | conflict-graph substrate, generators, properties, dynamic edges, the [`graph::HappySet`] engine buffer |
 //! | [`codes`] | prefix-free integer codes (Elias γ/δ/ω), `φ`, iterated logs |
 //! | [`coloring`] | sequential colouring algorithms |
 //! | [`distributed`] | synchronous LOCAL-model simulator + distributed colouring/MIS |
 //! | [`core`] | the schedulers and analysis from the paper (§3, §4, §5, §6) |
 //! | [`matching`] | Appendix A algorithms (matching, satisfaction, MIS) |
 //! | [`radio`] | cellular-radio TDMA application layer |
+//!
+//! ## The `HappySet` engine
+//!
+//! Every scheduler implements `core::Scheduler::fill_happy_set(t, &mut
+//! HappySet)`, which writes one holiday's happy parents into a caller-owned
+//! word-packed buffer with **zero heap allocations per holiday** after
+//! warm-up; perfectly periodic schedulers (§4/§5) emit via precomputed
+//! residue bit rows (one word-wise OR per distinct period) and the analysis
+//! verifies independence word-wise against adjacency rows.  The original
+//! `happy_set(t) -> Vec<NodeId>` remains as a compatibility shim over the
+//! buffer path.  Contract: implementations reset the buffer to
+//! `node_count()` themselves, and stateful schedulers (§3 phased greedy, the
+//! random baseline) must see **consecutive** holidays through either entry
+//! point, starting at `first_holiday()`.
 //!
 //! ## Quickstart
 //!

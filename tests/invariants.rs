@@ -100,7 +100,7 @@ proptest! {
             prop_assert!(analysis.per_node[p].max_unhappiness <= d);
             if d > 0 {
                 let period = periodic.period(p).unwrap();
-                prop_assert!(period >= d + 1 && period <= 2 * d);
+                prop_assert!(period > d && period <= 2 * d);
             }
         }
     }

@@ -1,0 +1,65 @@
+//! Proves the engine contract: after warm-up, `fill_happy_set` performs zero
+//! heap allocations per holiday, for every scheduler in the standard suite.
+//!
+//! A counting global allocator records every allocation; the test warms each
+//! scheduler's buffer (and any internal scratch) for a few holidays, then
+//! asserts the allocation counter does not move across a long horizon.
+//!
+//! This file holds exactly one `#[test]` so no concurrent test can disturb
+//! the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fhg::core::schedulers::standard_suite;
+use fhg::core::HappySet;
+use fhg::graph::generators;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn fill_happy_set_allocates_nothing_after_warmup() {
+    let graph = generators::erdos_renyi(300, 0.03, 7);
+    for mut scheduler in standard_suite(&graph, 11) {
+        let start = scheduler.first_holiday();
+        let mut buf = HappySet::new(scheduler.node_count());
+        // Warm-up: lets the buffer settle on its capacity and stateful
+        // schedulers touch their scratch space once.
+        for t in start..start + 4 {
+            scheduler.fill_happy_set(t, &mut buf);
+        }
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for t in start + 4..start + 512 {
+            scheduler.fill_happy_set(t, &mut buf);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "{} allocated {} times across 508 holidays",
+            scheduler.name(),
+            after - before
+        );
+    }
+}
