@@ -1,73 +1,483 @@
-//! Offline sequential stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by real OS threads.
 //!
-//! The build environment has no access to crates.io, so this crate provides
-//! the `par_iter` / `par_iter_mut` entry points the workspace uses, executing
-//! them on ordinary sequential iterators.  All protocols in the workspace are
-//! written to produce identical results under sequential and parallel
-//! stepping (per-node RNGs, no shared mutable state), so substituting
-//! sequential execution changes timing only, never results.  When a vendored
-//! or registry `rayon` becomes available, swapping the path dependency back
-//! restores real parallelism with no source changes.
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset of the `rayon` API the workspace uses on top of `std::thread`:
+//!
+//! * [`prelude::IntoParallelRefIterator`] / [`prelude::IntoParallelRefMutIterator`]
+//!   giving `par_iter()` / `par_iter_mut()` on slices and `Vec`s, with the
+//!   `enumerate` / `map` / `for_each` / `sum` / `collect` combinators the
+//!   workspace calls on them;
+//! * [`join`] for two-way fork/join;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] for scoping a region of
+//!   code to an explicit thread count (used by the analysis parity tests to
+//!   pin 1/2/8 threads without touching the environment);
+//! * [`current_num_threads`].
+//!
+//! # Execution model (work-stealing-lite)
+//!
+//! Each parallel call splits its input into contiguous chunks (about four per
+//! worker), preloads them into an `mpsc` channel, and spawns scoped worker
+//! threads that repeatedly pull the next chunk from the channel until it is
+//! drained — a fast worker simply "steals" the chunks a slow worker never got
+//! to claim.  Results are tagged with their chunk's base index and reassembled
+//! in input order, so every combinator is deterministic: outputs are
+//! bit-for-bit identical across thread counts, only timing changes.  Workers
+//! are scoped (`std::thread::scope`), so borrowed data needs no `'static`
+//! bound and a panicking worker propagates to the caller.
+//!
+//! # Thread-count knob
+//!
+//! The default worker count is resolved once, in order: the `FHG_THREADS`
+//! environment variable, then `RAYON_NUM_THREADS`, then
+//! [`std::thread::available_parallelism`].  `FHG_THREADS=1` (or an installed
+//! one-thread pool) makes every entry point run inline on the calling thread —
+//! no threads are spawned, no channels are created.
+//!
+//! When a vendored or registry `rayon` becomes available, swapping the path
+//! dependency back restores the real work-stealing scheduler with no source
+//! changes.
 
 #![forbid(unsafe_code)]
 
-/// Sequential re-implementations of the rayon parallel-iterator entry points.
+use std::cell::Cell;
+use std::sync::mpsc;
+use std::sync::{Mutex, OnceLock};
+use std::thread;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`] on this thread.
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn default_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        for var in ["FHG_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(value) = std::env::var(var) {
+                if let Ok(n) = value.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+        }
+        thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// The number of worker threads parallel calls on this thread will use: an
+/// installed [`ThreadPool`]'s count if one is active, otherwise the process
+/// default (`FHG_THREADS` / `RAYON_NUM_THREADS` / available parallelism).
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE.with(Cell::get).unwrap_or_else(default_threads)
+}
+
+/// Builder for a [`ThreadPool`] with an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder using the process-default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n.max(1));
+        self
+    }
+
+    /// Builds the pool.  Never fails in this implementation; the `Result`
+    /// mirrors the real rayon signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: self.num_threads.unwrap_or_else(default_threads) })
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced here; kept for
+/// API compatibility with the real rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle carrying an explicit thread count for a region of code.
+///
+/// Unlike the real rayon, no threads are kept alive between calls: `install`
+/// only records the count in thread-local state, and each parallel call inside
+/// the closure spawns (scoped) workers on demand.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The thread count parallel calls will use inside [`ThreadPool::install`].
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count as the ambient
+    /// [`current_num_threads`] on the calling thread, restoring the previous
+    /// count afterwards (also on panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_OVERRIDE.with(|o| o.replace(Some(self.threads))));
+        op()
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+/// With one ambient thread both run inline, `oper_a` first.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    thread::scope(|s| {
+        let handle_b = s.spawn(oper_b);
+        let ra = oper_a();
+        match handle_b.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Chunks each worker pulls on average; finer granularity lets a fast worker
+/// steal the chunks a slow one never claimed.
+const CHUNKS_PER_THREAD: usize = 4;
+
+fn chunk_len(total: usize, threads: usize) -> usize {
+    total.div_ceil(threads.max(1) * CHUNKS_PER_THREAD).max(1)
+}
+
+/// The execution core: runs `work` over `(base_index, chunk)` jobs on up to
+/// `threads` scoped workers pulling jobs from a shared channel, and returns
+/// the results sorted back into input order.
+fn run_chunked<I, R, F>(jobs: Vec<(usize, I)>, threads: usize, work: F) -> Vec<(usize, R)>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|(base, chunk)| (base, work(base, chunk))).collect();
+    }
+    let workers = threads.min(jobs.len());
+    let (job_tx, job_rx) = mpsc::channel::<(usize, I)>();
+    for job in jobs {
+        job_tx.send(job).expect("job receiver alive");
+    }
+    drop(job_tx);
+    let queue = Mutex::new(job_rx);
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let result_tx = result_tx.clone();
+            let queue = &queue;
+            let work = &work;
+            s.spawn(move || loop {
+                let job = queue.lock().expect("job queue poisoned").recv();
+                match job {
+                    Ok((base, chunk)) => {
+                        if result_tx.send((base, work(base, chunk))).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            });
+        }
+    });
+    drop(result_tx);
+    let mut results: Vec<(usize, R)> = result_rx.into_iter().collect();
+    results.sort_unstable_by_key(|&(base, _)| base);
+    results
+}
+
+fn shared_jobs<T>(slice: &[T], threads: usize) -> Vec<(usize, &[T])> {
+    let len = chunk_len(slice.len(), threads);
+    slice.chunks(len).enumerate().map(|(i, c)| (i * len, c)).collect()
+}
+
+fn mut_jobs<T>(slice: &mut [T], threads: usize) -> Vec<(usize, &mut [T])> {
+    let len = chunk_len(slice.len(), threads);
+    slice.chunks_mut(len).enumerate().map(|(i, c)| (i * len, c)).collect()
+}
+
+/// Parallel iterator over `&T` items of a slice.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Pairs every item with its index, preserving input order.
+    pub fn enumerate(self) -> ParIterEnum<'data, T> {
+        ParIterEnum { slice: self.slice }
+    }
+
+    /// Lazily maps every item; consume with `collect` or `sum`.
+    pub fn map<R, F>(self, f: F) -> ParIterMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParIterMap { slice: self.slice, f }
+    }
+
+    /// Applies `f` to every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data T) + Sync,
+    {
+        let threads = current_num_threads();
+        run_chunked(shared_jobs(self.slice, threads), threads, |_base, chunk: &[T]| {
+            for item in chunk {
+                f(item);
+            }
+        });
+    }
+
+    /// Sums the items (chunk partial sums, then a sum of partials — exact for
+    /// the integer sums the workspace uses).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<&'data T> + std::iter::Sum<S> + Send,
+    {
+        let threads = current_num_threads();
+        run_chunked(shared_jobs(self.slice, threads), threads, |_base, chunk: &[T]| {
+            chunk.iter().sum::<S>()
+        })
+        .into_iter()
+        .map(|(_, partial)| partial)
+        .sum()
+    }
+}
+
+/// Indexed parallel iterator over `&T` items.
+pub struct ParIterEnum<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParIterEnum<'data, T> {
+    /// Lazily maps every `(index, item)` pair; consume with `collect`.
+    pub fn map<R, F>(self, f: F) -> ParIterEnumMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'data T)) -> R + Sync,
+    {
+        ParIterEnumMap { slice: self.slice, f }
+    }
+}
+
+/// A mapped parallel iterator over `&T` items, ready to consume.
+pub struct ParIterMap<'data, T, F> {
+    slice: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParIterMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Collects the mapped items in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let threads = current_num_threads();
+        let f = &self.f;
+        run_chunked(shared_jobs(self.slice, threads), threads, |_base, chunk: &[T]| {
+            chunk.iter().map(f).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flat_map(|(_, part)| part)
+        .collect::<Vec<R>>()
+        .into()
+    }
+
+    /// Sums the mapped items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
+    {
+        let threads = current_num_threads();
+        let f = &self.f;
+        run_chunked(shared_jobs(self.slice, threads), threads, |_base, chunk: &[T]| {
+            chunk.iter().map(f).sum::<S>()
+        })
+        .into_iter()
+        .map(|(_, partial)| partial)
+        .sum()
+    }
+}
+
+/// A mapped, indexed parallel iterator over `&T` items.
+pub struct ParIterEnumMap<'data, T, F> {
+    slice: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParIterEnumMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'data T)) -> R + Sync,
+{
+    /// Collects the mapped items in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let threads = current_num_threads();
+        let f = &self.f;
+        run_chunked(shared_jobs(self.slice, threads), threads, |base, chunk: &[T]| {
+            chunk.iter().enumerate().map(|(j, item)| f((base + j, item))).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flat_map(|(_, part)| part)
+        .collect::<Vec<R>>()
+        .into()
+    }
+}
+
+/// Parallel iterator over `&mut T` items of a slice.
+pub struct ParIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Pairs every item with its index, preserving input order.
+    pub fn enumerate(self) -> ParIterMutEnum<'data, T> {
+        ParIterMutEnum { slice: self.slice }
+    }
+
+    /// Applies `f` to every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data mut T) + Sync,
+    {
+        let threads = current_num_threads();
+        run_chunked(mut_jobs(self.slice, threads), threads, |_base, chunk: &'data mut [T]| {
+            for item in chunk {
+                f(item);
+            }
+        });
+    }
+}
+
+/// Indexed parallel iterator over `&mut T` items.
+pub struct ParIterMutEnum<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParIterMutEnum<'data, T> {
+    /// Lazily maps every `(index, item)` pair; consume with `collect`.
+    pub fn map<R, F>(self, f: F) -> ParIterMutEnumMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'data mut T)) -> R + Sync,
+    {
+        ParIterMutEnumMap { slice: self.slice, f }
+    }
+}
+
+/// A mapped, indexed parallel iterator over `&mut T` items.
+pub struct ParIterMutEnumMap<'data, T, F> {
+    slice: &'data mut [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParIterMutEnumMap<'data, T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn((usize, &'data mut T)) -> R + Sync,
+{
+    /// Collects the mapped items in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let threads = current_num_threads();
+        let f = &self.f;
+        run_chunked(mut_jobs(self.slice, threads), threads, |base, chunk: &'data mut [T]| {
+            chunk.iter_mut().enumerate().map(|(j, item)| f((base + j, item))).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flat_map(|(_, part)| part)
+        .collect::<Vec<R>>()
+        .into()
+    }
+}
+
+/// The parallel-iterator entry-point traits: `use rayon::prelude::*;`.
 pub mod prelude {
-    /// `par_iter()` on shared slices (sequential fallback).
-    pub trait IntoParallelRefIterator<'a> {
-        /// Item type yielded by the iterator.
-        type Item: 'a;
-        /// The iterator type.
-        type Iter: Iterator<Item = Self::Item>;
+    use super::{ParIter, ParIterMut};
 
-        /// Sequential stand-in for `rayon`'s `par_iter`.
-        fn par_iter(&'a self) -> Self::Iter;
+    /// `par_iter()` on shared slices.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type of the underlying collection.
+        type Item: Sync + 'data;
+
+        /// A parallel iterator over `&Self::Item`.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
     }
 
-    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
-        type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
         }
     }
 
-    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
-        type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
         }
     }
 
-    /// `par_iter_mut()` on exclusive slices (sequential fallback).
-    pub trait IntoParallelRefMutIterator<'a> {
-        /// Item type yielded by the iterator.
-        type Item: 'a;
-        /// The iterator type.
-        type Iter: Iterator<Item = Self::Item>;
+    /// `par_iter_mut()` on exclusive slices.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Element type of the underlying collection.
+        type Item: Send + 'data;
 
-        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
+        /// A parallel iterator over `&mut Self::Item`.
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
     }
 
-    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
-        type Item = &'a mut T;
-        type Iter = std::slice::IterMut<'a, T>;
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = T;
 
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.iter_mut()
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { slice: self }
         }
     }
 
-    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
-        type Item = &'a mut T;
-        type Iter = std::slice::IterMut<'a, T>;
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = T;
 
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.iter_mut()
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { slice: self }
         }
     }
 }
@@ -75,19 +485,130 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
-    #[test]
-    fn par_iter_mut_maps_and_collects_like_std() {
-        let mut v = vec![1, 2, 3];
-        let doubled: Vec<i32> =
-            v.par_iter_mut().enumerate().map(|(i, x)| *x * 2 + i as i32).collect();
-        assert_eq!(doubled, vec![2, 5, 8]);
+    fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(op)
     }
 
     #[test]
-    fn par_iter_reads_in_order() {
-        let v = vec![5, 6, 7];
-        let sum: i32 = v.par_iter().sum();
-        assert_eq!(sum, 18);
+    fn par_iter_mut_maps_and_collects_like_std() {
+        for threads in [1, 2, 8] {
+            let mut v: Vec<i32> = (1..=100).collect();
+            let expected: Vec<i32> = v.iter().enumerate().map(|(i, x)| *x * 2 + i as i32).collect();
+            let doubled: Vec<i32> = with_threads(threads, || {
+                v.par_iter_mut().enumerate().map(|(i, x)| *x * 2 + i as i32).collect()
+            });
+            assert_eq!(doubled, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_for_each_mutates_every_item() {
+        let mut v = vec![0u64; 1000];
+        with_threads(4, || v.par_iter_mut().for_each(|x| *x += 7));
+        assert!(v.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn par_iter_sum_and_map_agree_with_sequential() {
+        let v: Vec<u64> = (0..997).collect();
+        for threads in [1, 3, 8] {
+            let sum: u64 = with_threads(threads, || v.par_iter().sum());
+            assert_eq!(sum, 997 * 996 / 2);
+            let mapped: Vec<u64> = with_threads(threads, || v.par_iter().map(|x| x * 3).collect());
+            assert_eq!(mapped, v.iter().map(|x| x * 3).collect::<Vec<_>>());
+            let total: u64 = with_threads(threads, || v.par_iter().map(|x| x + 1).sum());
+            assert_eq!(total, 997 * 996 / 2 + 997);
+        }
+    }
+
+    #[test]
+    fn par_iter_enumerate_preserves_indices() {
+        let v: Vec<u32> = (0..257).map(|i| i * 2).collect();
+        let pairs: Vec<(usize, u32)> =
+            with_threads(5, || v.par_iter().enumerate().map(|(i, x)| (i, *x)).collect());
+        for (i, (idx, val)) in pairs.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*val, (i as u32) * 2);
+        }
+    }
+
+    #[test]
+    fn for_each_really_runs_on_worker_threads() {
+        let v = vec![0u8; 64];
+        let seen = Mutex::new(HashSet::new());
+        with_threads(8, || {
+            v.par_iter().for_each(|_| {
+                seen.lock().unwrap().insert(thread::current().id());
+                // Give other workers a chance to claim chunks.
+                thread::yield_now();
+            })
+        });
+        // With one chunk per item group and 8 workers at least one spawned
+        // worker participates (the exact count is scheduling-dependent).
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn one_thread_runs_inline_without_spawning() {
+        let v = vec![1u64; 16];
+        let main_id = thread::current().id();
+        with_threads(1, || {
+            v.par_iter().for_each(|_| assert_eq!(thread::current().id(), main_id));
+        });
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 4] {
+            let (a, b) = with_threads(threads, || join(|| 6 * 7, || "ok"));
+            assert_eq!(a, 42);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn install_is_scoped_and_restored() {
+        let outer = current_num_threads();
+        with_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_threads(5, || assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u64> = vec![];
+        let collected: Vec<u64> = with_threads(4, || empty.par_iter().map(|x| *x).collect());
+        assert!(collected.is_empty());
+        let one = [9u64];
+        let sum: u64 = with_threads(4, || one.par_iter().sum());
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn every_chunk_is_processed_exactly_once() {
+        let v = vec![1u64; 10_000];
+        let counter = AtomicUsize::new(0);
+        with_threads(7, || {
+            v.par_iter().for_each(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let v = vec![0u64; 128];
+            with_threads(4, || v.par_iter().for_each(|_| panic!("boom")));
+        });
+        assert!(result.is_err());
     }
 }

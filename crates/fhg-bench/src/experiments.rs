@@ -24,10 +24,10 @@ use fhg_radio::{evaluate_tdma, RadioNetwork};
 use crate::table::Table;
 
 /// The experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 10] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const EXPERIMENT_IDS: [&str; 11] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
 
-/// Runs one experiment by id (`"e1"` … `"e10"`), returning its tables.
+/// Runs one experiment by id (`"e1"` … `"e11"`), returning its tables.
 ///
 /// # Panics
 /// Panics if the id is unknown.
@@ -43,6 +43,7 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "e8" => e8_dynamic_recovery(),
         "e9" => e9_satisfaction(),
         "e10" => e10_mis_and_radio(),
+        "e11" => e11_analysis_engine(),
         other => panic!("unknown experiment id {other:?}; valid ids: {EXPERIMENT_IDS:?}"),
     }
 }
@@ -517,13 +518,74 @@ pub fn e10_mis_and_radio() -> Vec<Table> {
     vec![mis_table, radio_table]
 }
 
+/// E11 — the analysis engine: sequential per-holiday verification (the
+/// pre-shard pipeline) vs the sharded, residue-cached engine, on the
+/// checker-bound configuration (`erdos_renyi(10_000, 0.001)`, 4096 holidays,
+/// `periodic-degree-bound`).  A perfectly periodic schedule has only
+/// `cycle = 2^maxexp` distinct happy sets, so the cached engine verifies
+/// `cycle` holidays instead of 4096 and shards the remaining counting sweep
+/// across `FHG_THREADS` workers.  Timings vary run to run; the structural
+/// columns (cycle, verified holidays, parity) are deterministic.
+pub fn e11_analysis_engine() -> Vec<Table> {
+    let graph = generators::erdos_renyi(10_000, 0.001, 42);
+    let horizon = 4096u64;
+    let mut table = Table::new(
+        "E11 — analysis engine on erdos_renyi(10000, 0.001), 4096 holidays, periodic-degree-bound",
+        &["engine", "threads", "holidays verified", "time (ms)", "speedup", "matches reference"],
+    );
+
+    let mut scheduler = PeriodicDegreeBound::new(&graph);
+    let cycle = scheduler.residue_schedule().expect("perfectly periodic").cycle();
+
+    let t0 = Instant::now();
+    let reference = analyze_schedule_reference(&graph, &mut scheduler, horizon);
+    let reference_ms = t0.elapsed().as_secs_f64() * 1e3;
+    table.push(&[
+        "sequential reference".to_string(),
+        "1".to_string(),
+        horizon.to_string(),
+        format!("{reference_ms:.1}"),
+        "1.00x".to_string(),
+        "-".to_string(),
+    ]);
+
+    let matches_reference = |analysis: &ScheduleAnalysis| {
+        analysis.total_happiness == reference.total_happiness
+            && analysis.all_happy_sets_independent == reference.all_happy_sets_independent
+            && analysis.per_node.iter().zip(&reference.per_node).all(|(a, b)| {
+                a.max_unhappiness == b.max_unhappiness && a.observed_period == b.observed_period
+            })
+    };
+
+    let ambient = rayon::current_num_threads();
+    let mut thread_counts = vec![1usize];
+    if ambient > 1 {
+        thread_counts.push(ambient);
+    }
+    for threads in thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let t0 = Instant::now();
+        let analysis = pool.install(|| analyze_schedule(&graph, &mut scheduler, horizon));
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        table.push(&[
+            "sharded + residue cache".to_string(),
+            threads.to_string(),
+            cycle.min(horizon).to_string(),
+            format!("{ms:.1}"),
+            format!("{:.2}x", reference_ms / ms),
+            matches_reference(&analysis).to_string(),
+        ]);
+    }
+    vec![table]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn experiment_ids_are_wired_up() {
-        assert_eq!(EXPERIMENT_IDS.len(), 10);
+        assert_eq!(EXPERIMENT_IDS.len(), 11);
     }
 
     #[test]

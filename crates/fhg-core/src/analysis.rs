@@ -16,14 +16,42 @@
 //! independent set of the conflict graph — the correctness requirement of
 //! Definition 2.1.
 //!
-//! The driver loop runs on the zero-allocation engine path: one reused
-//! [`HappySet`] buffer is filled per holiday via
-//! [`Scheduler::fill_happy_set`], independence is verified word-wise against
-//! dense adjacency rows ([`properties::AdjacencyBitmap`]) on graphs up to
-//! [`DENSE_ADJACENCY_LIMIT`] nodes and by CSR neighbour probes beyond that,
-//! and the streak accounting iterates set bits directly.
+//! # Execution engine
+//!
+//! The driver runs on the zero-allocation engine path: every worker owns one
+//! reused [`HappySet`] scratch buffer, independence is verified word-wise
+//! against dense adjacency rows ([`properties::AdjacencyBitmap`]) on graphs
+//! up to [`DENSE_ADJACENCY_LIMIT`] nodes and by branchless CSR neighbour
+//! probes beyond (see [`GraphChecker`]), and streak accounting iterates set
+//! bits directly.  Two structural optimisations apply when the scheduler
+//! exposes a [`ResidueSchedule`](crate::schedulers::residue::ResidueSchedule)
+//! view (a pure function of the holiday number — every perfectly periodic
+//! scheduler in the paper does):
+//!
+//! * **Horizon sharding.** The horizon is split into one contiguous shard per
+//!   worker thread ([`rayon::current_num_threads`], the `FHG_THREADS` knob);
+//!   each shard sweeps its offsets with private scratch and per-node
+//!   accumulators, and the segment summaries are merged **exactly** — gap
+//!   sums, streaks and period candidates compose across shard boundaries with
+//!   pure integer arithmetic, so the result is bitwise-identical to the
+//!   sequential sweep for every thread count (locked down by
+//!   `tests/analysis_parity.rs`).
+//! * **Residue-cached verification.** A perfectly periodic schedule has only
+//!   [`cycle`](crate::schedulers::residue::ResidueSchedule::cycle) distinct
+//!   happy sets, so each residue class
+//!   `t mod cycle` is verified exactly once (the first `cycle` holidays) and
+//!   the cached verdict is replayed for the rest of the horizon, converting
+//!   `O(horizon)` independence checks into `O(cycle)` (locked down by
+//!   `tests/residue_cache.rs`).
+//!
+//! Stateful schedulers (no residue view) take the sequential, fully verified
+//! path, which is also exposed as [`analyze_schedule_reference`] for
+//! differential testing and benchmarking.
 
-use fhg_graph::{properties, CsrGraph, Graph, HappySet, NodeId};
+use std::ops::Range;
+
+use fhg_graph::{properties, CsrGraph, FixedBitSet, Graph, HappySet, NodeId};
+use rayon::prelude::*;
 
 use crate::scheduler::Scheduler;
 
@@ -117,92 +145,254 @@ impl ScheduleAnalysis {
     }
 }
 
-/// Runs `scheduler` for `horizon` holidays (starting at its
-/// [`Scheduler::first_holiday`]) and measures every quantity above.
-pub fn analyze_schedule<S: Scheduler + ?Sized>(
-    graph: &Graph,
-    scheduler: &mut S,
-    horizon: u64,
-) -> ScheduleAnalysis {
-    let n = graph.node_count();
-    let start = scheduler.first_holiday();
-    let mut last_happy: Vec<Option<u64>> = vec![None; n];
-    let mut first_happy: Vec<Option<u64>> = vec![None; n];
-    let mut max_streak: Vec<u64> = vec![0; n];
-    let mut happy_count: Vec<u64> = vec![0; n];
-    let mut gap_sum: Vec<u64> = vec![0; n];
-    let mut gap_count: Vec<u64> = vec![0; n];
-    let mut common_gap: Vec<Option<u64>> = vec![None; n];
-    let mut gaps_uniform: Vec<bool> = vec![true; n];
-    let mut all_independent = true;
-    let mut total_happiness = 0u64;
+/// A per-holiday independence verdict source, shareable across worker
+/// threads.
+///
+/// The holiday number is passed alongside the set so instrumented checkers
+/// (e.g. the counting checker in `tests/residue_cache.rs`) can observe
+/// *which* holidays the analysis actually verifies — the residue cache
+/// promises each residue class is probed exactly once.
+pub trait HolidayChecker: Sync {
+    /// Whether the happy set emitted at holiday `t` is an independent set.
+    fn check(&self, t: u64, happy: &FixedBitSet) -> bool;
+}
 
-    // The reused engine buffer plus the independence checker: dense
-    // word-wise adjacency rows for small graphs, CSR probes for large ones.
-    let mut happy = HappySet::new(scheduler.node_count());
-    let dense =
-        (n <= DENSE_ADJACENCY_LIMIT).then(|| properties::AdjacencyBitmap::from_graph(graph));
-    let csr = if dense.is_none() { Some(CsrGraph::from_graph(graph)) } else { None };
+/// The default checker: dense word-wise adjacency rows for graphs up to
+/// [`DENSE_ADJACENCY_LIMIT`] nodes, branchless CSR neighbour probes beyond.
+pub struct GraphChecker {
+    dense: Option<properties::AdjacencyBitmap>,
+    csr: Option<CsrGraph>,
+}
 
-    for offset in 0..horizon {
-        let t = start + offset;
-        scheduler.fill_happy_set(t, &mut happy);
-        if all_independent {
-            let independent = match (&dense, &csr) {
-                (Some(adj), _) => adj.is_independent(happy.as_bitset()),
-                (None, Some(csr)) => csr.is_independent(happy.as_bitset()),
-                (None, None) => unreachable!("one independence checker is always built"),
-            };
-            if !independent {
-                all_independent = false;
-            }
+impl GraphChecker {
+    /// Builds the checker for `graph`, choosing the representation by size.
+    pub fn new(graph: &Graph) -> Self {
+        let dense = (graph.node_count() <= DENSE_ADJACENCY_LIMIT)
+            .then(|| properties::AdjacencyBitmap::from_graph(graph));
+        let csr = if dense.is_none() { Some(CsrGraph::from_graph(graph)) } else { None };
+        GraphChecker { dense, csr }
+    }
+}
+
+impl HolidayChecker for GraphChecker {
+    fn check(&self, _t: u64, happy: &FixedBitSet) -> bool {
+        match (&self.dense, &self.csr) {
+            (Some(adj), _) => adj.is_independent(happy),
+            (None, Some(csr)) => csr.is_independent(happy),
+            (None, None) => unreachable!("one independence checker is always built"),
         }
-        total_happiness += happy.len() as u64;
-        for p in happy.iter() {
-            if p >= n {
-                all_independent = false;
-                continue;
-            }
-            happy_count[p] += 1;
-            match last_happy[p] {
-                None => {
-                    first_happy[p] = Some(offset);
-                    max_streak[p] = max_streak[p].max(offset);
-                }
-                Some(prev) => {
-                    let gap = offset - prev;
-                    max_streak[p] = max_streak[p].max(gap - 1);
-                    gap_sum[p] += gap;
-                    gap_count[p] += 1;
-                    match common_gap[p] {
-                        None => common_gap[p] = Some(gap),
-                        Some(g) if g != gap => gaps_uniform[p] = false,
-                        Some(_) => {}
-                    }
-                }
-            }
-            last_happy[p] = Some(offset);
+    }
+}
+
+/// Sentinel for "no offset/gap recorded yet" in the packed accumulators
+/// (horizons never reach `u64::MAX`).
+const NONE: u64 = u64::MAX;
+
+/// Per-node accumulator of one horizon segment — one cache line per node, so
+/// the counting sweep touches a single line per happy appearance.
+#[derive(Clone)]
+struct NodeAccum {
+    /// Offset of the first happy holiday in the segment (`NONE` if none).
+    first: u64,
+    /// Offset of the last happy holiday in the segment (`NONE` if none).
+    last: u64,
+    /// Happy appearances in the segment.
+    happy: u64,
+    /// Sum of the gaps between consecutive happy holidays in the segment.
+    gap_sum: u64,
+    /// Number of such gaps.
+    gap_count: u64,
+    /// The first gap observed (the candidate period); `NONE` if no gaps.
+    first_gap: u64,
+    /// Largest `gap - 1` streak between happy holidays inside the segment.
+    max_streak: u64,
+    /// Whether every gap observed so far equals `first_gap`.
+    uniform: bool,
+}
+
+impl NodeAccum {
+    fn empty() -> Self {
+        NodeAccum {
+            first: NONE,
+            last: NONE,
+            happy: 0,
+            gap_sum: 0,
+            gap_count: 0,
+            first_gap: NONE,
+            max_streak: 0,
+            uniform: true,
+        }
+    }
+}
+
+/// Folds segment `s` (the next contiguous stretch of the horizon) into the
+/// running accumulator `g`.  This is exactly the arithmetic the sequential
+/// sweep performs, applied to segment summaries: the boundary gap between
+/// `g`'s last happy offset and `s`'s first one is processed first, then `s`'s
+/// internal gaps are absorbed in order — so the merged result is
+/// bitwise-identical to a single sequential pass regardless of where the
+/// horizon was cut.
+fn merge_node(g: &mut NodeAccum, s: &NodeAccum) {
+    if s.happy == 0 {
+        return;
+    }
+    if g.last == NONE {
+        g.first = s.first;
+        // The leading unhappy stretch before the very first happy holiday.
+        g.max_streak = g.max_streak.max(s.first);
+    } else {
+        let gap = s.first - g.last;
+        g.max_streak = g.max_streak.max(gap - 1);
+        g.gap_sum += gap;
+        g.gap_count += 1;
+        apply_gap_candidate(g, gap);
+    }
+    g.max_streak = g.max_streak.max(s.max_streak);
+    g.gap_sum += s.gap_sum;
+    g.gap_count += s.gap_count;
+    if s.gap_count > 0 {
+        apply_gap_candidate(g, s.first_gap);
+        if !s.uniform {
+            g.uniform = false;
+        }
+    }
+    g.happy += s.happy;
+    g.last = s.last;
+}
+
+fn apply_gap_candidate(g: &mut NodeAccum, gap: u64) {
+    if g.first_gap == NONE {
+        g.first_gap = gap;
+    } else if g.first_gap != gap {
+        g.uniform = false;
+    }
+}
+
+/// One worker's slice of the horizon: a contiguous offset range, private
+/// scratch, and per-node segment accumulators.
+struct ShardSweep {
+    /// Offsets (from the start of the horizon) this shard covers.
+    offsets: Range<u64>,
+    /// Offsets below this bound get an independence check; at or above it the
+    /// cached per-residue verdict is replayed (equal to the horizon when no
+    /// cache applies).
+    verify_below: u64,
+    accum: Vec<NodeAccum>,
+    happy: HappySet,
+    all_independent: bool,
+    total_happiness: u64,
+}
+
+impl ShardSweep {
+    fn new(n: usize, capacity: usize, offsets: Range<u64>, verify_below: u64) -> Self {
+        ShardSweep {
+            offsets,
+            verify_below,
+            accum: vec![NodeAccum::empty(); n],
+            happy: HappySet::new(capacity),
+            all_independent: true,
+            total_happiness: 0,
         }
     }
 
-    let per_node: Vec<NodeAnalysis> = (0..n)
-        .map(|p| {
+    /// Sweeps the shard's offsets: emit, verify (below `verify_below`), and
+    /// count.  Zero heap allocations per holiday: `fill` reuses the shard's
+    /// scratch buffer and every accumulator was sized up front.
+    fn sweep<C: HolidayChecker + ?Sized>(
+        &mut self,
+        start: u64,
+        n: usize,
+        checker: &C,
+        mut fill: impl FnMut(u64, &mut HappySet),
+    ) {
+        for offset in self.offsets.clone() {
+            let t = start + offset;
+            fill(t, &mut self.happy);
+            if self.all_independent
+                && offset < self.verify_below
+                && !checker.check(t, self.happy.as_bitset())
+            {
+                self.all_independent = false;
+            }
+            self.total_happiness += self.happy.len() as u64;
+            for p in self.happy.iter() {
+                if p >= n {
+                    self.all_independent = false;
+                    continue;
+                }
+                let a = &mut self.accum[p];
+                a.happy += 1;
+                if a.last == NONE {
+                    a.first = offset;
+                } else {
+                    let gap = offset - a.last;
+                    a.max_streak = a.max_streak.max(gap - 1);
+                    a.gap_sum += gap;
+                    a.gap_count += 1;
+                    apply_gap_candidate(a, gap);
+                }
+                a.last = offset;
+            }
+        }
+    }
+}
+
+/// Splits `horizon` offsets into at most `parts` contiguous, non-empty
+/// ranges (earlier ranges get the remainder, matching an even split).
+fn split_offsets(horizon: u64, parts: usize) -> Vec<Range<u64>> {
+    if horizon == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = (parts as u64).min(horizon);
+    let base = horizon / parts;
+    let remainder = horizon % parts;
+    let mut ranges = Vec::with_capacity(parts as usize);
+    let mut lo = 0u64;
+    for i in 0..parts {
+        let len = base + u64::from(i < remainder);
+        ranges.push(lo..lo + len);
+        lo += len;
+    }
+    ranges
+}
+
+/// Merges the shard summaries (in horizon order) and assembles the final
+/// [`ScheduleAnalysis`].
+fn finalize(
+    scheduler: String,
+    horizon: u64,
+    graph: &Graph,
+    shards: Vec<ShardSweep>,
+) -> ScheduleAnalysis {
+    let n = graph.node_count();
+    let mut global = vec![NodeAccum::empty(); n];
+    let mut all_independent = true;
+    let mut total_happiness = 0u64;
+    for shard in &shards {
+        all_independent &= shard.all_independent;
+        total_happiness += shard.total_happiness;
+        for (g, s) in global.iter_mut().zip(&shard.accum) {
+            merge_node(g, s);
+        }
+    }
+
+    let per_node: Vec<NodeAnalysis> = global
+        .iter()
+        .enumerate()
+        .map(|(p, a)| {
             // Account for the trailing unhappy stretch.
-            let trailing = match last_happy[p] {
-                None => horizon,
-                Some(last) => horizon - 1 - last,
-            };
-            let max_unhappiness = max_streak[p].max(trailing);
-            let observed_period = if gaps_uniform[p] { common_gap[p] } else { None };
+            let trailing = if a.last == NONE { horizon } else { horizon - 1 - a.last };
+            let max_unhappiness = a.max_streak.max(trailing);
+            let observed_period = (a.uniform && a.first_gap != NONE).then_some(a.first_gap);
             let mean_gap =
-                if gap_count[p] > 0 { gap_sum[p] as f64 / gap_count[p] as f64 } else { f64::NAN };
+                if a.gap_count > 0 { a.gap_sum as f64 / a.gap_count as f64 } else { f64::NAN };
             NodeAnalysis {
                 node: p,
                 degree: graph.degree(p),
-                happy_count: happy_count[p],
+                happy_count: a.happy,
                 max_unhappiness,
                 observed_period,
-                first_happy: first_happy[p],
+                first_happy: (a.first != NONE).then_some(a.first),
                 mean_gap,
             }
         })
@@ -210,7 +400,7 @@ pub fn analyze_schedule<S: Scheduler + ?Sized>(
 
     let never_happy = per_node.iter().filter(|n| n.happy_count == 0).map(|n| n.node).collect();
     ScheduleAnalysis {
-        scheduler: scheduler.name().to_string(),
+        scheduler,
         horizon,
         mean_happy_set_size: if horizon == 0 {
             0.0
@@ -224,10 +414,79 @@ pub fn analyze_schedule<S: Scheduler + ?Sized>(
     }
 }
 
+/// Runs `scheduler` for `horizon` holidays (starting at its
+/// [`Scheduler::first_holiday`]) and measures every quantity above, using
+/// the sharded, residue-cached engine when the scheduler exposes a
+/// [`ResidueSchedule`](crate::schedulers::residue::ResidueSchedule) view
+/// (see the module docs).
+pub fn analyze_schedule<S: Scheduler + ?Sized>(
+    graph: &Graph,
+    scheduler: &mut S,
+    horizon: u64,
+) -> ScheduleAnalysis {
+    analyze_schedule_with_checker(graph, scheduler, horizon, &GraphChecker::new(graph))
+}
+
+/// Like [`analyze_schedule`], but verifying independence through a custom
+/// [`HolidayChecker`] — the instrumentation point the residue-cache tests use
+/// to prove each residue class is checked exactly once.
+pub fn analyze_schedule_with_checker<S, C>(
+    graph: &Graph,
+    scheduler: &mut S,
+    horizon: u64,
+    checker: &C,
+) -> ScheduleAnalysis
+where
+    S: Scheduler + ?Sized,
+    C: HolidayChecker + ?Sized,
+{
+    let n = graph.node_count();
+    let start = scheduler.first_holiday();
+    if let Some(view) = scheduler.residue_schedule() {
+        // Pure function of t: shard the horizon across worker threads and
+        // verify each residue class exactly once.
+        let verify_below = view.cycle().min(horizon);
+        let threads = rayon::current_num_threads().max(1);
+        let mut shards: Vec<ShardSweep> = split_offsets(horizon, threads)
+            .into_iter()
+            .map(|offsets| ShardSweep::new(n, scheduler.node_count(), offsets, verify_below))
+            .collect();
+        shards
+            .par_iter_mut()
+            .for_each(|shard| shard.sweep(start, n, checker, |t, out| view.fill(t, out)));
+        finalize(scheduler.name().to_string(), horizon, graph, shards)
+    } else {
+        // Stateful scheduler: single sequential sweep, every holiday verified.
+        let mut shard = ShardSweep::new(n, scheduler.node_count(), 0..horizon, horizon);
+        shard.sweep(start, n, checker, |t, out| scheduler.fill_happy_set(t, out));
+        finalize(scheduler.name().to_string(), horizon, graph, vec![shard])
+    }
+}
+
+/// The sequential reference analysis: single-threaded, no residue cache,
+/// every holiday's independence verified, emission through
+/// [`Scheduler::fill_happy_set`].  Exists so the property suite can assert
+/// the production engine is bitwise-identical to it, and so benchmarks can
+/// measure the engine against the unsharded, uncached baseline.
+pub fn analyze_schedule_reference<S: Scheduler + ?Sized>(
+    graph: &Graph,
+    scheduler: &mut S,
+    horizon: u64,
+) -> ScheduleAnalysis {
+    let n = graph.node_count();
+    let start = scheduler.first_holiday();
+    let checker = GraphChecker::new(graph);
+    let mut shard = ShardSweep::new(n, scheduler.node_count(), 0..horizon, horizon);
+    shard.sweep(start, n, &checker, |t, out| scheduler.fill_happy_set(t, out));
+    finalize(scheduler.name().to_string(), horizon, graph, vec![shard])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scheduler::Scheduler;
+    use crate::schedulers::PeriodicDegreeBound;
+    use fhg_graph::generators::erdos_renyi;
     use fhg_graph::generators::structured::{cycle, path};
 
     /// A scripted scheduler for exercising the analysis edge cases.
@@ -370,5 +629,70 @@ mod tests {
         assert!(a.per_node.is_empty());
         assert!(a.all_happy_sets_independent);
         assert!(a.all_periodic());
+    }
+
+    #[test]
+    fn zero_horizon_on_the_sharded_path() {
+        let g = cycle(5);
+        let mut s = PeriodicDegreeBound::new(&g);
+        assert!(s.residue_schedule().is_some());
+        let a = analyze_schedule(&g, &mut s, 0);
+        assert_eq!(a.horizon, 0);
+        assert_eq!(a.never_happy, vec![0, 1, 2, 3, 4]);
+        assert!(a.all_happy_sets_independent);
+        assert_eq!(a.mean_happy_set_size, 0.0);
+    }
+
+    #[test]
+    fn sharded_engine_matches_the_reference_across_thread_counts() {
+        // Smoke version of tests/analysis_parity.rs, at unit-test scope.
+        let g = erdos_renyi(40, 0.12, 5);
+        for horizon in [1u64, 7, 64, 129] {
+            let reference = {
+                let mut s = PeriodicDegreeBound::new(&g);
+                analyze_schedule_reference(&g, &mut s, horizon)
+            };
+            for threads in [1usize, 2, 8] {
+                let mut s = PeriodicDegreeBound::new(&g);
+                let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+                let sharded = pool.install(|| analyze_schedule(&g, &mut s, horizon));
+                assert_eq!(sharded.scheduler, reference.scheduler);
+                assert_eq!(sharded.total_happiness, reference.total_happiness);
+                assert_eq!(sharded.never_happy, reference.never_happy);
+                assert_eq!(
+                    sharded.all_happy_sets_independent,
+                    reference.all_happy_sets_independent
+                );
+                for (a, b) in sharded.per_node.iter().zip(&reference.per_node) {
+                    assert_eq!(a.happy_count, b.happy_count, "node {}", a.node);
+                    assert_eq!(a.max_unhappiness, b.max_unhappiness, "node {}", a.node);
+                    assert_eq!(a.observed_period, b.observed_period, "node {}", a.node);
+                    assert_eq!(a.first_happy, b.first_happy, "node {}", a.node);
+                    assert_eq!(
+                        a.mean_gap.to_bits(),
+                        b.mean_gap.to_bits(),
+                        "node {} (NaN-aware)",
+                        a.node
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_offsets_covers_the_horizon_exactly() {
+        for (horizon, parts) in [(10u64, 3usize), (7, 8), (1, 1), (64, 4), (5, 5)] {
+            let ranges = split_offsets(horizon, parts);
+            assert!(ranges.len() <= parts);
+            assert!(ranges.iter().all(|r| !r.is_empty()), "no empty shards");
+            let mut expected = 0u64;
+            for r in &ranges {
+                assert_eq!(r.start, expected, "contiguous coverage");
+                expected = r.end;
+            }
+            assert_eq!(expected, horizon);
+        }
+        assert!(split_offsets(0, 4).is_empty());
+        assert!(split_offsets(9, 0).is_empty());
     }
 }

@@ -16,6 +16,8 @@
 
 use fhg_graph::{HappySet, NodeId};
 
+use crate::schedulers::residue::ResidueSchedule;
+
 /// A (possibly stateful) holiday-gathering scheduler.
 pub trait Scheduler {
     /// Number of parents in the conflict graph this scheduler was built for.
@@ -47,10 +49,22 @@ pub trait Scheduler {
     /// Compatibility shim over [`fill_happy_set`](Scheduler::fill_happy_set);
     /// prefer the buffer API on hot paths.  The consecutive-`t` requirement
     /// for stateful schedulers applies here too.
+    ///
+    /// The intermediate [`HappySet`] is a thread-local scratch buffer reused
+    /// across calls (and across schedulers of the same `node_count`), so the
+    /// only steady-state allocation is the returned `Vec` itself.
+    /// Implementations of `fill_happy_set` must not call back into
+    /// `happy_set` (none has a reason to), or the scratch borrow panics.
     fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
-        let mut out = HappySet::new(self.node_count());
-        self.fill_happy_set(t, &mut out);
-        out.to_vec()
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<HappySet> =
+                std::cell::RefCell::new(HappySet::new(0));
+        }
+        SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            self.fill_happy_set(t, &mut buf);
+            buf.to_vec()
+        })
     }
 
     /// The first holiday index this scheduler is defined for (the paper
@@ -73,6 +87,20 @@ pub trait Scheduler {
     /// interval of node `p`, if it offers one (e.g. `d_p + 1` for the §3
     /// algorithm, `2^ρ(c_p)` for §4, `2^⌈log(d_p+1)⌉` for §5).
     fn unhappiness_bound(&self, p: NodeId) -> Option<u64>;
+
+    /// A thread-safe residue view of this schedule, when the happy set is a
+    /// **pure function of the holiday number**: for every `t`,
+    /// `view.fill(t, out)` must produce exactly the set
+    /// [`fill_happy_set`](Scheduler::fill_happy_set) would, evaluable through
+    /// `&self` from any thread.
+    ///
+    /// Returning `Some` is what lets [`crate::analysis::analyze_schedule`]
+    /// shard the horizon across worker threads and verify independence once
+    /// per residue class (`t mod` [`ResidueSchedule::cycle`]) instead of once
+    /// per holiday.  Stateful schedulers must return `None` (the default).
+    fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+        None
+    }
 
     /// Number of LOCAL-model communication rounds charged to the
     /// initialisation of this scheduler (0 for purely sequential ones).
@@ -141,6 +169,27 @@ mod tests {
         assert_eq!(s.init_rounds(), 0);
         assert_eq!(s.rounds_per_holiday(), 0);
         assert_eq!(s.node_count(), 3);
+        assert!(s.residue_schedule().is_none(), "no residue view unless opted in");
+    }
+
+    #[test]
+    fn shim_scratch_is_reused_across_interleaved_schedulers() {
+        // The thread-local scratch buffer must survive interleaved calls from
+        // schedulers of different capacities: each call resets it to its own
+        // node_count, so results stay bitwise-identical to the buffer API.
+        let mut small = EveryOther { n: 3 };
+        let mut large = EveryOther { n: 10 };
+        for t in 0..6u64 {
+            let s = small.happy_set(t);
+            let l = large.happy_set(t);
+            if t % 2 == 0 {
+                assert_eq!(s, vec![0, 1, 2], "holiday {t}");
+                assert_eq!(l, (0..10).collect::<Vec<_>>(), "holiday {t}");
+            } else {
+                assert!(s.is_empty(), "holiday {t}");
+                assert!(l.is_empty(), "holiday {t}");
+            }
+        }
     }
 
     #[test]

@@ -15,28 +15,16 @@ use fhg_distributed::{distributed_slot_assignment, SlotAssignmentOutcome};
 use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
-use crate::schedulers::residue::ResidueTable;
-
-/// Shared happy-set fallback for the two variants, used when the word-packed
-/// [`ResidueTable`] would exceed its memory budget.  Masks replace the
-/// hardware divide (`periods are powers of two`).
-fn fill_happy_at(slots: &[u64], exponents: &[u32], t: u64, out: &mut HappySet) {
-    out.reset(slots.len());
-    for (p, (&slot, &exp)) in slots.iter().zip(exponents).enumerate() {
-        if t & ((1u64 << exp) - 1) == slot {
-            out.insert(p);
-        }
-    }
-}
+use crate::schedulers::residue::ResidueSchedule;
 
 /// The sequential §5.1 periodic degree-bound scheduler.
 #[derive(Debug, Clone)]
 pub struct PeriodicDegreeBound {
-    slots: Vec<u64>,
+    /// The `(slot, 2^exponent)` assignment as a thread-safe pure function of
+    /// the holiday number (word-packed rows inside when within budget).
+    schedule: ResidueSchedule,
     exponents: Vec<u32>,
     degrees: Vec<usize>,
-    /// Word-packed emission rows; `None` when over the memory budget.
-    table: Option<ResidueTable>,
 }
 
 /// The slot-assignment order for the sequential §5.1 algorithm.
@@ -91,13 +79,13 @@ impl PeriodicDegreeBound {
         }
         let slots: Vec<u64> =
             assigned.into_iter().map(|s| s.expect("all nodes assigned")).collect();
-        let table = ResidueTable::build(&slots, &exponents);
-        Some(PeriodicDegreeBound { slots, exponents, degrees: graph.degrees(), table })
+        let schedule = ResidueSchedule::from_exponents(slots, &exponents);
+        Some(PeriodicDegreeBound { schedule, exponents, degrees: graph.degrees() })
     }
 
     /// The slot (residue) of node `p`.
     pub fn slot(&self, p: NodeId) -> u64 {
-        self.slots[p]
+        self.schedule.slot(p)
     }
 
     /// The slot exponent `⌈log₂(d_p + 1)⌉` of node `p`.
@@ -110,21 +98,18 @@ impl PeriodicDegreeBound {
     pub fn verify_no_conflicts(&self, graph: &Graph) -> bool {
         graph.edges().all(|e| {
             let m = 1u64 << self.exponents[e.u].min(self.exponents[e.v]);
-            self.slots[e.u] % m != self.slots[e.v] % m
+            self.schedule.slot(e.u) % m != self.schedule.slot(e.v) % m
         })
     }
 }
 
 impl Scheduler for PeriodicDegreeBound {
     fn node_count(&self) -> usize {
-        self.slots.len()
+        self.schedule.node_count()
     }
 
     fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
-        match &self.table {
-            Some(table) => table.fill(t, out),
-            None => fill_happy_at(&self.slots, &self.exponents, t, out),
-        }
+        self.schedule.fill(t, out);
     }
 
     fn name(&self) -> &'static str {
@@ -143,6 +128,10 @@ impl Scheduler for PeriodicDegreeBound {
         // Theorem 5.3: the cycle length is at most 2d (and at least d + 1).
         Some((2 * self.degrees[p].max(1)) as u64)
     }
+
+    fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+        Some(&self.schedule)
+    }
 }
 
 /// The distributed §5.2 periodic degree-bound scheduler: the same guarantees
@@ -152,16 +141,16 @@ impl Scheduler for PeriodicDegreeBound {
 pub struct DistributedDegreeBound {
     outcome: SlotAssignmentOutcome,
     degrees: Vec<usize>,
-    /// Word-packed emission rows; `None` when over the memory budget.
-    table: Option<ResidueTable>,
+    /// The assignment as a thread-safe pure function of the holiday number.
+    schedule: ResidueSchedule,
 }
 
 impl DistributedDegreeBound {
     /// Runs the §5.2 phased distributed slot assignment with the given seed.
     pub fn new(graph: &Graph, seed: u64) -> Self {
         let outcome = distributed_slot_assignment(graph, seed);
-        let table = ResidueTable::build(&outcome.slots, &outcome.exponents);
-        DistributedDegreeBound { outcome, degrees: graph.degrees(), table }
+        let schedule = ResidueSchedule::from_exponents(outcome.slots.clone(), &outcome.exponents);
+        DistributedDegreeBound { outcome, degrees: graph.degrees(), schedule }
     }
 
     /// The underlying slot-assignment outcome (slots, exponents, round counts).
@@ -176,10 +165,7 @@ impl Scheduler for DistributedDegreeBound {
     }
 
     fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
-        match &self.table {
-            Some(table) => table.fill(t, out),
-            None => self.outcome.fill_hosts(t, out),
-        }
+        self.schedule.fill(t, out);
     }
 
     fn name(&self) -> &'static str {
@@ -196,6 +182,10 @@ impl Scheduler for DistributedDegreeBound {
 
     fn unhappiness_bound(&self, p: NodeId) -> Option<u64> {
         Some((2 * self.degrees[p].max(1)) as u64)
+    }
+
+    fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+        Some(&self.schedule)
     }
 
     fn init_rounds(&self) -> u64 {

@@ -14,7 +14,7 @@ use fhg_coloring::{greedy_coloring, Coloring, GreedyOrder};
 use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
-use crate::schedulers::residue::ResidueTable;
+use crate::schedulers::residue::ResidueSchedule;
 
 /// The §4.2 prefix-code scheduler, generic over the prefix-free code.
 #[derive(Debug, Clone)]
@@ -22,9 +22,9 @@ pub struct PrefixCodeScheduler {
     coloring: Coloring,
     slots: Vec<SlotAssignment>,
     code_name: &'static str,
-    /// Word-packed emission rows (code periods are powers of two); `None`
-    /// when over the memory budget.
-    table: Option<ResidueTable>,
+    /// The `(offset, period)` assignment as a thread-safe pure function of
+    /// the holiday number (word-packed rows inside when within budget).
+    schedule: ResidueSchedule,
 }
 
 impl PrefixCodeScheduler {
@@ -62,14 +62,14 @@ impl PrefixCodeScheduler {
         let slots: Vec<SlotAssignment> =
             coloring.as_slice().iter().map(|&c| schedule.slot(u64::from(c))).collect();
         let offsets: Vec<u64> = slots.iter().map(|s| s.offset).collect();
-        let exponents: Vec<u32> = slots.iter().map(|s| s.period.trailing_zeros()).collect();
-        debug_assert!(slots.iter().all(|s| s.period.is_power_of_two()));
-        let table = ResidueTable::build(&offsets, &exponents);
+        let periods: Vec<u64> = slots.iter().map(|s| s.period).collect();
+        debug_assert!(periods.iter().all(|p| p.is_power_of_two()));
+        let residue_schedule = ResidueSchedule::new(offsets, periods);
         PrefixCodeScheduler {
             coloring: coloring.clone(),
             slots,
             code_name: schedule.code().name(),
-            table,
+            schedule: residue_schedule,
         }
     }
 
@@ -95,17 +95,7 @@ impl Scheduler for PrefixCodeScheduler {
     }
 
     fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
-        match &self.table {
-            Some(table) => table.fill(t, out),
-            None => {
-                out.reset(self.slots.len());
-                for (p, slot) in self.slots.iter().enumerate() {
-                    if slot.contains(t) {
-                        out.insert(p);
-                    }
-                }
-            }
-        }
+        self.schedule.fill(t, out);
     }
 
     fn name(&self) -> &'static str {
@@ -128,6 +118,10 @@ impl Scheduler for PrefixCodeScheduler {
 
     fn unhappiness_bound(&self, p: NodeId) -> Option<u64> {
         Some(self.slots[p].period)
+    }
+
+    fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+        Some(&self.schedule)
     }
 }
 

@@ -1,24 +1,33 @@
-//! Word-packed emission tables for perfectly periodic schedules.
+//! Word-packed emission tables and thread-safe views for perfectly periodic
+//! schedules.
 //!
 //! Every perfectly periodic scheduler in the paper assigns node `p` a pair
-//! `(slot_p, 2^{j_p})` and wakes `p` exactly when `t ≡ slot_p (mod 2^{j_p})`
-//! (§4.2 via prefix-free codes, §5 via degree exponents).  Evaluating that
-//! per node costs an `O(n)` scan with a hardware divide per node, every
-//! holiday.  A [`ResidueTable`] precomputes, for every distinct exponent `j`
-//! and every residue `r < 2^j`, the bitmask of nodes hosting at that residue;
-//! emitting a holiday then reduces to OR-ing one precomputed row per distinct
-//! exponent into the output [`HappySet`] — `O(#exponents · n/64)` word
-//! operations and zero allocations.
+//! `(slot_p, m_p)` and wakes `p` exactly when `t ≡ slot_p (mod m_p)` — §4.2
+//! via prefix-free codes and §5 via degree exponents use power-of-two moduli
+//! `m_p = 2^{j_p}`, while the §1/§4 baselines cycle a fixed modulus (`k`
+//! colours, `n` nodes).  Evaluating that per node costs an `O(n)` scan with a
+//! hardware divide per node, every holiday.  A [`ResidueTable`] precomputes,
+//! for every distinct modulus `m` and every residue `r < m`, the bitmask of
+//! nodes hosting at that residue; emitting a holiday then reduces to OR-ing
+//! one precomputed row per distinct modulus into the output [`HappySet`] —
+//! `O(#moduli · n/64)` word operations and zero allocations.
 //!
-//! Memory is `Σ_j 2^j · n/8` bytes over the distinct exponents, which is tiny
-//! for the degree distributions the experiments use but can reach `Θ(n·Δ)`
-//! on dense graphs, so construction is gated by [`ResidueTable::MAX_BYTES`]
-//! and callers keep a per-node scan fallback.
+//! [`ResidueSchedule`] bundles the `(slot, modulus)` assignment, the optional
+//! table and the schedule's global cycle length into a **pure function of the
+//! holiday number** that can be evaluated from any thread through `&self`.
+//! It is the view [`crate::scheduler::Scheduler::residue_schedule`] exposes
+//! so the analysis can shard horizons across worker threads and verify
+//! independence once per residue class instead of once per holiday.
+//!
+//! Memory is `Σ_m m · n/8` bytes over the distinct moduli, which is tiny for
+//! the degree distributions the experiments use but can reach `Θ(n·Δ)` on
+//! dense graphs, so construction is gated by [`ResidueTable::MAX_BYTES`] and
+//! [`ResidueSchedule::fill`] keeps a per-node scan fallback.
 
 use fhg_graph::{FixedBitSet, HappySet, NodeId};
 
-/// Precomputed hosting rows: `groups` holds, per distinct exponent `j`, the
-/// residue mask `2^j - 1` and one bit row per residue.
+/// Precomputed hosting rows: `groups` holds, per distinct modulus `m`, the
+/// modulus and one bit row per residue `r < m`.
 #[derive(Debug, Clone)]
 pub struct ResidueTable {
     n: usize,
@@ -35,22 +44,41 @@ impl ResidueTable {
     /// per-node scan.
     pub fn build(slots: &[u64], exponents: &[u32]) -> Option<Self> {
         debug_assert_eq!(slots.len(), exponents.len());
+        // Periods of 2^40+ would be refused on size anyway; saturating keeps
+        // the arithmetic below overflow-free for adversarial exponents.
+        let moduli: Vec<u64> =
+            exponents.iter().map(|&j| 1u64.checked_shl(j).unwrap_or(u64::MAX)).collect();
+        Self::build_moduli(slots, &moduli)
+    }
+
+    /// Builds the table for nodes hosting at `t ≡ slots[p] (mod moduli[p])`,
+    /// for arbitrary (not necessarily power-of-two) moduli.  Returns `None`
+    /// when the rows would exceed [`ResidueTable::MAX_BYTES`].
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if some modulus is zero or some slot is not a
+    /// residue of its modulus.
+    pub fn build_moduli(slots: &[u64], moduli: &[u64]) -> Option<Self> {
+        debug_assert_eq!(slots.len(), moduli.len());
         let n = slots.len();
         let words = n.div_ceil(64);
-        let mut distinct: Vec<u32> = exponents.to_vec();
+        let mut distinct: Vec<u64> = moduli.to_vec();
         distinct.sort_unstable();
         distinct.dedup();
-        let total_rows: u64 = distinct.iter().map(|&j| 1u64 << j).sum();
+        let total_rows = distinct.iter().try_fold(0u64, |acc, &m| acc.checked_add(m))?;
         if total_rows.checked_mul(words as u64 * 8).is_none_or(|b| b > Self::MAX_BYTES as u64) {
             return None;
         }
         let mut groups: Vec<(u64, Vec<FixedBitSet>)> = distinct
             .iter()
-            .map(|&j| ((1u64 << j) - 1, vec![FixedBitSet::new(n); 1 << j]))
+            .map(|&m| {
+                debug_assert!(m >= 1, "modulus must be positive");
+                (m, vec![FixedBitSet::new(n); m as usize])
+            })
             .collect();
-        for (p, (&slot, &exp)) in slots.iter().zip(exponents).enumerate() {
-            let gi = distinct.binary_search(&exp).expect("exponent is in the distinct list");
-            debug_assert!(slot < (1u64 << exp), "slot must be a residue of its period");
+        for (p, (&slot, &m)) in slots.iter().zip(moduli).enumerate() {
+            let gi = distinct.binary_search(&m).expect("modulus is in the distinct list");
+            debug_assert!(slot < m, "slot must be a residue of its modulus");
             groups[gi].1[slot as usize].insert(p);
         }
         Some(ResidueTable { n, groups })
@@ -62,11 +90,14 @@ impl ResidueTable {
     }
 
     /// Writes the hosting set of holiday `t` into `out` with one word-wise OR
-    /// per distinct exponent (and a single cardinality recount at the end).
+    /// per distinct modulus (and a single cardinality recount at the end).
     /// Resets `out` to the table's capacity.
     pub fn fill(&self, t: u64, out: &mut HappySet) {
         out.reset(self.n);
-        out.union_many(self.groups.iter().map(|(mask, rows)| &rows[(t & mask) as usize]));
+        out.union_many(self.groups.iter().map(|(m, rows)| {
+            let r = if m.is_power_of_two() { t & (m - 1) } else { t % m };
+            &rows[r as usize]
+        }));
     }
 
     /// The nodes hosting at holiday `t`, as a fresh `Vec` (test helper).
@@ -75,6 +106,226 @@ impl ResidueTable {
         self.fill(t, &mut out);
         out.to_vec()
     }
+}
+
+/// A perfectly periodic schedule as a pure function of the holiday number:
+/// node `p` hosts exactly when `t ≡ slot(p) (mod modulus(p))`.
+///
+/// Unlike [`crate::scheduler::Scheduler::fill_happy_set`] (which takes `&mut
+/// self`), [`ResidueSchedule::fill`] works through `&self`, so any number of
+/// threads can evaluate disjoint stretches of the horizon concurrently — the
+/// property the sharded analysis relies on.  The schedule repeats with period
+/// [`ResidueSchedule::cycle`]: the happy set of holiday `t` depends only on
+/// `t mod cycle()`, which is what makes per-residue verification caching
+/// sound.
+#[derive(Debug, Clone)]
+pub struct ResidueSchedule {
+    slots: Vec<u64>,
+    moduli: Vec<u64>,
+    cycle: u64,
+    /// Word-packed emission rows; `None` when over the memory budget or the
+    /// rows would be too sparse to beat the bucket index.
+    table: Option<ResidueTable>,
+    /// Residue-bucket emission index; `None` only when the total residue
+    /// count exceeds [`ResidueSchedule::MAX_INDEX_ROWS`], in which case
+    /// [`ResidueSchedule::fill`] falls back to the per-node scan.
+    buckets: Option<BucketIndex>,
+}
+
+/// CSR-style `(modulus, residue) -> hosting nodes` index: one hardware divide
+/// per **distinct** modulus per holiday and `O(|hosts|)` inserts, with
+/// `O(n + Σ_m m)` memory — the emission path for assignments whose bitmap
+/// rows would be wasteful (e.g. the trivial scheduler's `n` singleton rows).
+#[derive(Debug, Clone)]
+struct BucketIndex {
+    /// Distinct moduli, ascending, paired with the offset of their first row
+    /// in `starts` (group `g` owns rows `row_base[g] .. row_base[g] + m_g`).
+    groups: Vec<(u64, usize)>,
+    /// Prefix starts into `nodes`, one entry per residue row plus a sentinel.
+    starts: Vec<usize>,
+    /// Hosting nodes, grouped by (modulus, residue), ascending node id within
+    /// a bucket.
+    nodes: Vec<NodeId>,
+}
+
+impl BucketIndex {
+    fn build(slots: &[u64], moduli: &[u64]) -> Option<Self> {
+        let mut distinct: Vec<u64> = moduli.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let total_rows = distinct.iter().try_fold(0u64, |acc, &m| acc.checked_add(m))?;
+        if total_rows > ResidueSchedule::MAX_INDEX_ROWS {
+            return None;
+        }
+        let mut groups = Vec::with_capacity(distinct.len());
+        let mut base = 0usize;
+        for &m in &distinct {
+            groups.push((m, base));
+            base += m as usize;
+        }
+        // Counting sort of the nodes into their (modulus, residue) bucket.
+        let mut starts = vec![0usize; base + 1];
+        let row_of = |p: usize| {
+            let g = distinct.binary_search(&moduli[p]).expect("modulus is distinct");
+            groups[g].1 + slots[p] as usize
+        };
+        for p in 0..slots.len() {
+            starts[row_of(p) + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut cursor = starts.clone();
+        let mut nodes = vec![0 as NodeId; slots.len()];
+        for p in 0..slots.len() {
+            let row = row_of(p);
+            nodes[cursor[row]] = p;
+            cursor[row] += 1;
+        }
+        Some(BucketIndex { groups, starts, nodes })
+    }
+
+    fn fill(&self, t: u64, out: &mut HappySet) {
+        for &(m, base) in &self.groups {
+            let r = if m.is_power_of_two() { t & (m - 1) } else { t % m };
+            let row = base + r as usize;
+            for &p in &self.nodes[self.starts[row]..self.starts[row + 1]] {
+                out.insert(p);
+            }
+        }
+    }
+}
+
+impl ResidueSchedule {
+    /// Builds the schedule hosting node `p` at `t ≡ slots[p] (mod moduli[p])`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ, some modulus is zero, or some slot is
+    /// not a residue of its modulus.
+    pub fn new(slots: Vec<u64>, moduli: Vec<u64>) -> Self {
+        Self::build(slots, moduli, true)
+    }
+
+    /// Like [`ResidueSchedule::new`], but never builds the word-packed table —
+    /// for assignments where the rows are provably wasteful, e.g. the trivial
+    /// scheduler's `n` singleton rows (`n²/8` bytes to represent `t mod n`).
+    ///
+    /// # Panics
+    /// Same contract as [`ResidueSchedule::new`].
+    pub fn scan_only(slots: Vec<u64>, moduli: Vec<u64>) -> Self {
+        Self::build(slots, moduli, false)
+    }
+
+    /// Residue-count budget for the [`BucketIndex`] (entries, 8 bytes each).
+    /// Far above every schedule the paper produces; only astronomically long
+    /// periods (e.g. saturated lcm tests) fall back to the per-node scan.
+    const MAX_INDEX_ROWS: u64 = 1 << 22;
+
+    fn build(slots: Vec<u64>, moduli: Vec<u64>, with_table: bool) -> Self {
+        assert_eq!(slots.len(), moduli.len(), "one modulus per slot");
+        for (p, (&slot, &m)) in slots.iter().zip(&moduli).enumerate() {
+            assert!(m >= 1, "node {p}: modulus must be positive");
+            assert!(slot < m, "node {p}: slot {slot} is not a residue modulo {m}");
+        }
+        let cycle = moduli.iter().fold(1u64, |acc, &m| lcm_saturating(acc, m));
+        let table = if with_table { ResidueTable::build_moduli(&slots, &moduli) } else { None };
+        // The bucket index is the table's fallback; when the table exists it
+        // would never be read, so skip its counting sort and memory.
+        let buckets = if table.is_none() { BucketIndex::build(&slots, &moduli) } else { None };
+        ResidueSchedule { slots, moduli, cycle, table, buckets }
+    }
+
+    /// Builds the schedule for power-of-two periods `2^{exponents[p]}` (the
+    /// §4.2 / §5 shape).
+    ///
+    /// # Panics
+    /// Panics on length mismatch, exponents ≥ 64, or out-of-range slots.
+    pub fn from_exponents(slots: Vec<u64>, exponents: &[u32]) -> Self {
+        assert_eq!(slots.len(), exponents.len(), "one exponent per slot");
+        let moduli: Vec<u64> = exponents
+            .iter()
+            .map(|&j| {
+                assert!(j < 64, "exponent {j} would overflow the period");
+                1u64 << j
+            })
+            .collect();
+        Self::new(slots, moduli)
+    }
+
+    /// Number of nodes in the schedule.
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The hosting residue of node `p`.
+    pub fn slot(&self, p: NodeId) -> u64 {
+        self.slots[p]
+    }
+
+    /// The hosting modulus (period) of node `p`.
+    pub fn modulus(&self, p: NodeId) -> u64 {
+        self.moduli[p]
+    }
+
+    /// The global cycle length: the smallest `C` such that the happy set of
+    /// holiday `t` depends only on `t mod C` (the lcm of all moduli,
+    /// saturating at `u64::MAX` when it overflows — callers compare it
+    /// against the horizon, so saturation just disables caching).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the word-packed table was built (diagnostics only; `fill`
+    /// falls back to the bucket index, then to a per-node scan).
+    pub fn has_table(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// Writes the hosting set of holiday `t` into `out`, resetting it to
+    /// [`ResidueSchedule::node_count`].  Pure in `t`: callable concurrently
+    /// from any number of threads.
+    ///
+    /// Emission strategy, fastest available first: word-packed table rows
+    /// (one OR per distinct modulus), the residue [`BucketIndex`]
+    /// (`O(#moduli + |hosts|)` inserts), or — only when both budgets are
+    /// exceeded — a per-node scan.
+    pub fn fill(&self, t: u64, out: &mut HappySet) {
+        if let Some(table) = &self.table {
+            table.fill(t, out);
+            return;
+        }
+        out.reset(self.slots.len());
+        match &self.buckets {
+            Some(buckets) => buckets.fill(t, out),
+            None => {
+                for (p, (&slot, &m)) in self.slots.iter().zip(&self.moduli).enumerate() {
+                    let r = if m.is_power_of_two() { t & (m - 1) } else { t % m };
+                    if r == slot {
+                        out.insert(p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The nodes hosting at holiday `t`, as a fresh `Vec` (test helper).
+    pub fn hosts(&self, t: u64) -> Vec<NodeId> {
+        let mut out = HappySet::new(self.node_count());
+        self.fill(t, &mut out);
+        out.to_vec()
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn lcm_saturating(a: u64, b: u64) -> u64 {
+    debug_assert!(a >= 1 && b >= 1);
+    (a / gcd(a, b)).saturating_mul(b)
 }
 
 #[cfg(test)]
@@ -95,6 +346,18 @@ mod tests {
         assert_eq!(table.node_count(), 6);
         for t in 0..64u64 {
             assert_eq!(table.hosts(t), scan(&slots, &exponents, t), "holiday {t}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_moduli_match_the_scan() {
+        let slots = vec![0, 2, 4, 1, 0];
+        let moduli = vec![3, 5, 5, 2, 1];
+        let table = ResidueTable::build_moduli(&slots, &moduli).expect("tiny table");
+        for t in 0..60u64 {
+            let expected: Vec<NodeId> =
+                (0..slots.len()).filter(|&p| t % moduli[p] == slots[p]).collect();
+            assert_eq!(table.hosts(t), expected, "holiday {t}");
         }
     }
 
@@ -123,6 +386,79 @@ mod tests {
         assert_eq!(out.to_vec(), vec![1], "previous holiday's members must be cleared");
     }
 
+    #[test]
+    fn schedule_cycle_is_the_lcm_of_the_moduli() {
+        let s = ResidueSchedule::new(vec![0, 1, 2], vec![2, 3, 4]);
+        assert_eq!(s.cycle(), 12);
+        assert_eq!(s.modulus(1), 3);
+        assert_eq!(s.slot(2), 2);
+        // The schedule repeats with exactly that cycle.
+        for t in 0..48u64 {
+            assert_eq!(s.hosts(t), s.hosts(t % 12), "holiday {t}");
+        }
+        let empty = ResidueSchedule::new(vec![], vec![]);
+        assert_eq!(empty.cycle(), 1);
+        assert!(empty.hosts(7).is_empty());
+    }
+
+    #[test]
+    fn schedule_cycle_saturates_instead_of_overflowing() {
+        let s = ResidueSchedule::new(vec![0, 0], vec![u64::MAX, u64::MAX - 1]);
+        assert_eq!(s.cycle(), u64::MAX);
+        assert!(!s.has_table(), "astronomically long periods cannot be tabulated");
+        assert_eq!(s.hosts(0), vec![0, 1]);
+        assert_eq!(s.hosts(1), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn all_three_emission_paths_agree() {
+        let slots: Vec<u64> = (0..40).map(|p| (p as u64 * 7) % 8).collect();
+        let exponents: Vec<u32> = (0..40).map(|p| 3 + (p % 2) as u32).collect();
+        let with_table = ResidueSchedule::from_exponents(slots.clone(), &exponents);
+        assert!(with_table.has_table());
+        assert!(with_table.buckets.is_none(), "no fallback index while the table exists");
+        let mut bucketed = with_table.clone();
+        bucketed.table = None;
+        bucketed.buckets = BucketIndex::build(&bucketed.slots, &bucketed.moduli);
+        assert!(bucketed.buckets.is_some());
+        let mut scanned = bucketed.clone();
+        scanned.buckets = None;
+        for t in 0..64u64 {
+            let expected = with_table.hosts(t);
+            assert_eq!(bucketed.hosts(t), expected, "bucket index diverged at holiday {t}");
+            assert_eq!(scanned.hosts(t), expected, "per-node scan diverged at holiday {t}");
+        }
+    }
+
+    #[test]
+    fn scan_only_schedules_emit_through_the_bucket_index() {
+        // The trivial-scheduler shape: n singleton rows, one per residue of a
+        // single modulus n.  Emission must cost one divide + one insert, not
+        // an O(n) scan — proved structurally: the bucket index exists and
+        // each bucket holds exactly one node.
+        let n = 500u64;
+        let s = ResidueSchedule::scan_only((0..n).collect(), vec![n; n as usize]);
+        assert!(!s.has_table());
+        let buckets = s.buckets.as_ref().expect("index within budget");
+        assert_eq!(buckets.groups.len(), 1);
+        assert!(buckets.starts.windows(2).all(|w| w[1] - w[0] == 1));
+        for t in [0u64, 1, 7, 499, 500, 12_345] {
+            assert_eq!(s.hosts(t), vec![(t % n) as NodeId], "holiday {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 5 is not a residue")]
+    fn schedule_rejects_out_of_range_slots() {
+        ResidueSchedule::new(vec![5], vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn schedule_rejects_zero_moduli() {
+        ResidueSchedule::new(vec![0], vec![0]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
@@ -138,6 +474,13 @@ mod tests {
                 (0..n).map(|p| (seed.wrapping_mul(p as u64 + 3) >> 2) % (1 << exponents[p])).collect();
             let table = ResidueTable::build(&slots, &exponents).expect("small");
             prop_assert_eq!(table.hosts(t), scan(&slots, &exponents, t));
+
+            // The schedule view agrees with the raw table and repeats with
+            // its cycle.
+            let schedule = ResidueSchedule::from_exponents(slots.clone(), &exponents);
+            prop_assert_eq!(schedule.hosts(t), scan(&slots, &exponents, t));
+            prop_assert!(schedule.cycle() <= 32, "exponents < 6 keep the lcm at most 2^5");
+            prop_assert_eq!(schedule.hosts(t), schedule.hosts(t % schedule.cycle()));
         }
     }
 }

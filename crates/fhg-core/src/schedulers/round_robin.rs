@@ -11,18 +11,19 @@ use fhg_coloring::{greedy_coloring, Coloring, GreedyOrder};
 use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
+use crate::schedulers::residue::ResidueSchedule;
 
 /// Round-robin over the colour classes of a proper colouring.
 #[derive(Debug, Clone)]
 pub struct RoundRobinColoring {
     coloring: Coloring,
     k: u64,
-    /// Colour class `c` (1-based, index `c - 1`) as a precomputed bit row,
-    /// so emitting a holiday is one word-wise OR.  `None` when `k · n/8`
-    /// bytes would exceed [`crate::schedulers::residue::ResidueTable::MAX_BYTES`]
-    /// (a many-colour colouring of a large graph); emission then falls back
-    /// to the per-node scan.
-    classes: Option<Vec<fhg_graph::FixedBitSet>>,
+    /// Residue view `t ≡ colour - 1 (mod k)`: the colour-class bit rows live
+    /// in its word-packed table (one OR per holiday, falling back to a
+    /// per-node scan over the memory budget).  `None` only for defective
+    /// colourings with out-of-range colours, which emit via the legacy scan
+    /// that silently skips those nodes.
+    schedule: Option<ResidueSchedule>,
 }
 
 impl RoundRobinColoring {
@@ -37,20 +38,12 @@ impl RoundRobinColoring {
     pub fn with_coloring(coloring: Coloring) -> Self {
         let k = u64::from(coloring.max_color()).max(1);
         let n = coloring.len();
-        let row_bytes = n.div_ceil(64) as u64 * 8;
-        let budget = crate::schedulers::residue::ResidueTable::MAX_BYTES as u64;
-        let classes = if k.checked_mul(row_bytes).is_some_and(|b| b <= budget) {
-            let mut rows = vec![fhg_graph::FixedBitSet::new(n); k as usize];
-            for (p, &c) in coloring.as_slice().iter().enumerate() {
-                if c >= 1 && u64::from(c) <= k {
-                    rows[(c - 1) as usize].insert(p);
-                }
-            }
-            Some(rows)
-        } else {
-            None
-        };
-        RoundRobinColoring { coloring, k, classes }
+        let colors_valid = coloring.as_slice().iter().all(|&c| c >= 1 && u64::from(c) <= k);
+        let schedule = colors_valid.then(|| {
+            let slots: Vec<u64> = coloring.as_slice().iter().map(|&c| u64::from(c) - 1).collect();
+            ResidueSchedule::new(slots, vec![k; n])
+        });
+        RoundRobinColoring { coloring, k, schedule }
     }
 
     /// The number of colours being cycled.
@@ -70,11 +63,11 @@ impl Scheduler for RoundRobinColoring {
     }
 
     fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
-        let active = (t % self.k) as u32 + 1;
-        out.reset(self.coloring.len());
-        match &self.classes {
-            Some(rows) => out.union_with(&rows[(active - 1) as usize]),
+        match &self.schedule {
+            Some(schedule) => schedule.fill(t, out),
             None => {
+                let active = (t % self.k) as u32 + 1;
+                out.reset(self.coloring.len());
                 for (p, &c) in self.coloring.as_slice().iter().enumerate() {
                     if c == active {
                         out.insert(p);
@@ -98,6 +91,10 @@ impl Scheduler for RoundRobinColoring {
 
     fn unhappiness_bound(&self, _p: NodeId) -> Option<u64> {
         Some(self.k)
+    }
+
+    fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+        self.schedule.as_ref()
     }
 }
 
@@ -166,12 +163,13 @@ mod tests {
 
     #[test]
     fn fallback_scan_matches_precomputed_rows() {
-        // Force the scan path by rebuilding the scheduler with `classes`
-        // dropped, and compare schedules against the row path.
+        // Force the legacy scan path by rebuilding the scheduler with the
+        // residue view dropped, and compare schedules against the row path.
         let g = erdos_renyi(40, 0.1, 2);
         let mut with_rows = RoundRobinColoring::new(&g);
+        assert!(with_rows.residue_schedule().is_some());
         let mut scanned = with_rows.clone();
-        scanned.classes = None;
+        scanned.schedule = None;
         for t in 0..3 * with_rows.cycle_length() {
             assert_eq!(with_rows.happy_set(t), scanned.happy_set(t), "holiday {t}");
         }

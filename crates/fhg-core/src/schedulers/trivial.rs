@@ -9,17 +9,26 @@
 use fhg_graph::{Graph, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
+use crate::schedulers::residue::ResidueSchedule;
 
 /// One node per holiday, cycling through all `n` nodes.
 #[derive(Debug, Clone)]
 pub struct TrivialSequential {
     n: usize,
+    /// Residue view `t ≡ p (mod n)` for the sharded analysis; scan-only
+    /// because a word-row table for the identity schedule would cost `n²/8`
+    /// bytes — the view emits through its `O(n)`-memory residue bucket index
+    /// (one divide + one insert per holiday) instead.
+    schedule: ResidueSchedule,
 }
 
 impl TrivialSequential {
     /// Creates the scheduler for a graph with `graph.node_count()` parents.
     pub fn new(graph: &Graph) -> Self {
-        TrivialSequential { n: graph.node_count() }
+        let n = graph.node_count();
+        let slots: Vec<u64> = (0..n as u64).collect();
+        let schedule = ResidueSchedule::scan_only(slots, vec![(n as u64).max(1); n]);
+        TrivialSequential { n, schedule }
     }
 }
 
@@ -49,6 +58,10 @@ impl Scheduler for TrivialSequential {
 
     fn unhappiness_bound(&self, _p: NodeId) -> Option<u64> {
         Some(self.n as u64)
+    }
+
+    fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+        Some(&self.schedule)
     }
 }
 

@@ -38,6 +38,13 @@
 //! random baseline) must see **consecutive** holidays through either entry
 //! point, starting at `first_holiday()`.
 //!
+//! Perfectly periodic schedulers additionally expose a
+//! `core::Scheduler::residue_schedule` view — a pure function of the holiday
+//! number — which lets `core::analyze_schedule` shard the horizon across
+//! worker threads (`FHG_THREADS`) and verify independence once per residue
+//! class `t mod cycle` instead of once per holiday, with results
+//! bitwise-identical to the sequential sweep at every thread count.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -1,0 +1,138 @@
+//! Parity lockdown for the sharded, residue-cached analysis engine.
+//!
+//! `analyze_schedule` takes the sharded path (horizon split across worker
+//! threads, independence verified once per residue class) whenever a
+//! scheduler exposes a `ResidueSchedule` view, and the sequential path
+//! otherwise.  This suite asserts that, for every scheduler in the standard
+//! suite, every graph family, random seeds, thread counts 1/2/8 and horizons
+//! that are deliberately *not* multiples of the shard size, the production
+//! engine returns a `ScheduleAnalysis` bitwise-identical to the sequential,
+//! uncached reference (`analyze_schedule_reference`) — per-node gaps,
+//! streaks, periods, `jain_fairness` and `bound_violations` included.
+//!
+//! Float fields are compared through `to_bits`, so `NaN` mean gaps (fewer
+//! than two happy holidays) compare equal exactly when both paths produce
+//! them.
+
+use proptest::prelude::*;
+
+use fhg::core::analysis::{analyze_schedule, analyze_schedule_reference, ScheduleAnalysis};
+use fhg::core::schedulers::standard_suite;
+use fhg::graph::generators::Family;
+use rayon::ThreadPoolBuilder;
+
+/// Asserts two analyses are bitwise-identical, NaN-aware on float fields.
+fn assert_bitwise_identical(sharded: &ScheduleAnalysis, reference: &ScheduleAnalysis, ctx: &str) {
+    assert_eq!(sharded.scheduler, reference.scheduler, "{ctx}");
+    assert_eq!(sharded.horizon, reference.horizon, "{ctx}");
+    assert_eq!(
+        sharded.all_happy_sets_independent, reference.all_happy_sets_independent,
+        "{ctx}: independence verdict"
+    );
+    assert_eq!(sharded.never_happy, reference.never_happy, "{ctx}: never_happy");
+    assert_eq!(sharded.total_happiness, reference.total_happiness, "{ctx}: total_happiness");
+    assert_eq!(
+        sharded.mean_happy_set_size.to_bits(),
+        reference.mean_happy_set_size.to_bits(),
+        "{ctx}: mean_happy_set_size"
+    );
+    assert_eq!(sharded.per_node.len(), reference.per_node.len(), "{ctx}");
+    for (a, b) in sharded.per_node.iter().zip(&reference.per_node) {
+        assert_eq!(a.node, b.node, "{ctx}");
+        assert_eq!(a.degree, b.degree, "{ctx}: node {}", a.node);
+        assert_eq!(a.happy_count, b.happy_count, "{ctx}: node {} happy_count", a.node);
+        assert_eq!(a.max_unhappiness, b.max_unhappiness, "{ctx}: node {} streak", a.node);
+        assert_eq!(a.observed_period, b.observed_period, "{ctx}: node {} period", a.node);
+        assert_eq!(a.first_happy, b.first_happy, "{ctx}: node {} first_happy", a.node);
+        assert_eq!(
+            a.mean_gap.to_bits(),
+            b.mean_gap.to_bits(),
+            "{ctx}: node {} mean_gap (NaN-aware)",
+            a.node
+        );
+    }
+    assert_eq!(
+        sharded.jain_fairness().to_bits(),
+        reference.jain_fairness().to_bits(),
+        "{ctx}: jain_fairness"
+    );
+    assert_eq!(sharded.max_unhappiness(), reference.max_unhappiness(), "{ctx}");
+    assert_eq!(sharded.all_periodic(), reference.all_periodic(), "{ctx}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The core property: production engine == reference, for every suite
+    /// scheduler, across graph families, seeds, thread counts and horizons
+    /// (including 0, 1, and values coprime to every shard split).
+    #[test]
+    fn sharded_cached_analysis_is_bitwise_identical_to_reference(
+        family in prop::sample::select(Family::ALL.to_vec()),
+        seed in 0u64..300,
+        horizon in 0u64..230,
+        threads in prop::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let graph = family.generate(36, 4.0, seed);
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        // Twin scheduler instances from identical inputs, so stateful
+        // schedulers advance twin internal states down both paths.
+        let suite_prod = standard_suite(&graph, seed ^ 0xA5A5);
+        let suite_ref = standard_suite(&graph, seed ^ 0xA5A5);
+        for (mut prod, mut reference) in suite_prod.into_iter().zip(suite_ref) {
+            let expected = analyze_schedule_reference(&graph, reference.as_mut(), horizon);
+            let got = pool.install(|| analyze_schedule(&graph, prod.as_mut(), horizon));
+            let ctx = format!(
+                "{} on {} (seed {seed}, horizon {horizon}, {threads} threads)",
+                expected.scheduler,
+                family.name()
+            );
+            assert_bitwise_identical(&got, &expected, &ctx);
+            prop_assert_eq!(
+                got.bound_violations(prod.as_ref()),
+                expected.bound_violations(reference.as_ref()),
+                "{}: bound_violations",
+                ctx
+            );
+        }
+    }
+}
+
+/// Horizons around shard-count multiples: an off-by-one in the shard split or
+/// the boundary merge shows up exactly here.
+#[test]
+fn horizons_straddling_shard_boundaries() {
+    let graph = Family::ErdosRenyi.generate(30, 3.5, 11);
+    for threads in [2usize, 8] {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let t = threads as u64;
+        for horizon in [t - 1, t, t + 1, 3 * t - 1, 3 * t + 1, 64 * t - 1, 64 * t + 1] {
+            let suite_prod = standard_suite(&graph, 23);
+            let suite_ref = standard_suite(&graph, 23);
+            for (mut prod, mut reference) in suite_prod.into_iter().zip(suite_ref) {
+                let expected = analyze_schedule_reference(&graph, reference.as_mut(), horizon);
+                let got = pool.install(|| analyze_schedule(&graph, prod.as_mut(), horizon));
+                let ctx = format!("{} at horizon {horizon}, {threads} threads", expected.scheduler);
+                assert_bitwise_identical(&got, &expected, &ctx);
+            }
+        }
+    }
+}
+
+/// Thread counts exceeding the horizon must not create empty shards or skew
+/// the merge.
+#[test]
+fn more_threads_than_holidays() {
+    let graph = Family::BarabasiAlbert.generate(25, 3.0, 3);
+    let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+    for horizon in [1u64, 2, 5] {
+        let suite_prod = standard_suite(&graph, 9);
+        let suite_ref = standard_suite(&graph, 9);
+        for (mut prod, mut reference) in suite_prod.into_iter().zip(suite_ref) {
+            let expected = analyze_schedule_reference(&graph, reference.as_mut(), horizon);
+            let got = pool.install(|| analyze_schedule(&graph, prod.as_mut(), horizon));
+            let ctx = format!("{} at horizon {horizon}, 8 threads", expected.scheduler);
+            assert_bitwise_identical(&got, &expected, &ctx);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Verification-cache lockdown: perfectly periodic schedulers are verified
+//! once per residue class, and a corrupted schedule is still caught through
+//! the cache path.
+//!
+//! A counting [`HolidayChecker`] wraps the real graph checker and records
+//! every holiday the analysis actually probes.  For a scheduler exposing a
+//! `ResidueSchedule` view with cycle `C <= horizon`, the analysis must probe
+//! exactly the holidays `start..start + C` — one per residue class — at every
+//! thread count; stateful schedulers must still be probed on every holiday.
+
+use std::sync::Mutex;
+
+use fhg::core::analysis::{
+    analyze_schedule, analyze_schedule_reference, analyze_schedule_with_checker, GraphChecker,
+    HolidayChecker,
+};
+use fhg::core::schedulers::residue::ResidueSchedule;
+use fhg::core::schedulers::{PeriodicDegreeBound, PhasedGreedy};
+use fhg::core::{HappySet, Scheduler};
+use fhg::graph::generators::erdos_renyi;
+use fhg::graph::{FixedBitSet, Graph, NodeId};
+use rayon::ThreadPoolBuilder;
+
+/// Records every holiday the analysis asks to verify, then delegates to the
+/// real checker.
+struct CountingChecker {
+    inner: GraphChecker,
+    probed: Mutex<Vec<u64>>,
+}
+
+impl CountingChecker {
+    fn new(graph: &Graph) -> Self {
+        CountingChecker { inner: GraphChecker::new(graph), probed: Mutex::new(Vec::new()) }
+    }
+
+    fn probed_sorted(&self) -> Vec<u64> {
+        let mut probed = self.probed.lock().unwrap().clone();
+        probed.sort_unstable();
+        probed
+    }
+}
+
+impl HolidayChecker for CountingChecker {
+    fn check(&self, t: u64, happy: &FixedBitSet) -> bool {
+        self.probed.lock().unwrap().push(t);
+        self.inner.check(t, happy)
+    }
+}
+
+#[test]
+fn each_residue_class_is_verified_exactly_once() {
+    let graph = erdos_renyi(80, 0.08, 7);
+    let mut scheduler = PeriodicDegreeBound::new(&graph);
+    let cycle = scheduler.residue_schedule().expect("periodic").cycle();
+    let start = scheduler.first_holiday();
+    let horizon = 4 * cycle + 13; // comfortably more holidays than classes
+    assert!(cycle >= 2 && cycle < horizon, "test graph must have a non-trivial cycle");
+
+    for threads in [1usize, 2, 8] {
+        let checker = CountingChecker::new(&graph);
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let analysis = pool
+            .install(|| analyze_schedule_with_checker(&graph, &mut scheduler, horizon, &checker));
+        assert!(analysis.all_happy_sets_independent);
+        assert_eq!(
+            checker.probed_sorted(),
+            (start..start + cycle).collect::<Vec<u64>>(),
+            "{threads} threads: exactly one probe per residue class, no repeats"
+        );
+    }
+}
+
+#[test]
+fn short_horizons_only_verify_what_they_run() {
+    // horizon < cycle: every holiday is a fresh residue class, all probed.
+    let graph = erdos_renyi(60, 0.1, 3);
+    let mut scheduler = PeriodicDegreeBound::new(&graph);
+    let cycle = scheduler.residue_schedule().expect("periodic").cycle();
+    assert!(cycle > 4, "need a cycle longer than the horizon under test");
+    let start = scheduler.first_holiday();
+    let horizon = cycle - 2;
+    let checker = CountingChecker::new(&graph);
+    analyze_schedule_with_checker(&graph, &mut scheduler, horizon, &checker);
+    assert_eq!(checker.probed_sorted(), (start..start + horizon).collect::<Vec<u64>>());
+}
+
+#[test]
+fn stateful_schedulers_are_verified_on_every_holiday() {
+    let graph = erdos_renyi(40, 0.1, 5);
+    let mut scheduler = PhasedGreedy::new(&graph);
+    assert!(scheduler.residue_schedule().is_none(), "phased greedy is stateful: no view");
+    let start = scheduler.first_holiday();
+    let horizon = 97u64;
+    let checker = CountingChecker::new(&graph);
+    analyze_schedule_with_checker(&graph, &mut scheduler, horizon, &checker);
+    assert_eq!(
+        checker.probed_sorted(),
+        (start..start + horizon).collect::<Vec<u64>>(),
+        "no residue view means no caching: every holiday probed"
+    );
+}
+
+/// A deliberately broken "periodic" scheduler: two adjacent nodes share the
+/// same slot and modulus, so they host together on every fourth holiday.
+struct Corrupted {
+    schedule: ResidueSchedule,
+}
+
+impl Corrupted {
+    fn new() -> Self {
+        // Nodes 0 and 1 (adjacent in the path graph below) both host at
+        // t ≡ 1 (mod 4); nodes 2 and 3 host at distinct residues.
+        Corrupted { schedule: ResidueSchedule::new(vec![1, 1, 2, 3], vec![4, 4, 4, 4]) }
+    }
+}
+
+impl Scheduler for Corrupted {
+    fn node_count(&self) -> usize {
+        self.schedule.node_count()
+    }
+    fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
+        self.schedule.fill(t, out);
+    }
+    fn first_holiday(&self) -> u64 {
+        0
+    }
+    fn name(&self) -> &'static str {
+        "corrupted-periodic"
+    }
+    fn is_periodic(&self) -> bool {
+        true
+    }
+    fn period(&self, p: NodeId) -> Option<u64> {
+        Some(self.schedule.modulus(p))
+    }
+    fn unhappiness_bound(&self, _p: NodeId) -> Option<u64> {
+        Some(4)
+    }
+    fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+        Some(&self.schedule)
+    }
+}
+
+#[test]
+fn corrupted_happy_sets_are_caught_through_the_cache_path() {
+    let graph = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+    for threads in [1usize, 2, 8] {
+        let mut scheduler = Corrupted::new();
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let analysis = pool.install(|| analyze_schedule(&graph, &mut scheduler, 64));
+        assert!(
+            !analysis.all_happy_sets_independent,
+            "{threads} threads: the cached path must catch the conflicting residue class"
+        );
+        // And the verdict replay agrees with the exhaustive reference.
+        let mut reference = Corrupted::new();
+        let expected = analyze_schedule_reference(&graph, &mut reference, 64);
+        assert!(!expected.all_happy_sets_independent);
+    }
+}
+
+#[test]
+fn cache_probe_count_is_independent_of_the_horizon() {
+    // Doubling the horizon must not change the number of probes once every
+    // residue class has been seen.
+    let graph = erdos_renyi(50, 0.12, 9);
+    let cycle = PeriodicDegreeBound::new(&graph).residue_schedule().unwrap().cycle();
+    let mut counts = Vec::new();
+    for horizon in [2 * cycle, 8 * cycle] {
+        let mut scheduler = PeriodicDegreeBound::new(&graph);
+        let checker = CountingChecker::new(&graph);
+        analyze_schedule_with_checker(&graph, &mut scheduler, horizon, &checker);
+        counts.push(checker.probed_sorted().len() as u64);
+    }
+    assert_eq!(counts[0], cycle);
+    assert_eq!(counts[1], cycle, "probe count must not scale with the horizon");
+}
