@@ -1,10 +1,12 @@
 //! Criterion benchmark for the `analyze_schedule` pipeline: the sequential
-//! per-holiday-verified reference (the PR 1 engine, ~89 ms on this
-//! configuration) against the sharded, residue-cached engine at one thread
-//! and at the ambient thread count (`FHG_THREADS`).
+//! per-holiday-verified reference (the PR 1 engine, ~100 ms on this
+//! configuration) against the sharded, residue-cached sweep (forced — the
+//! PR 2 engine, at one thread and at the ambient `FHG_THREADS` count) and
+//! the production path (which now selects the closed-form cycle profile for
+//! this horizon; see `benches/profile.rs` for its detailed breakdown).
 //!
 //! Configuration matches the `happy-set-engine` bench and the acceptance
-//! criterion: `erdos_renyi(10_000, 0.001)`, 4096 holidays,
+//! criteria: `erdos_renyi(10_000, 0.001)`, 4096 holidays,
 //! `PeriodicDegreeBound` — checker-bound under the reference engine, since a
 //! perfectly periodic schedule has only `2^maxexp` distinct happy sets yet
 //! the reference probes independence on all 4096.
@@ -12,7 +14,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use fhg_core::analysis::{analyze_schedule, analyze_schedule_reference};
+use fhg_core::analysis::{
+    analyze_schedule, analyze_schedule_reference, analyze_schedule_with_engine, AnalysisEngine,
+    GraphChecker,
+};
 use fhg_core::prelude::*;
 use fhg_graph::generators;
 use rayon::ThreadPoolBuilder;
@@ -20,6 +25,7 @@ use rayon::ThreadPoolBuilder;
 fn bench_analysis_engine(c: &mut Criterion) {
     let graph = generators::erdos_renyi(10_000, 0.001, 42);
     const HORIZON: u64 = 4096;
+    let checker = GraphChecker::new(&graph);
     let mut group = c.benchmark_group("analysis-engine-10k-4096");
     group.sample_size(10);
 
@@ -32,18 +38,42 @@ fn bench_analysis_engine(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("sharded-cached/1-thread", |b| {
+    group.bench_function("sharded-sweep-forced/1-thread", |b| {
         let mut s = PeriodicDegreeBound::new(&graph);
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         b.iter(|| {
-            let analysis = pool.install(|| analyze_schedule(&graph, &mut s, HORIZON));
+            let analysis = pool.install(|| {
+                analyze_schedule_with_engine(
+                    &graph,
+                    &mut s,
+                    HORIZON,
+                    &checker,
+                    AnalysisEngine::ShardedSweep,
+                )
+            });
             assert!(analysis.all_happy_sets_independent);
             black_box(analysis)
         })
     });
 
-    group.bench_function("sharded-cached/ambient-threads", |b| {
+    group.bench_function("sharded-sweep-forced/ambient-threads", |b| {
         let mut s = PeriodicDegreeBound::new(&graph);
+        b.iter(|| {
+            let analysis = analyze_schedule_with_engine(
+                &graph,
+                &mut s,
+                HORIZON,
+                &checker,
+                AnalysisEngine::ShardedSweep,
+            );
+            assert!(analysis.all_happy_sets_independent);
+            black_box(analysis)
+        })
+    });
+
+    group.bench_function("production-auto-select", |b| {
+        let mut s = PeriodicDegreeBound::new(&graph);
+        assert_eq!(AnalysisEngine::select(&s, HORIZON), AnalysisEngine::ClosedForm);
         b.iter(|| {
             let analysis = analyze_schedule(&graph, &mut s, HORIZON);
             assert!(analysis.all_happy_sets_independent);

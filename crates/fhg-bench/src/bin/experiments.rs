@@ -5,21 +5,31 @@
 //! ```text
 //! cargo run -p fhg-bench --release --bin experiments -- all
 //! cargo run -p fhg-bench --release --bin experiments -- e4 e5
+//! cargo run -p fhg-bench --release --bin experiments -- --smoke e11 e12
 //! cargo run -p fhg-bench --release --bin experiments -- --list
 //! ```
+//!
+//! `--smoke` shrinks the analysis-engine experiments (`e11`/`e12`) to CI
+//! sizing.  Whenever `e11`/`e12` run, their machine-readable medians are
+//! written to `BENCH_analysis.json` in the working directory so the perf
+//! trajectory accumulates across commits.
 
 use std::time::Instant;
 
-use fhg_bench::{run_experiment, EXPERIMENT_IDS};
+use fhg_bench::{
+    bench_entries_to_json, run_experiment_collecting, AnalysisBenchConfig, EXPERIMENT_IDS,
+};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
         for id in EXPERIMENT_IDS {
             println!("{id}");
         }
         return;
     }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect()
     } else {
@@ -31,12 +41,25 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let cfg = if smoke { AnalysisBenchConfig::smoke() } else { AnalysisBenchConfig::full() };
+    let mut entries = Vec::new();
     for id in &ids {
         let start = Instant::now();
-        let tables = run_experiment(id);
+        let (tables, mut bench_entries) = run_experiment_collecting(id, &cfg);
         for table in &tables {
             println!("{}", table.to_markdown());
         }
+        entries.append(&mut bench_entries);
         eprintln!("[{} finished in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+    }
+    if !entries.is_empty() {
+        let json = bench_entries_to_json(smoke, &entries);
+        match std::fs::write("BENCH_analysis.json", &json) {
+            Ok(()) => eprintln!("[wrote BENCH_analysis.json: {} entries]", entries.len()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_analysis.json: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -1,15 +1,23 @@
-//! The E1–E10 experiment implementations (see `DESIGN.md` §5 and
+//! The E1–E12 experiment implementations (see `DESIGN.md` §5 and
 //! `EXPERIMENTS.md`).
 //!
 //! Every experiment uses fixed seeds, so the tables in `EXPERIMENTS.md` are
 //! exactly reproducible with
 //! `cargo run -p fhg-bench --release --bin experiments -- all`.
+//!
+//! The analysis-engine experiments (`e11`/`e12`) are parameterised by an
+//! [`AnalysisBenchConfig`] (full vs `--smoke` sizing) and additionally
+//! report machine-readable [`BenchEntry`] medians, which the experiments
+//! binary serialises to `BENCH_analysis.json` so CI can accumulate a perf
+//! trajectory.
 
 use std::time::Instant;
 
 use fhg_codes::{log_star, phi, rho_omega, EliasCode, UnaryCode};
 use fhg_coloring::{greedy_coloring, GreedyOrder};
-use fhg_core::analysis::analyze_schedule;
+use fhg_core::analysis::{
+    analyze_schedule, analyze_schedule_with_engine, AnalysisEngine, CycleProfile, GraphChecker,
+};
 use fhg_core::dynamic::DynamicColorBound;
 use fhg_core::lower_bound::lower_bound_table;
 use fhg_core::prelude::*;
@@ -24,26 +32,122 @@ use fhg_radio::{evaluate_tdma, RadioNetwork};
 use crate::table::Table;
 
 /// The experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 11] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+pub const EXPERIMENT_IDS: [&str; 12] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
 
-/// Runs one experiment by id (`"e1"` … `"e11"`), returning its tables.
+/// Sizing knobs for the analysis-engine experiments (`e11`/`e12`).
+#[derive(Debug, Clone)]
+pub struct AnalysisBenchConfig {
+    /// Nodes of the Erdős–Rényi conflict graph.
+    pub nodes: usize,
+    /// Edge probability (full config targets mean degree ~10).
+    pub edge_prob: f64,
+    /// Graph seed.
+    pub seed: u64,
+    /// The short (PR 2 acceptance) horizon.
+    pub horizon: u64,
+    /// The long horizon the closed form must make essentially free.
+    pub long_horizon: u64,
+    /// Timing repetitions per measurement (the tables report medians).
+    pub reps: usize,
+}
+
+impl AnalysisBenchConfig {
+    /// The full configuration the ROADMAP numbers are quoted on:
+    /// `erdos_renyi(10_000, 0.001)`, 4096 holidays, 1M-holiday long horizon.
+    pub fn full() -> Self {
+        AnalysisBenchConfig {
+            nodes: 10_000,
+            edge_prob: 0.001,
+            seed: 42,
+            horizon: 4096,
+            long_horizon: 1 << 20,
+            reps: 5,
+        }
+    }
+
+    /// CI smoke sizing: same shape, ~10x smaller, so the perf trajectory
+    /// accumulates on every push without slowing the pipeline.
+    pub fn smoke() -> Self {
+        AnalysisBenchConfig {
+            nodes: 2_000,
+            edge_prob: 0.005,
+            seed: 42,
+            horizon: 1024,
+            long_horizon: 1 << 17,
+            reps: 3,
+        }
+    }
+}
+
+/// One machine-readable measurement from `e11`/`e12`, serialised to
+/// `BENCH_analysis.json` by the experiments binary.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Experiment id (`"e11"` / `"e12"`).
+    pub experiment: &'static str,
+    /// Engine label (matches the table row).
+    pub engine: String,
+    /// Worker threads the measurement ran with.
+    pub threads: usize,
+    /// Analysed horizon.
+    pub horizon: u64,
+    /// Median wall time over the config's repetitions, milliseconds.
+    pub median_ms: f64,
+    /// Speedup versus the experiment's baseline row (1.0 for the baseline).
+    pub speedup: f64,
+}
+
+/// Serialises bench entries to the `BENCH_analysis.json` document (schema
+/// `fhg-bench-analysis/1`).  Hand-rolled: the workspace has no JSON
+/// dependency.
+pub fn bench_entries_to_json(smoke: bool, entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"fhg-bench-analysis/1\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
+             \"horizon\": {}, \"median_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            e.experiment, e.engine, e.threads, e.horizon, e.median_ms, e.speedup, comma
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs one experiment by id (`"e1"` … `"e12"`), returning its tables.
 ///
 /// # Panics
 /// Panics if the id is unknown.
 pub fn run_experiment(id: &str) -> Vec<Table> {
+    run_experiment_collecting(id, &AnalysisBenchConfig::full()).0
+}
+
+/// Like [`run_experiment`], but with explicit analysis-bench sizing and the
+/// machine-readable entries of `e11`/`e12` (empty for other experiments).
+///
+/// # Panics
+/// Panics if the id is unknown.
+pub fn run_experiment_collecting(
+    id: &str,
+    cfg: &AnalysisBenchConfig,
+) -> (Vec<Table>, Vec<BenchEntry>) {
     match id {
-        "e1" => e1_phased_greedy_bound(),
-        "e2" => e2_elias_omega_periods(),
-        "e3" => e3_lower_bound(),
-        "e4" => e4_periodic_degree_bound(),
-        "e5" => e5_distributed_rounds(),
-        "e6" => e6_scheduler_comparison(),
-        "e7" => e7_first_come_first_grab(),
-        "e8" => e8_dynamic_recovery(),
-        "e9" => e9_satisfaction(),
-        "e10" => e10_mis_and_radio(),
-        "e11" => e11_analysis_engine(),
+        "e1" => (e1_phased_greedy_bound(), Vec::new()),
+        "e2" => (e2_elias_omega_periods(), Vec::new()),
+        "e3" => (e3_lower_bound(), Vec::new()),
+        "e4" => (e4_periodic_degree_bound(), Vec::new()),
+        "e5" => (e5_distributed_rounds(), Vec::new()),
+        "e6" => (e6_scheduler_comparison(), Vec::new()),
+        "e7" => (e7_first_come_first_grab(), Vec::new()),
+        "e8" => (e8_dynamic_recovery(), Vec::new()),
+        "e9" => (e9_satisfaction(), Vec::new()),
+        "e10" => (e10_mis_and_radio(), Vec::new()),
+        "e11" => e11_analysis_engine_with(cfg),
+        "e12" => e12_closed_form_engine_with(cfg),
         other => panic!("unknown experiment id {other:?}; valid ids: {EXPERIMENT_IDS:?}"),
     }
 }
@@ -518,65 +622,237 @@ pub fn e10_mis_and_radio() -> Vec<Table> {
     vec![mis_table, radio_table]
 }
 
-/// E11 — the analysis engine: sequential per-holiday verification (the
-/// pre-shard pipeline) vs the sharded, residue-cached engine, on the
-/// checker-bound configuration (`erdos_renyi(10_000, 0.001)`, 4096 holidays,
-/// `periodic-degree-bound`).  A perfectly periodic schedule has only
-/// `cycle = 2^maxexp` distinct happy sets, so the cached engine verifies
-/// `cycle` holidays instead of 4096 and shards the remaining counting sweep
-/// across `FHG_THREADS` workers.  Timings vary run to run; the structural
-/// columns (cycle, verified holidays, parity) are deterministic.
-pub fn e11_analysis_engine() -> Vec<Table> {
-    let graph = generators::erdos_renyi(10_000, 0.001, 42);
-    let horizon = 4096u64;
+/// Median wall time of `reps` runs of `f`, in milliseconds.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Structural parity of the fields every engine must agree on (timing rows
+/// only need a cheap witness; the exhaustive bitwise property lives in
+/// `tests/analysis_parity.rs`).
+fn matches_reference(analysis: &ScheduleAnalysis, reference: &ScheduleAnalysis) -> bool {
+    analysis.total_happiness == reference.total_happiness
+        && analysis.all_happy_sets_independent == reference.all_happy_sets_independent
+        && analysis.per_node.iter().zip(&reference.per_node).all(|(a, b)| {
+            a.max_unhappiness == b.max_unhappiness && a.observed_period == b.observed_period
+        })
+}
+
+/// E11 — the analysis engines head-to-head at the PR 2 acceptance
+/// configuration: the sequential per-holiday-verified reference, the PR 2
+/// sharded + residue-cached sweep (forced), and the closed-form cycle
+/// profile that `analyze_schedule` now selects (`horizon >= cycle`).  A
+/// perfectly periodic schedule has only `cycle` distinct happy sets, so the
+/// sweep verifies `cycle` holidays instead of `horizon`, and the closed form
+/// goes further: it *emits* only `cycle` holidays and derives the rest
+/// analytically.  Timings are medians over the config's repetitions; the
+/// structural columns (holidays verified, parity) are deterministic.
+pub fn e11_analysis_engine_with(cfg: &AnalysisBenchConfig) -> (Vec<Table>, Vec<BenchEntry>) {
+    let graph = generators::erdos_renyi(cfg.nodes, cfg.edge_prob, cfg.seed);
+    let horizon = cfg.horizon;
     let mut table = Table::new(
-        "E11 — analysis engine on erdos_renyi(10000, 0.001), 4096 holidays, periodic-degree-bound",
-        &["engine", "threads", "holidays verified", "time (ms)", "speedup", "matches reference"],
+        format!(
+            "E11 — analysis engines on erdos_renyi({}, {}), {} holidays, periodic-degree-bound \
+             (medians of {})",
+            cfg.nodes, cfg.edge_prob, horizon, cfg.reps
+        ),
+        &["engine", "threads", "holidays verified", "median ms", "speedup", "matches reference"],
     );
+    let mut entries = Vec::new();
 
     let mut scheduler = PeriodicDegreeBound::new(&graph);
-    let cycle = scheduler.residue_schedule().expect("perfectly periodic").cycle();
+    let cycle = scheduler.schedule_cycle().expect("perfectly periodic");
+    let checker = GraphChecker::new(&graph);
 
-    let t0 = Instant::now();
-    let reference = analyze_schedule_reference(&graph, &mut scheduler, horizon);
-    let reference_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut reference = analyze_schedule_reference(&graph, &mut scheduler, horizon);
+    let reference_ms = median_ms(cfg.reps, || {
+        reference = analyze_schedule_reference(&graph, &mut scheduler, horizon)
+    });
     table.push(&[
         "sequential reference".to_string(),
         "1".to_string(),
         horizon.to_string(),
-        format!("{reference_ms:.1}"),
+        format!("{reference_ms:.2}"),
         "1.00x".to_string(),
         "-".to_string(),
     ]);
-
-    let matches_reference = |analysis: &ScheduleAnalysis| {
-        analysis.total_happiness == reference.total_happiness
-            && analysis.all_happy_sets_independent == reference.all_happy_sets_independent
-            && analysis.per_node.iter().zip(&reference.per_node).all(|(a, b)| {
-                a.max_unhappiness == b.max_unhappiness && a.observed_period == b.observed_period
-            })
-    };
+    entries.push(BenchEntry {
+        experiment: "e11",
+        engine: "sequential-reference".to_string(),
+        threads: 1,
+        horizon,
+        median_ms: reference_ms,
+        speedup: 1.0,
+    });
 
     let ambient = rayon::current_num_threads();
-    let mut thread_counts = vec![1usize];
+    let mut runs: Vec<(&str, AnalysisEngine, usize, u64)> = vec![
+        ("sharded + residue cache", AnalysisEngine::ShardedSweep, 1, cycle.min(horizon)),
+        ("closed-form cycle profile", AnalysisEngine::ClosedForm, 1, cycle),
+    ];
     if ambient > 1 {
-        thread_counts.push(ambient);
+        runs.insert(
+            1,
+            ("sharded + residue cache", AnalysisEngine::ShardedSweep, ambient, cycle.min(horizon)),
+        );
     }
-    for threads in thread_counts {
+    for (label, engine, threads, verified) in runs {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-        let t0 = Instant::now();
-        let analysis = pool.install(|| analyze_schedule(&graph, &mut scheduler, horizon));
-        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut analysis = pool.install(|| {
+            analyze_schedule_with_engine(&graph, &mut scheduler, horizon, &checker, engine)
+        });
+        let ms = median_ms(cfg.reps, || {
+            analysis = pool.install(|| {
+                analyze_schedule_with_engine(&graph, &mut scheduler, horizon, &checker, engine)
+            });
+        });
         table.push(&[
-            "sharded + residue cache".to_string(),
+            label.to_string(),
             threads.to_string(),
-            cycle.min(horizon).to_string(),
-            format!("{ms:.1}"),
+            verified.to_string(),
+            format!("{ms:.2}"),
             format!("{:.2}x", reference_ms / ms),
-            matches_reference(&analysis).to_string(),
+            matches_reference(&analysis, &reference).to_string(),
         ]);
+        entries.push(BenchEntry {
+            experiment: "e11",
+            engine: label.replace(' ', "-"),
+            threads,
+            horizon,
+            median_ms: ms,
+            speedup: reference_ms / ms,
+        });
     }
-    vec![table]
+    (vec![table], entries)
+}
+
+/// E12 — closed-form horizon scaling: the cost of an analysis must depend on
+/// the cycle, not the horizon.  Baseline is the PR 2 sharded sweep (forced)
+/// at the short horizon; the closed form must beat it by at least 3x, and a
+/// long-horizon (1M-holiday) closed-form analysis must land within 2x of the
+/// short one — the two acceptance criteria, witnessed by the `criterion`
+/// column.  The final row reuses one prebuilt `CycleProfile` and only
+/// derives, isolating the horizon-free part.  Parity witnesses are genuinely
+/// independent engines: the short-horizon rows compare against the
+/// sequential reference, the long-horizon rows against one (untimed) sharded
+/// sweep of the full long horizon.
+pub fn e12_closed_form_engine_with(cfg: &AnalysisBenchConfig) -> (Vec<Table>, Vec<BenchEntry>) {
+    let graph = generators::erdos_renyi(cfg.nodes, cfg.edge_prob, cfg.seed);
+    let mut table = Table::new(
+        format!(
+            "E12 — closed-form horizon scaling on erdos_renyi({}, {}), periodic-degree-bound \
+             (medians of {}, single-threaded)",
+            cfg.nodes, cfg.edge_prob, cfg.reps
+        ),
+        &["engine", "horizon", "median ms", "vs sweep", "matches reference", "criterion"],
+    );
+    let mut entries = Vec::new();
+
+    let mut scheduler = PeriodicDegreeBound::new(&graph);
+    let checker = GraphChecker::new(&graph);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let reference = analyze_schedule_reference(&graph, &mut scheduler, cfg.horizon);
+
+    let mut time_engine = |engine: AnalysisEngine, horizon: u64| {
+        let mut analysis = pool.install(|| {
+            analyze_schedule_with_engine(&graph, &mut scheduler, horizon, &checker, engine)
+        });
+        let ms = median_ms(cfg.reps, || {
+            analysis = pool.install(|| {
+                analyze_schedule_with_engine(&graph, &mut scheduler, horizon, &checker, engine)
+            });
+        });
+        (ms, analysis)
+    };
+
+    let (sweep_ms, sweep_analysis) = time_engine(AnalysisEngine::ShardedSweep, cfg.horizon);
+    let (closed_ms, closed_analysis) = time_engine(AnalysisEngine::ClosedForm, cfg.horizon);
+    let (long_ms, long_analysis) = time_engine(AnalysisEngine::ClosedForm, cfg.long_horizon);
+
+    // Independent witness for the long-horizon rows: one (untimed) sharded
+    // sweep of the full long horizon — a genuinely different engine, so a
+    // bug confined to the analytic fold cannot corrupt both sides.
+    let long_witness = pool.install(|| {
+        analyze_schedule_with_engine(
+            &graph,
+            &mut scheduler,
+            cfg.long_horizon,
+            &checker,
+            AnalysisEngine::ShardedSweep,
+        )
+    });
+
+    // Horizon-free derivation: build the profile once, derive the long
+    // horizon from it on every repetition.
+    let scheduler = PeriodicDegreeBound::new(&graph);
+    let view = scheduler.residue_schedule().expect("perfectly periodic");
+    let profile =
+        CycleProfile::build(view, scheduler.first_holiday(), graph.node_count(), &checker);
+    let mut derived = profile.derive(scheduler.name(), &graph, cfg.long_horizon).unwrap();
+    let derive_ms = median_ms(cfg.reps, || {
+        derived = profile.derive(scheduler.name(), &graph, cfg.long_horizon).unwrap();
+    });
+    let rows: [(&str, u64, f64, String, String, String); 4] = [
+        (
+            "sharded sweep (PR 2 baseline)",
+            cfg.horizon,
+            sweep_ms,
+            "1.00x".to_string(),
+            matches_reference(&sweep_analysis, &reference).to_string(),
+            "-".to_string(),
+        ),
+        (
+            "closed-form cycle profile",
+            cfg.horizon,
+            closed_ms,
+            format!("{:.2}x", sweep_ms / closed_ms),
+            matches_reference(&closed_analysis, &reference).to_string(),
+            format!(">=3x vs sweep: {}", sweep_ms / closed_ms >= 3.0),
+        ),
+        (
+            "closed-form cycle profile",
+            cfg.long_horizon,
+            long_ms,
+            format!("{:.2}x", sweep_ms / long_ms),
+            matches_reference(&long_analysis, &long_witness).to_string(),
+            format!("<=2x of short horizon: {}", long_ms <= 2.0 * closed_ms),
+        ),
+        (
+            "prebuilt profile, derive only",
+            cfg.long_horizon,
+            derive_ms,
+            format!("{:.2}x", sweep_ms / derive_ms),
+            matches_reference(&derived, &long_witness).to_string(),
+            "horizon-free".to_string(),
+        ),
+    ];
+    for (label, horizon, ms, vs, parity, criterion) in rows {
+        table.push(&[
+            label.to_string(),
+            horizon.to_string(),
+            format!("{ms:.2}"),
+            vs,
+            parity,
+            criterion,
+        ]);
+        entries.push(BenchEntry {
+            experiment: "e12",
+            engine: label.replace(' ', "-"),
+            threads: 1,
+            horizon,
+            median_ms: ms,
+            speedup: sweep_ms / ms,
+        });
+    }
+    (vec![table], entries)
 }
 
 #[cfg(test)]
@@ -585,7 +861,38 @@ mod tests {
 
     #[test]
     fn experiment_ids_are_wired_up() {
-        assert_eq!(EXPERIMENT_IDS.len(), 11);
+        assert_eq!(EXPERIMENT_IDS.len(), 12);
+    }
+
+    #[test]
+    fn e11_and_e12_report_entries_and_json() {
+        // Tiny configuration: structure only, no perf assertions.
+        let cfg = AnalysisBenchConfig {
+            nodes: 120,
+            edge_prob: 0.05,
+            seed: 7,
+            horizon: 128,
+            long_horizon: 4096,
+            reps: 1,
+        };
+        let (tables, entries) = run_experiment_collecting("e11", &cfg);
+        assert_eq!(tables.len(), 1);
+        assert!(entries.len() >= 3, "reference, sweep and closed-form rows");
+        assert!(entries.iter().any(|e| e.engine.contains("closed-form")));
+        assert!((entries[0].speedup - 1.0).abs() < 1e-9, "baseline speedup is 1");
+
+        let (tables, entries) = run_experiment_collecting("e12", &cfg);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(entries.len(), 4);
+        let md = tables[0].to_markdown();
+        assert!(md.contains("closed-form cycle profile"));
+        assert!(!md.contains("| false |"), "every engine must match the reference: {md}");
+
+        let json = bench_entries_to_json(true, &entries);
+        assert!(json.contains("\"schema\": \"fhg-bench-analysis/1\""));
+        assert!(json.contains("\"smoke\": true"));
+        assert_eq!(json.matches("\"experiment\": \"e12\"").count(), 4);
+        assert!(!json.contains(",\n  ]"), "no trailing comma before the array close");
     }
 
     #[test]

@@ -25,5 +25,8 @@
 pub mod experiments;
 pub mod table;
 
-pub use experiments::{run_all, run_experiment, EXPERIMENT_IDS};
+pub use experiments::{
+    bench_entries_to_json, run_all, run_experiment, run_experiment_collecting, AnalysisBenchConfig,
+    BenchEntry, EXPERIMENT_IDS,
+};
 pub use table::Table;

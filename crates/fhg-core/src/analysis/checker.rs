@@ -1,0 +1,64 @@
+//! Independence checking: the per-holiday verdict source of the analysis.
+//!
+//! Every engine in [`crate::analysis`] must decide, for each happy set it
+//! sees, whether the set is an independent set of the conflict graph
+//! (Definition 2.1).  That decision is factored behind the [`HolidayChecker`]
+//! trait so that
+//!
+//! * the production path can pick the fastest representation for the graph at
+//!   hand ([`GraphChecker`]: dense word-wise adjacency rows up to
+//!   [`DENSE_ADJACENCY_LIMIT`] nodes, branchless CSR probes beyond), and
+//! * tests can substitute instrumented checkers (the counting checker in
+//!   `tests/residue_cache.rs`) to observe *which* holidays each engine
+//!   actually verifies — the closed-form and sharded engines both promise
+//!   exactly one probe per residue class.
+//!
+//! The holiday number is passed alongside the set for exactly that reason:
+//! the verdict must not depend on it, but instrumentation wants to see it.
+
+use fhg_graph::{properties, CsrGraph, FixedBitSet, Graph};
+
+/// Largest node count for which the analysis materialises dense adjacency
+/// bit rows (`n²/8` bytes — 2 MiB at the limit) to verify independence with
+/// whole-word ANDs; larger graphs fall back to CSR neighbour probes.
+pub const DENSE_ADJACENCY_LIMIT: usize = 4096;
+
+/// A per-holiday independence verdict source, shareable across worker
+/// threads.
+///
+/// The holiday number is passed alongside the set so instrumented checkers
+/// (e.g. the counting checker in `tests/residue_cache.rs`) can observe
+/// *which* holidays the analysis actually verifies — both the closed-form
+/// profile and the residue cache promise each residue class is probed
+/// exactly once.
+pub trait HolidayChecker: Sync {
+    /// Whether the happy set emitted at holiday `t` is an independent set.
+    fn check(&self, t: u64, happy: &FixedBitSet) -> bool;
+}
+
+/// The default checker: dense word-wise adjacency rows for graphs up to
+/// [`DENSE_ADJACENCY_LIMIT`] nodes, branchless CSR neighbour probes beyond.
+pub struct GraphChecker {
+    dense: Option<properties::AdjacencyBitmap>,
+    csr: Option<CsrGraph>,
+}
+
+impl GraphChecker {
+    /// Builds the checker for `graph`, choosing the representation by size.
+    pub fn new(graph: &Graph) -> Self {
+        let dense = (graph.node_count() <= DENSE_ADJACENCY_LIMIT)
+            .then(|| properties::AdjacencyBitmap::from_graph(graph));
+        let csr = if dense.is_none() { Some(CsrGraph::from_graph(graph)) } else { None };
+        GraphChecker { dense, csr }
+    }
+}
+
+impl HolidayChecker for GraphChecker {
+    fn check(&self, _t: u64, happy: &FixedBitSet) -> bool {
+        match (&self.dense, &self.csr) {
+            (Some(adj), _) => adj.is_independent(happy),
+            (None, Some(csr)) => csr.is_independent(happy),
+            (None, None) => unreachable!("one independence checker is always built"),
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Closed-form cycle analytics: profile each residue class once, derive the
+//! whole horizon.
+//!
+//! A perfectly periodic schedule repeats with period `C =`
+//! [`ResidueSchedule::cycle`]: the happy set of holiday `t` depends only on
+//! `t mod C`, so every statistic of an arbitrarily long horizon is already
+//! determined by **one cycle** of happy sets.  A [`CycleProfile`] walks that
+//! single cycle — through the no-re-fill enumerator
+//! [`ResidueSchedule::classes`] — and records, per node, its attendance
+//! pattern: count per cycle, first/last offsets, internal gap structure, and
+//! the explicit attendance-offset list (the gap multiset in CSR form).  Each
+//! residue class is independence-verified exactly once during that walk, the
+//! same promise the sharded engine's residue cache makes (locked down by
+//! `tests/residue_cache.rs`).
+//!
+//! [`CycleProfile::derive`] then produces the [`ScheduleAnalysis`] of any
+//! horizon `h ≥ C` without touching the schedule again:
+//!
+//! * the `h / C` full repetitions are folded **analytically** — counts scale
+//!   by the repetition count, the per-cycle internal gaps replicate, and the
+//!   wrap-around gap between consecutive cycles (`C - last + first`)
+//!   contributes `h/C - 1` boundary gaps to the sums, streaks and the
+//!   period-uniformity check;
+//! * the ragged tail of `h mod C` offsets is replayed from the stored
+//!   attendance offsets (no emission, no verification — those classes were
+//!   already profiled) and merged with the exact segment rule
+//!   ([`super::sweep::merge_node`]).
+//!
+//! Because replication and tail replay compose through the same integer
+//! arithmetic as the sequential sweep, the derived analysis is
+//! **bitwise-identical** to [`super::analyze_schedule_reference`] at every
+//! horizon — the parity property `tests/analysis_parity.rs` locks down.  The
+//! cost is `O(C)` emissions plus `O(n + attendance)` derivation, independent
+//! of the horizon: a 1M-holiday analysis costs the same as a 4096-holiday
+//! one (experiment `e12`).
+
+use fhg_graph::{Graph, NodeId};
+
+use super::checker::HolidayChecker;
+use super::sweep::{self, NodeAccum, NONE};
+use super::ScheduleAnalysis;
+use crate::schedulers::residue::ResidueSchedule;
+
+/// A word-wise profile of one full residue cycle: per-node attendance
+/// patterns plus the per-class verification verdict, sufficient to derive
+/// the analysis of any horizon of at least one cycle in closed form.
+pub struct CycleProfile {
+    /// First holiday of the profiled cycle (the scheduler's
+    /// [`first_holiday`](crate::scheduler::Scheduler::first_holiday)).
+    start: u64,
+    /// The schedule's cycle length `C`.
+    cycle: u64,
+    /// Number of graph nodes tracked (attendance of out-of-range nodes is
+    /// flagged as non-independent and excluded, like the sweep engines do).
+    node_count: usize,
+    /// Per-node accumulator over the one profiled cycle (offsets relative to
+    /// the cycle start).
+    per_node: Vec<NodeAccum>,
+    /// CSR starts into `offsets`, one entry per node plus a sentinel.
+    starts: Vec<usize>,
+    /// Attendance offsets within the cycle, ascending per node.
+    offsets: Vec<u64>,
+    /// Prefix sums of the per-class happy-set sizes (`size_prefix[k]` = total
+    /// happiness of the first `k` classes), so ragged tails fold exactly.
+    size_prefix: Vec<u64>,
+    /// Whether every residue class passed its independence check.
+    all_independent: bool,
+}
+
+impl CycleProfile {
+    /// Largest cycle the profile will materialise: the per-class size
+    /// prefix and the cycle walk itself are `O(cycle)`.
+    /// [`super::AnalysisEngine::select`] enforces this bound (astronomical
+    /// cycles — saturated lcms — stay on the sharded sweep).
+    pub const MAX_CYCLE: u64 = 1 << 22;
+
+    /// Largest total attendance (`Σ_p cycle / modulus_p`, the stored
+    /// offset-CSR entries) the profile will materialise — the quantity that
+    /// actually dominates profile memory.  A hub-and-spoke degree
+    /// distribution can pack `n · cycle / 2` attendances into a short
+    /// cycle, which must fall back to the `O(n)`-memory sharded sweep;
+    /// [`super::AnalysisEngine::select`] budgets on
+    /// [`ResidueSchedule::attendance_per_cycle`] before picking the closed
+    /// form.
+    pub const MAX_EVENTS: u64 = 1 << 24;
+
+    /// Profiles one full cycle of `view` starting at holiday `start`,
+    /// verifying each residue class exactly once through `checker`.
+    ///
+    /// `node_count` is the conflict graph's node count: attendance of nodes
+    /// at or beyond it marks the schedule non-independent (mirroring the
+    /// sweep engines) and is excluded from the per-node patterns.
+    ///
+    /// # Panics
+    /// Panics if the cycle exceeds [`CycleProfile::MAX_CYCLE`].
+    pub fn build<C: HolidayChecker + ?Sized>(
+        view: &ResidueSchedule,
+        start: u64,
+        node_count: usize,
+        checker: &C,
+    ) -> Self {
+        let cycle = view.cycle();
+        assert!(
+            cycle <= Self::MAX_CYCLE,
+            "cycle {cycle} exceeds the profile budget ({})",
+            Self::MAX_CYCLE
+        );
+        let n = node_count;
+        let mut per_node = vec![NodeAccum::empty(); n];
+        let mut events: Vec<(NodeId, u64)> = Vec::new();
+        let mut size_prefix = Vec::with_capacity(cycle as usize + 1);
+        size_prefix.push(0u64);
+        let mut all_independent = true;
+        let mut running = 0u64;
+        let mut classes = view.classes(start);
+        while let Some((t, happy)) = classes.next_class() {
+            let offset = t - start;
+            if all_independent && !checker.check(t, happy.as_bitset()) {
+                all_independent = false;
+            }
+            running += happy.len() as u64;
+            size_prefix.push(running);
+            for p in happy.iter() {
+                if p >= n {
+                    all_independent = false;
+                    continue;
+                }
+                per_node[p].record(offset);
+                events.push((p, offset));
+            }
+        }
+
+        // Counting-sort the (node, offset) events into per-node CSR rows.
+        // Events arrive offset-major, so within each node the offsets stay
+        // ascending.
+        let mut starts = Vec::with_capacity(n + 1);
+        starts.push(0usize);
+        for a in &per_node {
+            starts.push(starts.last().unwrap() + a.happy as usize);
+        }
+        let mut cursor = starts.clone();
+        let mut offsets = vec![0u64; events.len()];
+        for (p, o) in events {
+            offsets[cursor[p]] = o;
+            cursor[p] += 1;
+        }
+
+        CycleProfile {
+            start,
+            cycle,
+            node_count: n,
+            per_node,
+            starts,
+            offsets,
+            size_prefix,
+            all_independent,
+        }
+    }
+
+    /// The profiled cycle length.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// First holiday of the profiled cycle.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Number of nodes the profile tracks.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Whether every residue class passed its independence check.
+    pub fn all_classes_independent(&self) -> bool {
+        self.all_independent
+    }
+
+    /// How many holidays per cycle node `p` attends.
+    pub fn count_per_cycle(&self, p: NodeId) -> u64 {
+        self.per_node[p].happy
+    }
+
+    /// The offsets (within the cycle, ascending) at which node `p` attends.
+    pub fn attendance_offsets(&self, p: NodeId) -> &[u64] {
+        &self.offsets[self.starts[p]..self.starts[p + 1]]
+    }
+
+    /// The gap multiset of node `p` over the infinite periodic schedule: the
+    /// internal gaps between consecutive attendances within a cycle, plus the
+    /// wrap-around gap into the next cycle.  Empty for nodes that never
+    /// attend.
+    pub fn gaps(&self, p: NodeId) -> impl Iterator<Item = u64> + '_ {
+        let offs = self.attendance_offsets(p);
+        let wrap = offs.last().map(|&last| self.cycle - last + offs[0]);
+        offs.windows(2).map(|w| w[1] - w[0]).chain(wrap)
+    }
+
+    /// Total happy appearances over one full cycle (out-of-range members
+    /// included, matching the sweep's accounting).
+    pub fn happiness_per_cycle(&self) -> u64 {
+        self.size_prefix[self.cycle as usize]
+    }
+
+    /// Derives the full [`ScheduleAnalysis`] of `horizon` holidays in closed
+    /// form.  Returns `None` when `horizon < cycle` (no full repetition to
+    /// fold — callers fall back to a sweep engine).
+    pub fn derive(&self, scheduler: &str, graph: &Graph, horizon: u64) -> Option<ScheduleAnalysis> {
+        let (global, all_independent, total_happiness) = self.derive_accums(horizon)?;
+        Some(sweep::finalize(
+            scheduler.to_string(),
+            horizon,
+            graph,
+            global,
+            all_independent,
+            total_happiness,
+        ))
+    }
+
+    /// The closed-form core: merged global accumulators plus the scalar
+    /// verdicts for `horizon` holidays.
+    fn derive_accums(&self, horizon: u64) -> Option<(Vec<NodeAccum>, bool, u64)> {
+        if horizon < self.cycle {
+            return None;
+        }
+        let reps = horizon / self.cycle;
+        let tail = horizon % self.cycle;
+        let base = reps * self.cycle;
+        let mut global = Vec::with_capacity(self.node_count);
+        for p in 0..self.node_count {
+            let mut g = NodeAccum::empty();
+            sweep::merge_node(&mut g, &replicate(&self.per_node[p], reps, self.cycle));
+            if tail > 0 {
+                sweep::merge_node(&mut g, &self.tail_accum(p, tail, base));
+            }
+            global.push(g);
+        }
+        // Per-node fields cannot overflow (each is bounded by the horizon),
+        // but the whole-schedule total is `n`-fold larger; saturate rather
+        // than wrap on horizons beyond ~10^16 (the sweep engines could never
+        // reach them to compare against anyway).
+        let total_happiness = reps
+            .saturating_mul(self.happiness_per_cycle())
+            .saturating_add(self.size_prefix[tail as usize]);
+        Some((global, self.all_independent, total_happiness))
+    }
+
+    /// Segment accumulator of the ragged tail: node `p`'s attendances at
+    /// cycle offsets `< tail`, replayed from the stored offsets and shifted
+    /// to absolute offsets starting at `base`.
+    fn tail_accum(&self, p: NodeId, tail: u64, base: u64) -> NodeAccum {
+        let mut a = NodeAccum::empty();
+        for &o in self.attendance_offsets(p) {
+            if o >= tail {
+                break;
+            }
+            a.record(o);
+        }
+        if a.happy > 0 {
+            // Gaps and streaks are shift-invariant; only the endpoints move.
+            a.first += base;
+            a.last += base;
+        }
+        a
+    }
+}
+
+/// Analytically replicates a one-cycle accumulator over `reps` consecutive
+/// cycles of length `cycle`, producing exactly the segment accumulator a
+/// sequential [`NodeAccum::record`] pass over all `reps · count` attendance
+/// offsets would: internal gaps repeat `reps` times, and the `reps - 1`
+/// cycle boundaries each contribute the wrap-around gap
+/// `cycle - last + first`.
+fn replicate(a: &NodeAccum, reps: u64, cycle: u64) -> NodeAccum {
+    if a.happy == 0 || reps == 0 {
+        return NodeAccum::empty();
+    }
+    let wrap = cycle - a.last + a.first;
+    NodeAccum {
+        first: a.first,
+        last: (reps - 1) * cycle + a.last,
+        happy: reps * a.happy,
+        gap_sum: reps * a.gap_sum + (reps - 1) * wrap,
+        gap_count: reps * a.gap_count + (reps - 1),
+        first_gap: if a.gap_count > 0 {
+            a.first_gap
+        } else if reps > 1 {
+            wrap
+        } else {
+            NONE
+        },
+        max_streak: if reps > 1 { a.max_streak.max(wrap - 1) } else { a.max_streak },
+        uniform: a.uniform && (reps == 1 || a.gap_count == 0 || a.first_gap == wrap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: record every attendance offset of `reps` cycles one by one.
+    fn replicate_by_record(offsets: &[u64], reps: u64, cycle: u64) -> NodeAccum {
+        let mut a = NodeAccum::empty();
+        for rep in 0..reps {
+            for &o in offsets {
+                a.record(rep * cycle + o);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn replicate_is_bitwise_identical_to_recording_every_offset() {
+        let cases: &[(&[u64], u64)] = &[
+            (&[0], 4),
+            (&[3], 8),
+            (&[0, 2, 4, 6], 8),
+            (&[1, 4], 6),
+            (&[0, 1, 2, 3, 4, 5, 6, 7], 8),
+            (&[5, 6], 16),
+            (&[], 4),
+        ];
+        for &(offsets, cycle) in cases {
+            for reps in [1u64, 2, 3, 7] {
+                let mut one = NodeAccum::empty();
+                offsets.iter().for_each(|&o| one.record(o));
+                assert_eq!(
+                    replicate(&one, reps, cycle),
+                    replicate_by_record(offsets, reps, cycle),
+                    "offsets {offsets:?}, cycle {cycle}, reps {reps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_detects_uniformity_through_the_wrap_gap() {
+        // Evenly spaced with a matching wrap: perfectly periodic.
+        let mut even = NodeAccum::empty();
+        [1u64, 3, 5, 7].iter().for_each(|&o| even.record(o));
+        let r = replicate(&even, 4, 8);
+        assert!(r.uniform);
+        assert_eq!(r.first_gap, 2);
+
+        // Same spacing but a cycle that breaks the wrap gap.
+        let r = replicate(&even, 4, 9);
+        assert!(!r.uniform, "wrap gap 3 breaks the period-2 candidate");
+    }
+
+    #[test]
+    fn single_attendance_per_cycle_is_periodic_with_the_cycle() {
+        let mut one = NodeAccum::empty();
+        one.record(5);
+        let r = replicate(&one, 6, 16);
+        assert!(r.uniform);
+        assert_eq!(r.first_gap, 16);
+        assert_eq!(r.gap_count, 5);
+        assert_eq!(r.max_streak, 15);
+    }
+}

@@ -1,0 +1,336 @@
+//! The sweeping engines: per-holiday accumulation, horizon sharding, and the
+//! exact segment merge.
+//!
+//! This module owns the arithmetic core every engine shares — the
+//! [`NodeAccum`] per-node accumulator and its two composition rules:
+//!
+//! * [`NodeAccum::record`] absorbs one happy appearance at a given offset
+//!   (the sequential step), and
+//! * [`merge_node`] folds a whole *segment summary* into a running
+//!   accumulator with pure integer arithmetic, reproducing exactly what a
+//!   sequential pass over the concatenated offsets would have computed.
+//!
+//! Because both rules are exact, any partition of the horizon into contiguous
+//! segments — one shard per worker thread here, or `horizon / cycle`
+//! analytically replicated copies of one cycle in
+//! [`super::profile`] — merges back to a result bitwise-identical to the
+//! sequential sweep (locked down by `tests/analysis_parity.rs`).
+//!
+//! [`ShardSweep`] is the per-worker driver: a contiguous offset range,
+//! private scratch ([`HappySet`]) and a private accumulator bank, so the
+//! per-holiday loop performs zero heap allocations and touches one cache
+//! line per happy appearance.  [`finalize`] assembles the merged global
+//! accumulators into the public [`ScheduleAnalysis`].
+
+use std::ops::Range;
+
+use fhg_graph::{Graph, HappySet};
+
+use super::checker::HolidayChecker;
+use super::{NodeAnalysis, ScheduleAnalysis};
+
+/// Sentinel for "no offset/gap recorded yet" in the packed accumulators
+/// (horizons never reach `u64::MAX`).
+pub(super) const NONE: u64 = u64::MAX;
+
+/// Per-node accumulator of one horizon segment — one cache line per node, so
+/// the counting sweep touches a single line per happy appearance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct NodeAccum {
+    /// Offset of the first happy holiday in the segment (`NONE` if none).
+    pub(super) first: u64,
+    /// Offset of the last happy holiday in the segment (`NONE` if none).
+    pub(super) last: u64,
+    /// Happy appearances in the segment.
+    pub(super) happy: u64,
+    /// Sum of the gaps between consecutive happy holidays in the segment.
+    pub(super) gap_sum: u64,
+    /// Number of such gaps.
+    pub(super) gap_count: u64,
+    /// The first gap observed (the candidate period); `NONE` if no gaps.
+    pub(super) first_gap: u64,
+    /// Largest `gap - 1` streak between happy holidays inside the segment.
+    pub(super) max_streak: u64,
+    /// Whether every gap observed so far equals `first_gap`.
+    pub(super) uniform: bool,
+}
+
+impl NodeAccum {
+    pub(super) fn empty() -> Self {
+        NodeAccum {
+            first: NONE,
+            last: NONE,
+            happy: 0,
+            gap_sum: 0,
+            gap_count: 0,
+            first_gap: NONE,
+            max_streak: 0,
+            uniform: true,
+        }
+    }
+
+    /// Absorbs one happy appearance at `offset` — the sequential step shared
+    /// by the shard sweep and the cycle-profile builder.  Offsets must arrive
+    /// in strictly increasing order within one accumulator.
+    #[inline]
+    pub(super) fn record(&mut self, offset: u64) {
+        self.happy += 1;
+        if self.last == NONE {
+            self.first = offset;
+        } else {
+            let gap = offset - self.last;
+            self.max_streak = self.max_streak.max(gap - 1);
+            self.gap_sum += gap;
+            self.gap_count += 1;
+            apply_gap_candidate(self, gap);
+        }
+        self.last = offset;
+    }
+}
+
+/// Folds segment `s` (the next contiguous stretch of the horizon) into the
+/// running accumulator `g`.  This is exactly the arithmetic the sequential
+/// sweep performs, applied to segment summaries: the boundary gap between
+/// `g`'s last happy offset and `s`'s first one is processed first, then `s`'s
+/// internal gaps are absorbed in order — so the merged result is
+/// bitwise-identical to a single sequential pass regardless of where the
+/// horizon was cut.
+pub(super) fn merge_node(g: &mut NodeAccum, s: &NodeAccum) {
+    if s.happy == 0 {
+        return;
+    }
+    if g.last == NONE {
+        g.first = s.first;
+        // The leading unhappy stretch before the very first happy holiday.
+        g.max_streak = g.max_streak.max(s.first);
+    } else {
+        let gap = s.first - g.last;
+        g.max_streak = g.max_streak.max(gap - 1);
+        g.gap_sum += gap;
+        g.gap_count += 1;
+        apply_gap_candidate(g, gap);
+    }
+    g.max_streak = g.max_streak.max(s.max_streak);
+    g.gap_sum += s.gap_sum;
+    g.gap_count += s.gap_count;
+    if s.gap_count > 0 {
+        apply_gap_candidate(g, s.first_gap);
+        if !s.uniform {
+            g.uniform = false;
+        }
+    }
+    g.happy += s.happy;
+    g.last = s.last;
+}
+
+pub(super) fn apply_gap_candidate(g: &mut NodeAccum, gap: u64) {
+    if g.first_gap == NONE {
+        g.first_gap = gap;
+    } else if g.first_gap != gap {
+        g.uniform = false;
+    }
+}
+
+/// One worker's slice of the horizon: a contiguous offset range, private
+/// scratch, and per-node segment accumulators.
+pub(super) struct ShardSweep {
+    /// Offsets (from the start of the horizon) this shard covers.
+    pub(super) offsets: Range<u64>,
+    /// Offsets below this bound get an independence check; at or above it the
+    /// cached per-residue verdict is replayed (equal to the horizon when no
+    /// cache applies).
+    pub(super) verify_below: u64,
+    pub(super) accum: Vec<NodeAccum>,
+    pub(super) happy: HappySet,
+    pub(super) all_independent: bool,
+    pub(super) total_happiness: u64,
+}
+
+impl ShardSweep {
+    pub(super) fn new(n: usize, capacity: usize, offsets: Range<u64>, verify_below: u64) -> Self {
+        ShardSweep {
+            offsets,
+            verify_below,
+            accum: vec![NodeAccum::empty(); n],
+            happy: HappySet::new(capacity),
+            all_independent: true,
+            total_happiness: 0,
+        }
+    }
+
+    /// Sweeps the shard's offsets: emit, verify (below `verify_below`), and
+    /// count.  Zero heap allocations per holiday: `fill` reuses the shard's
+    /// scratch buffer and every accumulator was sized up front.
+    pub(super) fn sweep<C: HolidayChecker + ?Sized>(
+        &mut self,
+        start: u64,
+        n: usize,
+        checker: &C,
+        mut fill: impl FnMut(u64, &mut HappySet),
+    ) {
+        for offset in self.offsets.clone() {
+            let t = start + offset;
+            fill(t, &mut self.happy);
+            if self.all_independent
+                && offset < self.verify_below
+                && !checker.check(t, self.happy.as_bitset())
+            {
+                self.all_independent = false;
+            }
+            self.total_happiness += self.happy.len() as u64;
+            for p in self.happy.iter() {
+                if p >= n {
+                    self.all_independent = false;
+                    continue;
+                }
+                self.accum[p].record(offset);
+            }
+        }
+    }
+}
+
+/// Splits `horizon` offsets into at most `parts` contiguous, non-empty
+/// ranges (earlier ranges get the remainder, matching an even split).
+pub(super) fn split_offsets(horizon: u64, parts: usize) -> Vec<Range<u64>> {
+    if horizon == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = (parts as u64).min(horizon);
+    let base = horizon / parts;
+    let remainder = horizon % parts;
+    let mut ranges = Vec::with_capacity(parts as usize);
+    let mut lo = 0u64;
+    for i in 0..parts {
+        let len = base + u64::from(i < remainder);
+        ranges.push(lo..lo + len);
+        lo += len;
+    }
+    ranges
+}
+
+/// Merges the shard summaries (in horizon order) into one global accumulator
+/// bank plus the scalar verdicts.
+pub(super) fn merge_shards(n: usize, shards: Vec<ShardSweep>) -> (Vec<NodeAccum>, bool, u64) {
+    let mut global = vec![NodeAccum::empty(); n];
+    let mut all_independent = true;
+    let mut total_happiness = 0u64;
+    for shard in &shards {
+        all_independent &= shard.all_independent;
+        total_happiness += shard.total_happiness;
+        for (g, s) in global.iter_mut().zip(&shard.accum) {
+            merge_node(g, s);
+        }
+    }
+    (global, all_independent, total_happiness)
+}
+
+/// Assembles merged global accumulators into the final [`ScheduleAnalysis`] —
+/// the one place the trailing unhappy stretch, the observed period and the
+/// float statistics are derived, shared by every engine so the outputs are
+/// bitwise-identical by construction.
+pub(super) fn finalize(
+    scheduler: String,
+    horizon: u64,
+    graph: &Graph,
+    global: Vec<NodeAccum>,
+    all_independent: bool,
+    total_happiness: u64,
+) -> ScheduleAnalysis {
+    let per_node: Vec<NodeAnalysis> = global
+        .iter()
+        .enumerate()
+        .map(|(p, a)| {
+            // Account for the trailing unhappy stretch.
+            let trailing = if a.last == NONE { horizon } else { horizon - 1 - a.last };
+            let max_unhappiness = a.max_streak.max(trailing);
+            let observed_period = (a.uniform && a.first_gap != NONE).then_some(a.first_gap);
+            let mean_gap =
+                if a.gap_count > 0 { a.gap_sum as f64 / a.gap_count as f64 } else { f64::NAN };
+            NodeAnalysis {
+                node: p,
+                degree: graph.degree(p),
+                happy_count: a.happy,
+                max_unhappiness,
+                observed_period,
+                first_happy: (a.first != NONE).then_some(a.first),
+                mean_gap,
+            }
+        })
+        .collect();
+
+    let never_happy = per_node.iter().filter(|n| n.happy_count == 0).map(|n| n.node).collect();
+    ScheduleAnalysis {
+        scheduler,
+        horizon,
+        mean_happy_set_size: if horizon == 0 {
+            0.0
+        } else {
+            total_happiness as f64 / horizon as f64
+        },
+        per_node,
+        all_happy_sets_independent: all_independent,
+        never_happy,
+        total_happiness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_offsets_covers_the_horizon_exactly() {
+        for (horizon, parts) in [(10u64, 3usize), (7, 8), (1, 1), (64, 4), (5, 5)] {
+            let ranges = split_offsets(horizon, parts);
+            assert!(ranges.len() <= parts);
+            assert!(ranges.iter().all(|r| !r.is_empty()), "no empty shards");
+            let mut expected = 0u64;
+            for r in &ranges {
+                assert_eq!(r.start, expected, "contiguous coverage");
+                expected = r.end;
+            }
+            assert_eq!(expected, horizon);
+        }
+        assert!(split_offsets(0, 4).is_empty());
+        assert!(split_offsets(9, 0).is_empty());
+    }
+
+    #[test]
+    fn record_matches_a_hand_computed_sequence() {
+        let mut a = NodeAccum::empty();
+        for offset in [2u64, 4, 6, 11] {
+            a.record(offset);
+        }
+        assert_eq!(a.first, 2);
+        assert_eq!(a.last, 11);
+        assert_eq!(a.happy, 4);
+        assert_eq!(a.gap_sum, 9);
+        assert_eq!(a.gap_count, 3);
+        assert_eq!(a.first_gap, 2);
+        assert_eq!(a.max_streak, 4, "the 6 -> 11 gap leaves a streak of 4");
+        assert!(!a.uniform, "gap 5 breaks the candidate period 2");
+    }
+
+    #[test]
+    fn merging_split_segments_equals_one_sequential_pass() {
+        let offsets = [1u64, 3, 5, 12, 13, 20];
+        let mut sequential = NodeAccum::empty();
+        for &o in &offsets {
+            sequential.record(o);
+        }
+        let mut whole = NodeAccum::empty();
+        merge_node(&mut whole, &sequential);
+        // Every split point must reproduce the same merged accumulator.
+        for cut in 0..=offsets.len() {
+            let (lo, hi) = offsets.split_at(cut);
+            let mut a = NodeAccum::empty();
+            let mut b = NodeAccum::empty();
+            lo.iter().for_each(|&o| a.record(o));
+            hi.iter().for_each(|&o| b.record(o));
+            let mut merged = NodeAccum::empty();
+            merge_node(&mut merged, &a);
+            merge_node(&mut merged, &b);
+            assert_eq!(merged, whole, "cut at {cut}");
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! this crate produce happy sets directly; this module provides the
 //! orientation view and the checks connecting the two.
 
-use fhg_graph::{properties, FixedBitSet, Graph, NodeId};
+use fhg_graph::{properties, FixedBitSet, Graph, HappySet, NodeId};
 
 /// One holiday's outcome: which parents are happy, plus the holiday index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +23,14 @@ impl Gathering {
         happy.sort_unstable();
         happy.dedup();
         Gathering { holiday, happy }
+    }
+
+    /// Creates a gathering from an engine [`HappySet`] buffer — the bridge
+    /// between the zero-allocation scheduler/analysis hot path and the
+    /// Definition 2.1 orientation view.  The buffer iterates ascending with
+    /// no duplicates, so no normalisation pass is needed.
+    pub fn from_happy_set(holiday: u64, happy: &HappySet) -> Self {
+        Gathering { holiday, happy: happy.to_vec() }
     }
 
     /// Whether parent `p` is happy in this gathering.
@@ -88,6 +96,18 @@ mod tests {
         assert_eq!(g.holiday, 7);
         assert!(g.is_happy(2));
         assert!(!g.is_happy(0));
+        assert_eq!(g.happy_count(), 3);
+    }
+
+    #[test]
+    fn from_happy_set_bridges_the_engine_buffer() {
+        let mut buf = fhg_graph::HappySet::new(6);
+        for p in [4, 1, 3] {
+            buf.insert(p);
+        }
+        let g = Gathering::from_happy_set(9, &buf);
+        assert_eq!(g.holiday, 9);
+        assert_eq!(g.happy, vec![1, 3, 4], "buffer iteration is ascending");
         assert_eq!(g.happy_count(), 3);
     }
 

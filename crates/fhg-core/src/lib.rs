@@ -38,8 +38,9 @@ pub mod scheduler;
 pub mod schedulers;
 
 pub use analysis::{
-    analyze_schedule, analyze_schedule_reference, analyze_schedule_with_checker, GraphChecker,
-    HolidayChecker, NodeAnalysis, ScheduleAnalysis,
+    analyze_schedule, analyze_schedule_reference, analyze_schedule_with_checker,
+    analyze_schedule_with_engine, AnalysisEngine, CycleProfile, GraphChecker, HolidayChecker,
+    NodeAnalysis, ScheduleAnalysis,
 };
 pub use gathering::{orientation_from_happy_set, Gathering};
 pub use scheduler::Scheduler;
@@ -51,7 +52,9 @@ pub use fhg_graph::HappySet;
 
 /// Commonly used items, re-exported for `use fhg_core::prelude::*`.
 pub mod prelude {
-    pub use crate::analysis::{analyze_schedule, analyze_schedule_reference, ScheduleAnalysis};
+    pub use crate::analysis::{
+        analyze_schedule, analyze_schedule_reference, AnalysisEngine, ScheduleAnalysis,
+    };
     pub use crate::scheduler::Scheduler;
     pub use crate::schedulers::{
         DistributedDegreeBound, FirstComeFirstGrab, PeriodicDegreeBound, PhasedGreedy,

@@ -16,6 +16,7 @@
 
 use fhg_graph::{HappySet, NodeId};
 
+use crate::gathering::Gathering;
 use crate::schedulers::residue::ResidueSchedule;
 
 /// A (possibly stateful) holiday-gathering scheduler.
@@ -50,19 +51,15 @@ pub trait Scheduler {
     /// prefer the buffer API on hot paths.  The consecutive-`t` requirement
     /// for stateful schedulers applies here too.
     ///
-    /// The intermediate [`HappySet`] is a thread-local scratch buffer reused
-    /// across calls (and across schedulers of the same `node_count`), so the
-    /// only steady-state allocation is the returned `Vec` itself.
+    /// The intermediate [`HappySet`] is the process-wide per-thread scratch
+    /// buffer ([`fhg_graph::happy_set::with_thread_scratch`]) reused across
+    /// calls (and across schedulers of the same `node_count`), so the only
+    /// steady-state allocation is the returned `Vec` itself.
     /// Implementations of `fill_happy_set` must not call back into
     /// `happy_set` (none has a reason to), or the scratch borrow panics.
     fn happy_set(&mut self, t: u64) -> Vec<NodeId> {
-        thread_local! {
-            static SCRATCH: std::cell::RefCell<HappySet> =
-                std::cell::RefCell::new(HappySet::new(0));
-        }
-        SCRATCH.with(|scratch| {
-            let mut buf = scratch.borrow_mut();
-            self.fill_happy_set(t, &mut buf);
+        fhg_graph::happy_set::with_thread_scratch(|buf| {
+            self.fill_happy_set(t, buf);
             buf.to_vec()
         })
     }
@@ -94,12 +91,24 @@ pub trait Scheduler {
     /// [`fill_happy_set`](Scheduler::fill_happy_set) would, evaluable through
     /// `&self` from any thread.
     ///
-    /// Returning `Some` is what lets [`crate::analysis::analyze_schedule`]
-    /// shard the horizon across worker threads and verify independence once
-    /// per residue class (`t mod` [`ResidueSchedule::cycle`]) instead of once
-    /// per holiday.  Stateful schedulers must return `None` (the default).
+    /// Returning `Some` is what unlocks the fast analysis engines
+    /// ([`crate::analysis::AnalysisEngine`]): the closed-form cycle profile
+    /// (each residue class `t mod` [`ResidueSchedule::cycle`] emitted and
+    /// verified once, the whole horizon derived analytically) when the
+    /// horizon spans at least one cycle, and the sharded, residue-cached
+    /// sweep otherwise.  Stateful schedulers must return `None` (the
+    /// default) and take the sequential, fully verified path.
     fn residue_schedule(&self) -> Option<&ResidueSchedule> {
         None
+    }
+
+    /// The global cycle length of this schedule — the smallest `C` such that
+    /// the happy set of holiday `t` depends only on `t mod C` — when the
+    /// scheduler exposes a residue view.  Convenience over
+    /// [`residue_schedule`](Scheduler::residue_schedule) for engine
+    /// selection, experiment tables and horizon sizing.
+    fn schedule_cycle(&self) -> Option<u64> {
+        self.residue_schedule().map(ResidueSchedule::cycle)
     }
 
     /// Number of LOCAL-model communication rounds charged to the
@@ -122,6 +131,21 @@ pub trait SchedulerExt: Scheduler {
     fn run(&mut self, horizon: u64) -> Vec<Vec<NodeId>> {
         let start = self.first_holiday();
         (start..start + horizon).map(|t| self.happy_set(t)).collect()
+    }
+
+    /// Collects the first `horizon` [`Gathering`]s (the Definition 2.1
+    /// orientation view), driving the engine through **one** reused
+    /// [`HappySet`] buffer — the only steady-state allocations are the
+    /// returned gatherings themselves.
+    fn gatherings(&mut self, horizon: u64) -> Vec<Gathering> {
+        let start = self.first_holiday();
+        let mut buf = HappySet::new(self.node_count());
+        (start..start + horizon)
+            .map(|t| {
+                self.fill_happy_set(t, &mut buf);
+                Gathering::from_happy_set(t, &buf)
+            })
+            .collect()
     }
 }
 
@@ -170,6 +194,7 @@ mod tests {
         assert_eq!(s.rounds_per_holiday(), 0);
         assert_eq!(s.node_count(), 3);
         assert!(s.residue_schedule().is_none(), "no residue view unless opted in");
+        assert!(s.schedule_cycle().is_none(), "no cycle without a residue view");
     }
 
     #[test]
@@ -214,6 +239,19 @@ mod tests {
         assert_eq!(sets[1], vec![0, 1]);
         assert!(sets[2].is_empty());
         assert_eq!(sets[3], vec![0, 1]);
+    }
+
+    #[test]
+    fn gatherings_mirror_run_with_holiday_indices() {
+        let mut a = EveryOther { n: 3 };
+        let mut b = EveryOther { n: 3 };
+        let gatherings = a.gatherings(4);
+        let sets = b.run(4);
+        assert_eq!(gatherings.len(), 4);
+        for (g, (offset, set)) in gatherings.iter().zip(sets.iter().enumerate()) {
+            assert_eq!(g.holiday, 1 + offset as u64, "holiday indices carried through");
+            assert_eq!(&g.happy, set, "same members as the Vec API");
+        }
     }
 
     #[test]

@@ -26,6 +26,19 @@
 
 use fhg_graph::{FixedBitSet, HappySet, NodeId};
 
+/// Shared core of the `hosts_into` entry points: runs `fill` on the
+/// process-wide per-thread scratch buffer
+/// ([`fhg_graph::happy_set::with_thread_scratch`], also behind the
+/// `Scheduler::happy_set` shim) and copies the members into `out` (cleared
+/// first, ascending) — the steady-state cost is the output copy alone.
+fn hosts_into_via(fill: impl FnOnce(&mut HappySet), out: &mut Vec<NodeId>) {
+    out.clear();
+    fhg_graph::happy_set::with_thread_scratch(|buf| {
+        fill(buf);
+        out.extend(buf.iter());
+    });
+}
+
 /// Precomputed hosting rows: `groups` holds, per distinct modulus `m`, the
 /// modulus and one bit row per residue `r < m`.
 #[derive(Debug, Clone)]
@@ -100,11 +113,19 @@ impl ResidueTable {
         }));
     }
 
-    /// The nodes hosting at holiday `t`, as a fresh `Vec` (test helper).
+    /// Writes the nodes hosting at holiday `t` into `out` (cleared first,
+    /// ascending), reusing a thread-local scratch buffer — zero steady-state
+    /// heap allocations once `out` has warmed up to capacity.
+    pub fn hosts_into(&self, t: u64, out: &mut Vec<NodeId>) {
+        hosts_into_via(|buf| self.fill(t, buf), out);
+    }
+
+    /// The nodes hosting at holiday `t`, as a fresh `Vec` (convenience shim
+    /// over [`ResidueTable::hosts_into`]).
     pub fn hosts(&self, t: u64) -> Vec<NodeId> {
-        let mut out = HappySet::new(self.n);
-        self.fill(t, &mut out);
-        out.to_vec()
+        let mut out = Vec::new();
+        self.hosts_into(t, &mut out);
+        out
     }
 }
 
@@ -275,6 +296,18 @@ impl ResidueSchedule {
         self.cycle
     }
 
+    /// Total happy appearances over one full cycle: `Σ_p cycle / m_p`
+    /// (saturating).  This — not the cycle length — is what bounds the
+    /// memory of a closed-form
+    /// [`CycleProfile`](crate::analysis::CycleProfile), so
+    /// [`AnalysisEngine::select`](crate::analysis::AnalysisEngine::select)
+    /// budgets on it: a hub-and-spoke degree distribution can pack
+    /// `n · cycle / 2` attendances into one cycle even when the cycle itself
+    /// is short.
+    pub fn attendance_per_cycle(&self) -> u64 {
+        self.moduli.iter().fold(0u64, |acc, &m| acc.saturating_add(self.cycle / m))
+    }
+
     /// Whether the word-packed table was built (diagnostics only; `fill`
     /// falls back to the bucket index, then to a per-node scan).
     pub fn has_table(&self) -> bool {
@@ -308,11 +341,64 @@ impl ResidueSchedule {
         }
     }
 
-    /// The nodes hosting at holiday `t`, as a fresh `Vec` (test helper).
+    /// Writes the nodes hosting at holiday `t` into `out` (cleared first,
+    /// ascending), reusing a thread-local scratch buffer — zero steady-state
+    /// heap allocations once `out` has warmed up to capacity.
+    pub fn hosts_into(&self, t: u64, out: &mut Vec<NodeId>) {
+        hosts_into_via(|buf| self.fill(t, buf), out);
+    }
+
+    /// The nodes hosting at holiday `t`, as a fresh `Vec` (convenience shim
+    /// over [`ResidueSchedule::hosts_into`]).
     pub fn hosts(&self, t: u64) -> Vec<NodeId> {
-        let mut out = HappySet::new(self.node_count());
-        self.fill(t, &mut out);
-        out.to_vec()
+        let mut out = Vec::new();
+        self.hosts_into(t, &mut out);
+        out
+    }
+
+    /// Enumerates one full cycle of residue classes starting at holiday
+    /// `start`, yielding each class's happy set from a single reused buffer —
+    /// the emission path of the closed-form
+    /// [`CycleProfile`](crate::analysis::CycleProfile) builder, which fills
+    /// each class exactly once and never re-fills.
+    ///
+    /// The enumerator is *lending*: each yielded set borrows the internal
+    /// buffer, so consume it before asking for the next class.  Callers must
+    /// bound the walk themselves when the cycle is astronomically long
+    /// (saturated lcms yield `u64::MAX` classes).
+    pub fn classes(&self, start: u64) -> CycleClasses<'_> {
+        CycleClasses {
+            schedule: self,
+            next: start,
+            remaining: self.cycle,
+            buf: HappySet::new(self.node_count()),
+        }
+    }
+}
+
+/// Lending enumerator over the residue classes of one full cycle: yields
+/// `(holiday, happy set)` for `cycle` consecutive holidays, filling one
+/// internal buffer per class (no per-class allocation, no re-fill).  Built by
+/// [`ResidueSchedule::classes`].
+pub struct CycleClasses<'a> {
+    schedule: &'a ResidueSchedule,
+    next: u64,
+    remaining: u64,
+    buf: HappySet,
+}
+
+impl CycleClasses<'_> {
+    /// Fills and yields the next residue class, or `None` after one full
+    /// cycle.  Lending: the returned set is valid until the next call.
+    pub fn next_class(&mut self) -> Option<(u64, &HappySet)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let t = self.next;
+        self.schedule.fill(t, &mut self.buf);
+        self.next += 1;
+        self.remaining -= 1;
+        Some((t, &self.buf))
     }
 }
 
@@ -445,6 +531,54 @@ mod tests {
         for t in [0u64, 1, 7, 499, 500, 12_345] {
             assert_eq!(s.hosts(t), vec![(t % n) as NodeId], "holiday {t}");
         }
+    }
+
+    #[test]
+    fn attendance_per_cycle_counts_every_hosting_slot() {
+        let s = ResidueSchedule::new(vec![0, 1, 2], vec![2, 3, 4]);
+        // cycle 12: node 0 hosts 6 times, node 1 hosts 4, node 2 hosts 3.
+        assert_eq!(s.attendance_per_cycle(), 13);
+        let total: usize = (0..12u64).map(|t| s.hosts(t).len()).sum();
+        assert_eq!(total as u64, s.attendance_per_cycle());
+        // Hub-and-spoke shape: many fast nodes make the attendance volume
+        // n·cycle/2 even though the cycle itself is short.
+        let spokes = ResidueSchedule::new(vec![0; 64], vec![2; 64]);
+        assert_eq!(spokes.attendance_per_cycle(), 64);
+        // Saturated cycles saturate the attendance count too.
+        let huge = ResidueSchedule::new(vec![0, 0], vec![u64::MAX, u64::MAX - 1]);
+        assert_eq!(huge.attendance_per_cycle(), 2);
+    }
+
+    #[test]
+    fn hosts_into_reuses_the_output_and_clears_stale_members() {
+        let s = ResidueSchedule::new(vec![0, 1, 2], vec![2, 3, 4]);
+        let mut out = vec![99, 99, 99, 99];
+        for t in 0..24u64 {
+            s.hosts_into(t, &mut out);
+            assert_eq!(out, s.hosts(t), "holiday {t}");
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "ascending, no stale members");
+        }
+        let table = ResidueTable::build_moduli(&[0, 1], &[2, 2]).unwrap();
+        let mut out = Vec::new();
+        table.hosts_into(0, &mut out);
+        assert_eq!(out, vec![0]);
+        table.hosts_into(1, &mut out);
+        assert_eq!(out, vec![1], "previous holiday's members must be cleared");
+    }
+
+    #[test]
+    fn cycle_enumeration_yields_every_class_once_without_refill() {
+        let s = ResidueSchedule::new(vec![0, 1, 2], vec![2, 3, 4]);
+        let start = 5u64;
+        let mut classes = s.classes(start);
+        let mut seen = 0u64;
+        while let Some((t, happy)) = classes.next_class() {
+            assert_eq!(t, start + seen, "classes arrive in holiday order");
+            assert_eq!(happy.to_vec(), s.hosts(t), "holiday {t}");
+            seen += 1;
+        }
+        assert_eq!(seen, s.cycle(), "exactly one yield per residue class");
+        assert!(classes.next_class().is_none(), "enumeration stays exhausted");
     }
 
     #[test]

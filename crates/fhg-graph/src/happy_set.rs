@@ -136,6 +136,22 @@ impl HappySet {
     }
 }
 
+/// Runs `f` with this thread's shared scratch [`HappySet`] — the one
+/// per-thread buffer behind every "fill into scratch, copy members out"
+/// compatibility shim (`Scheduler::happy_set`, the residue `hosts_into`
+/// entry points), so the steady-state cost of those paths is the output
+/// copy alone and the mechanism lives in exactly one place.
+///
+/// `f` must reset the buffer to the capacity it needs (every scheduler
+/// `fill` contract already does) and must not re-enter `with_thread_scratch`
+/// — the scratch is a `RefCell`, so re-entry panics rather than aliasing.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut HappySet) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<HappySet> = std::cell::RefCell::new(HappySet::new(0));
+    }
+    SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,14 +1,17 @@
-//! Parity lockdown for the sharded, residue-cached analysis engine.
+//! Parity lockdown for the production analysis engines.
 //!
-//! `analyze_schedule` takes the sharded path (horizon split across worker
-//! threads, independence verified once per residue class) whenever a
-//! scheduler exposes a `ResidueSchedule` view, and the sequential path
-//! otherwise.  This suite asserts that, for every scheduler in the standard
-//! suite, every graph family, random seeds, thread counts 1/2/8 and horizons
-//! that are deliberately *not* multiples of the shard size, the production
-//! engine returns a `ScheduleAnalysis` bitwise-identical to the sequential,
-//! uncached reference (`analyze_schedule_reference`) — per-node gaps,
-//! streaks, periods, `jain_fairness` and `bound_violations` included.
+//! `analyze_schedule` picks an engine per call (`AnalysisEngine::select`):
+//! the **closed-form cycle profile** whenever a scheduler exposes a
+//! `ResidueSchedule` view and the horizon spans at least one cycle, the
+//! **sharded, residue-cached sweep** for shorter periodic horizons, and the
+//! sequential path for stateful schedulers.  This suite asserts that, for
+//! every scheduler in the standard suite, every graph family, random seeds,
+//! thread counts 1/2/8 and horizons that are deliberately *not* multiples of
+//! the shard size or the cycle (the ragged `horizon % cycle != 0` tails the
+//! closed form replays explicitly), every production engine returns a
+//! `ScheduleAnalysis` bitwise-identical to the sequential, uncached
+//! reference (`analyze_schedule_reference`) — per-node gaps, streaks,
+//! periods, `jain_fairness` and `bound_violations` included.
 //!
 //! Float fields are compared through `to_bits`, so `NaN` mean gaps (fewer
 //! than two happy holidays) compare equal exactly when both paths produce
@@ -16,7 +19,10 @@
 
 use proptest::prelude::*;
 
-use fhg::core::analysis::{analyze_schedule, analyze_schedule_reference, ScheduleAnalysis};
+use fhg::core::analysis::{
+    analyze_schedule, analyze_schedule_reference, analyze_schedule_with_engine, AnalysisEngine,
+    GraphChecker, ScheduleAnalysis,
+};
 use fhg::core::schedulers::standard_suite;
 use fhg::graph::generators::Family;
 use rayon::ThreadPoolBuilder;
@@ -94,6 +100,91 @@ proptest! {
                 "{}: bound_violations",
                 ctx
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Ragged-horizon lockdown for the closed-form engine: for every
+    /// periodic scheduler in the suite, horizons straddling cycle multiples
+    /// (`cycle - 1`, `cycle`, `cycle + 1`, `k·cycle ± 1`) are
+    /// bitwise-identical to the reference at 1/2/8 threads — the `± 1`
+    /// horizons exercise the analytic fold plus the explicit partial-cycle
+    /// tail, and `cycle - 1` exercises the fallback to the sharded sweep.
+    #[test]
+    fn closed_form_matches_reference_on_ragged_horizons(
+        family in prop::sample::select(Family::ALL.to_vec()),
+        seed in 0u64..200,
+        k in 2u64..5,
+        threads in prop::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let graph = family.generate(32, 3.5, seed);
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let suite_prod = standard_suite(&graph, seed ^ 0x5A5A);
+        let suite_ref = standard_suite(&graph, seed ^ 0x5A5A);
+        for (mut prod, mut reference) in suite_prod.into_iter().zip(suite_ref) {
+            let Some(cycle) = prod.schedule_cycle() else { continue };
+            // Stateful schedulers would need twin states per horizon; the
+            // ragged-tail property only concerns periodic (pure-in-t) ones.
+            let horizons =
+                [cycle - 1, cycle, cycle + 1, k * cycle - 1, k * cycle, k * cycle + 1];
+            for horizon in horizons {
+                let expected_engine = if horizon >= cycle {
+                    AnalysisEngine::ClosedForm
+                } else {
+                    AnalysisEngine::ShardedSweep
+                };
+                prop_assert_eq!(
+                    AnalysisEngine::select(prod.as_ref(), horizon),
+                    expected_engine,
+                    "{} cycle {} horizon {}",
+                    prod.name(),
+                    cycle,
+                    horizon
+                );
+                let expected = analyze_schedule_reference(&graph, reference.as_mut(), horizon);
+                let got = pool.install(|| analyze_schedule(&graph, prod.as_mut(), horizon));
+                let ctx = format!(
+                    "{} on {} (seed {seed}, cycle {cycle}, horizon {horizon}, {threads} threads)",
+                    expected.scheduler,
+                    family.name()
+                );
+                assert_bitwise_identical(&got, &expected, &ctx);
+            }
+        }
+    }
+}
+
+/// Every engine, forced explicitly, produces the same bits — the guarantee
+/// experiment `e12` relies on when it times the sharded sweep against the
+/// closed form on the same scheduler.
+#[test]
+fn forced_engines_agree_bitwise() {
+    let graph = Family::ErdosRenyi.generate(40, 4.0, 17);
+    let checker = GraphChecker::new(&graph);
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        for horizon in [33u64, 64, 130, 257] {
+            let suite_a = standard_suite(&graph, 29);
+            let suite_b = standard_suite(&graph, 29);
+            for (mut a, mut b) in suite_a.into_iter().zip(suite_b) {
+                if a.residue_schedule().is_none() {
+                    continue;
+                }
+                let reference = analyze_schedule_reference(&graph, b.as_mut(), horizon);
+                for engine in [AnalysisEngine::ClosedForm, AnalysisEngine::ShardedSweep] {
+                    let got = pool.install(|| {
+                        analyze_schedule_with_engine(&graph, a.as_mut(), horizon, &checker, engine)
+                    });
+                    let ctx = format!(
+                        "{} forced {engine:?} at horizon {horizon}, {threads} threads",
+                        reference.scheduler
+                    );
+                    assert_bitwise_identical(&got, &reference, &ctx);
+                }
+            }
         }
     }
 }

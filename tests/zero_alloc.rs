@@ -21,7 +21,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use fhg::core::analysis::analyze_schedule;
+use fhg::core::analysis::{analyze_schedule, AnalysisEngine};
 use fhg::core::schedulers::{standard_suite, PeriodicDegreeBound};
 use fhg::core::{HappySet, Scheduler};
 use fhg::graph::generators;
@@ -94,16 +94,25 @@ fn fill_happy_set_allocates_nothing_after_warmup() {
         after - before
     );
 
-    // The sharded analysis path: per-holiday work must allocate nothing on
-    // any worker thread, which shows up as horizon-independence — the only
-    // allocations left (shard scratch, thread spawns, channel nodes) depend
-    // on the thread count alone.
+    // The production analysis: per-holiday (and, for the closed-form
+    // engine, per-repetition) work must allocate nothing, which shows up as
+    // horizon-independence — the allocations left (profile/shard scratch,
+    // pool bookkeeping) depend only on the graph, the cycle and the thread
+    // count.  Horizons 128/1024/8192 all take the closed-form engine here
+    // (cycle divides them); the engine profiles one cycle and derives the
+    // rest analytically, so an 8x horizon costs not a single extra
+    // allocation.
+    assert_eq!(
+        AnalysisEngine::select(&scheduler, 128),
+        AnalysisEngine::ClosedForm,
+        "horizons of at least one cycle must take the closed-form engine"
+    );
     for threads in [1usize, 2, 4] {
         let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-        // Warm-up run: first-use lazy state (thread-local buffers, runtime
-        // bookkeeping) settles before measurement.
+        // Warm-up run: first-use lazy state (thread-local buffers, pool
+        // workers, runtime bookkeeping) settles before measurement.
         pool.install(|| analyze_schedule(&graph, &mut scheduler, 64));
-        let deltas: Vec<u64> = [128u64, 1024]
+        let deltas: Vec<u64> = [128u64, 1024, 8192]
             .iter()
             .map(|&horizon| {
                 let before = ALLOCATIONS.load(Ordering::Relaxed);
@@ -112,11 +121,28 @@ fn fill_happy_set_allocates_nothing_after_warmup() {
                 ALLOCATIONS.load(Ordering::Relaxed) - before
             })
             .collect();
-        assert_eq!(
-            deltas[0], deltas[1],
-            "{threads} threads: allocations grew with the horizon ({} -> {}), \
-             so some worker allocated per holiday",
-            deltas[0], deltas[1]
+        assert!(
+            deltas.windows(2).all(|w| w[0] == w[1]),
+            "{threads} threads: allocations grew with the horizon ({deltas:?}), \
+             so some engine allocated per holiday or per repetition"
         );
     }
+
+    // The sub-cycle sharded sweep (horizon < cycle forces the sweep engine):
+    // allocations must likewise be horizon-independent on every worker.
+    let cycle = scheduler.schedule_cycle().expect("perfectly periodic");
+    assert!(cycle >= 8, "need room for two distinct sub-cycle horizons");
+    assert_eq!(AnalysisEngine::select(&scheduler, cycle - 1), AnalysisEngine::ShardedSweep);
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    pool.install(|| analyze_schedule(&graph, &mut scheduler, cycle - 1));
+    let deltas: Vec<u64> = [cycle - 2, cycle - 1]
+        .iter()
+        .map(|&horizon| {
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            let analysis = pool.install(|| analyze_schedule(&graph, &mut scheduler, horizon));
+            assert!(analysis.all_happy_sets_independent);
+            ALLOCATIONS.load(Ordering::Relaxed) - before
+        })
+        .collect();
+    assert_eq!(deltas[0], deltas[1], "sharded sweep allocations must not depend on the horizon");
 }
