@@ -1,0 +1,167 @@
+//! Criterion micro-benchmarks for the fused word-kernel subsystem
+//! (`fhg_graph::kernels`): the emission-bound fill path, the verification
+//! path, and the raw fused-vs-scalar kernel comparison the E13 acceptance
+//! criterion is stated on.
+//!
+//! Three groups:
+//!
+//! * `kernel-fill` — fill-only: `ResidueSchedule::fill` (reset + multi-row
+//!   gather + fused count) over the E11 configuration, plus the raw
+//!   `or_rows_count` gather under scalar / portable / dispatched modes on
+//!   byte-identical row data.
+//! * `kernel-verify` — verify-only: dense AdjacencyBitmap AND-any probes
+//!   (4096-node graph, the `DENSE_ADJACENCY_LIMIT` boundary) and branchless
+//!   CSR word probes (10k-node graph) over one cycle of happy sets.
+//! * `kernel-intersects` — the fused AND-any against the scalar zip on
+//!   adversarially long disjoint rows (worst case: no early exit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fhg_bench::{emission_rows, fill_sweep, AnalysisBenchConfig, ModulusRows};
+use fhg_core::analysis::{GraphChecker, HolidayChecker};
+use fhg_core::prelude::*;
+use fhg_graph::kernels::{self, KernelMode};
+use fhg_graph::{generators, CsrGraph, Graph, HappySet};
+
+const HOLIDAYS: u64 = 4096;
+
+/// The exact `AnalysisBenchConfig::full()` conflict graph the E11/E13
+/// experiments run on — every 10k-node measurement in this file derives
+/// from it, so bench rows and experiment rows drive byte-identical inputs.
+fn full_config_graph() -> Graph {
+    let cfg = AnalysisBenchConfig::full();
+    generators::erdos_renyi(cfg.nodes, cfg.edge_prob, cfg.seed)
+}
+
+/// The E11/E13 emission rows at raw-word level: one bit row per (modulus,
+/// residue) of the periodic degree-bound schedule on the
+/// [`full_config_graph`], rebuilt through the same
+/// `fhg_bench::emission_rows` helper `e13` uses.
+fn full_config_emission_rows() -> (usize, ModulusRows) {
+    let graph = full_config_graph();
+    let scheduler = PeriodicDegreeBound::new(&graph);
+    let view = scheduler.residue_schedule().expect("perfectly periodic");
+    emission_rows(view)
+}
+
+fn sweep(rows: &ModulusRows, words: usize, emit: impl FnMut(&mut [u64], &[&[u64]]) -> u64) -> u64 {
+    fill_sweep(rows, words, HOLIDAYS, emit)
+}
+
+fn bench_fill(c: &mut Criterion) {
+    let (words, rows) = full_config_emission_rows();
+    let mut group = c.benchmark_group("kernel-fill-10k");
+    group.sample_size(10);
+
+    group.bench_function("gather/scalar-reset-or-rescan-4096-fills", |b| {
+        b.iter(|| black_box(sweep(&rows, words, kernels::scalar::set_rows_count)))
+    });
+    group.bench_function("gather/fused-portable-4096-fills", |b| {
+        b.iter(|| {
+            black_box(sweep(&rows, words, |dst, refs| {
+                kernels::set_rows_count_in(KernelMode::Portable, dst, refs)
+            }))
+        })
+    });
+    group.bench_function("gather/fused-dispatched-4096-fills", |b| {
+        b.iter(|| black_box(sweep(&rows, words, kernels::set_rows_count)))
+    });
+
+    let graph = full_config_graph();
+    let scheduler = PeriodicDegreeBound::new(&graph);
+    let view = scheduler.residue_schedule().expect("perfectly periodic");
+    group.bench_function("residue-schedule-fill/end-to-end-4096-fills", |b| {
+        let mut buf = HappySet::new(view.node_count());
+        b.iter(|| {
+            let mut sum = 0u64;
+            for t in 0..HOLIDAYS {
+                view.fill(t, &mut buf);
+                sum += buf.len() as u64;
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel-verify");
+    group.sample_size(10);
+
+    // Dense path: AND-any adjacency rows at the DENSE_ADJACENCY_LIMIT edge.
+    let graph = generators::erdos_renyi(4096, 10.0 / 4095.0, 7);
+    let checker = GraphChecker::new(&graph);
+    let scheduler = PeriodicDegreeBound::new(&graph);
+    let view = scheduler.residue_schedule().expect("perfectly periodic");
+    let cycle = view.cycle();
+    let sets: Vec<HappySet> = (0..cycle)
+        .map(|t| {
+            let mut buf = HappySet::new(view.node_count());
+            view.fill(t, &mut buf);
+            buf
+        })
+        .collect();
+    group.bench_function("dense-adjacency/one-cycle-4096-nodes", |b| {
+        b.iter(|| {
+            let ok = sets.iter().enumerate().all(|(t, s)| checker.check(t as u64, s.as_bitset()));
+            assert!(ok);
+            black_box(ok)
+        })
+    });
+
+    // CSR path: branchless word probes beyond the dense limit.
+    let graph = full_config_graph();
+    let csr = CsrGraph::from_graph(&graph);
+    let scheduler = PeriodicDegreeBound::new(&graph);
+    let view = scheduler.residue_schedule().expect("perfectly periodic");
+    let sets: Vec<HappySet> = (0..view.cycle())
+        .map(|t| {
+            let mut buf = HappySet::new(view.node_count());
+            view.fill(t, &mut buf);
+            buf
+        })
+        .collect();
+    group.bench_function("csr-word-probes/one-cycle-10k-nodes", |b| {
+        b.iter(|| {
+            let ok = sets.iter().all(|s| csr.is_independent(s.as_bitset()));
+            assert!(ok);
+            black_box(ok)
+        })
+    });
+    group.finish();
+}
+
+fn bench_intersects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel-intersects");
+    group.sample_size(10);
+    // Disjoint even/odd words: the AND-any must scan to the end (worst
+    // case — no early exit), 10k bits per side.
+    let words = 10_000usize.div_ceil(64);
+    let a: Vec<u64> = (0..words as u64).map(|i| if i % 2 == 0 { !0 } else { 0 }).collect();
+    let b_: Vec<u64> = (0..words as u64).map(|i| if i % 2 == 1 { !0 } else { 0 }).collect();
+    group.bench_function("and-any/scalar-disjoint-10k-bits", |bch| {
+        bch.iter(|| {
+            let mut hits = 0u32;
+            for _ in 0..1024 {
+                hits += u32::from(kernels::scalar::intersects(black_box(&a), black_box(&b_)));
+            }
+            assert_eq!(hits, 0);
+            black_box(hits)
+        })
+    });
+    group.bench_function("and-any/fused-dispatched-disjoint-10k-bits", |bch| {
+        bch.iter(|| {
+            let mut hits = 0u32;
+            for _ in 0..1024 {
+                hits += u32::from(kernels::intersects(black_box(&a), black_box(&b_)));
+            }
+            assert_eq!(hits, 0);
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fill, bench_verify, bench_intersects);
+criterion_main!(benches);

@@ -9,12 +9,40 @@
 //! cargo run -p fhg-bench --release --bin experiments -- --list
 //! ```
 //!
-//! `--smoke` shrinks the analysis-engine experiments (`e11`/`e12`) to CI
-//! sizing.  Whenever `e11`/`e12` run, their machine-readable medians are
-//! written to `BENCH_analysis.json` in the working directory so the perf
-//! trajectory accumulates across commits.
+//! `--smoke` shrinks the analysis-engine experiments (`e11`–`e13`) to CI
+//! sizing.  Whenever `e11`/`e12`/`e13` run, their machine-readable medians
+//! are written to `BENCH_analysis.json` **at the repository root** — the
+//! compile-time manifest location when that checkout still exists,
+//! otherwise the nearest enclosing workspace of the invocation directory —
+//! so the perf trajectory accumulates across commits no matter where the
+//! binary is launched from.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// The directory `BENCH_analysis.json` belongs in: the repository root.
+///
+/// Preference order: the nearest ancestor of the current directory that is
+/// an FHG checkout (contains `crates/fhg-bench/Cargo.toml` — so a binary
+/// built in one clone but run inside another writes into the clone it runs
+/// in, and an unrelated project's `Cargo.lock` never matches), then the
+/// build-time manifest's workspace root (covers running from outside any
+/// checkout, e.g. `/tmp`), then the current directory.
+fn repo_root() -> PathBuf {
+    let cwd = std::env::current_dir().ok();
+    if let Some(cwd) = &cwd {
+        if let Some(root) =
+            cwd.ancestors().find(|d| d.join("crates/fhg-bench/Cargo.toml").is_file())
+        {
+            return root.to_path_buf();
+        }
+    }
+    let baked = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if baked.is_dir() {
+        return baked;
+    }
+    cwd.unwrap_or_else(|| PathBuf::from("."))
+}
 
 use fhg_bench::{
     bench_entries_to_json, run_experiment_collecting, AnalysisBenchConfig, EXPERIMENT_IDS,
@@ -54,10 +82,15 @@ fn main() {
     }
     if !entries.is_empty() {
         let json = bench_entries_to_json(smoke, &entries);
-        match std::fs::write("BENCH_analysis.json", &json) {
-            Ok(()) => eprintln!("[wrote BENCH_analysis.json: {} entries]", entries.len()),
+        // Repo root, not CWD, so the trajectory file lands next to
+        // ROADMAP.md regardless of where the binary was invoked.
+        let path = repo_root().join("BENCH_analysis.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => {
+                eprintln!("[wrote {}: {} entries]", path.display(), entries.len());
+            }
             Err(e) => {
-                eprintln!("failed to write BENCH_analysis.json: {e}");
+                eprintln!("failed to write {}: {e}", path.display());
                 std::process::exit(1);
             }
         }

@@ -1,15 +1,15 @@
-//! The E1–E12 experiment implementations (see `DESIGN.md` §5 and
+//! The E1–E13 experiment implementations (see `DESIGN.md` §5 and
 //! `EXPERIMENTS.md`).
 //!
 //! Every experiment uses fixed seeds, so the tables in `EXPERIMENTS.md` are
 //! exactly reproducible with
 //! `cargo run -p fhg-bench --release --bin experiments -- all`.
 //!
-//! The analysis-engine experiments (`e11`/`e12`) are parameterised by an
+//! The analysis-engine experiments (`e11`–`e13`) are parameterised by an
 //! [`AnalysisBenchConfig`] (full vs `--smoke` sizing) and additionally
 //! report machine-readable [`BenchEntry`] medians, which the experiments
-//! binary serialises to `BENCH_analysis.json` so CI can accumulate a perf
-//! trajectory.
+//! binary serialises to `BENCH_analysis.json` (at the repository root) so CI
+//! can accumulate a perf trajectory.
 
 use std::time::Instant;
 
@@ -32,10 +32,10 @@ use fhg_radio::{evaluate_tdma, RadioNetwork};
 use crate::table::Table;
 
 /// The experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 12] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+pub const EXPERIMENT_IDS: [&str; 13] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
 
-/// Sizing knobs for the analysis-engine experiments (`e11`/`e12`).
+/// Sizing knobs for the analysis-engine experiments (`e11`–`e13`).
 #[derive(Debug, Clone)]
 pub struct AnalysisBenchConfig {
     /// Nodes of the Erdős–Rényi conflict graph.
@@ -80,11 +80,11 @@ impl AnalysisBenchConfig {
     }
 }
 
-/// One machine-readable measurement from `e11`/`e12`, serialised to
+/// One machine-readable measurement from `e11`–`e13`, serialised to
 /// `BENCH_analysis.json` by the experiments binary.
 #[derive(Debug, Clone)]
 pub struct BenchEntry {
-    /// Experiment id (`"e11"` / `"e12"`).
+    /// Experiment id (`"e11"` / `"e12"` / `"e13"`).
     pub experiment: &'static str,
     /// Engine label (matches the table row).
     pub engine: String,
@@ -118,7 +118,7 @@ pub fn bench_entries_to_json(smoke: bool, entries: &[BenchEntry]) -> String {
     out
 }
 
-/// Runs one experiment by id (`"e1"` … `"e12"`), returning its tables.
+/// Runs one experiment by id (`"e1"` … `"e13"`), returning its tables.
 ///
 /// # Panics
 /// Panics if the id is unknown.
@@ -127,7 +127,7 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
 }
 
 /// Like [`run_experiment`], but with explicit analysis-bench sizing and the
-/// machine-readable entries of `e11`/`e12` (empty for other experiments).
+/// machine-readable entries of `e11`–`e13` (empty for other experiments).
 ///
 /// # Panics
 /// Panics if the id is unknown.
@@ -148,6 +148,7 @@ pub fn run_experiment_collecting(
         "e10" => (e10_mis_and_radio(), Vec::new()),
         "e11" => e11_analysis_engine_with(cfg),
         "e12" => e12_closed_form_engine_with(cfg),
+        "e13" => e13_fused_kernel_emission_with(cfg),
         other => panic!("unknown experiment id {other:?}; valid ids: {EXPERIMENT_IDS:?}"),
     }
 }
@@ -855,13 +856,201 @@ pub fn e12_closed_form_engine_with(cfg: &AnalysisBenchConfig) -> (Vec<Table>, Ve
     (vec![table], entries)
 }
 
+/// Word-packed residue rows grouped per distinct modulus — `(modulus, one
+/// bit row per residue)` — the raw-word form of a `ResidueTable`, shared by
+/// experiment `e13` and `benches/kernels.rs` so both drive byte-identical
+/// inputs.
+pub type ModulusRows = Vec<(u64, Vec<Vec<u64>>)>;
+
+/// Rebuilds the word-packed emission rows of `view` (one bit row per
+/// `(modulus, residue)` pair) from its public assignment, plus the row
+/// width in words.  This is the input the kernel-level emission paths of
+/// `e13` and the kernels bench gather from.
+pub fn emission_rows(
+    view: &fhg_core::schedulers::residue::ResidueSchedule,
+) -> (usize, ModulusRows) {
+    let n = view.node_count();
+    let words = n.div_ceil(64);
+    let mut distinct: Vec<u64> = (0..n).map(|p| view.modulus(p)).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let mut rows: ModulusRows =
+        distinct.iter().map(|&m| (m, vec![vec![0u64; words]; m as usize])).collect();
+    for p in 0..n {
+        let gi = distinct.binary_search(&view.modulus(p)).expect("modulus is distinct");
+        rows[gi].1[view.slot(p) as usize][p / 64] |= 1u64 << (p % 64);
+    }
+    (words, rows)
+}
+
+/// Drives `horizon` holidays of the residue emission at raw-word level:
+/// per holiday, gather one row per distinct modulus and combine them into
+/// `dst` with `emit` (which owns the whole per-holiday write, zeroing
+/// included where its strategy needs one), returning the summed
+/// cardinalities (the checksum every emission path must agree on).
+pub fn fill_sweep(
+    rows: &ModulusRows,
+    words: usize,
+    horizon: u64,
+    mut emit: impl FnMut(&mut [u64], &[&[u64]]) -> u64,
+) -> u64 {
+    let mut dst = vec![0u64; words];
+    let mut refs: Vec<&[u64]> = Vec::with_capacity(rows.len());
+    let mut sum = 0u64;
+    for t in 0..horizon {
+        refs.clear();
+        for (m, residue_rows) in rows {
+            let r = if m.is_power_of_two() { t & (m - 1) } else { t % m };
+            refs.push(residue_rows[r as usize].as_slice());
+        }
+        sum += emit(&mut dst, &refs);
+    }
+    sum
+}
+
+/// E13 — the fused word-kernel subsystem: the closed form is emission-bound
+/// (ROADMAP "Scale directions" after PR 3), so this experiment times the
+/// per-holiday fill at the E11 configuration under three emission paths on
+/// identical row data: the PR 3 scalar shape (reset memset, one full `dst`
+/// OR pass per distinct modulus, then a separate popcount rescan), the
+/// fused gather+popcount kernel (`set_rows_count`: one write-only pass,
+/// rows indexed inner, count fused) forced portable, and the same kernel as
+/// dispatched (AVX2 wide wherever supported, `FHG_KERNEL` override).  A
+/// fourth row drives the production `ResidueSchedule::fill` end to end.
+/// All paths must produce identical cardinality checksums, and a second
+/// table witnesses that the production analysis engines still match
+/// `analyze_schedule_reference` bitwise after the kernel refactor.
+/// Acceptance: the dispatched fused path is at least 2x faster than the
+/// scalar shape (the `criterion` column).
+pub fn e13_fused_kernel_emission_with(cfg: &AnalysisBenchConfig) -> (Vec<Table>, Vec<BenchEntry>) {
+    use fhg_graph::kernels::{self, KernelMode};
+
+    let graph = generators::erdos_renyi(cfg.nodes, cfg.edge_prob, cfg.seed);
+    let mut scheduler = PeriodicDegreeBound::new(&graph);
+    let view = scheduler.residue_schedule().expect("perfectly periodic").clone();
+    let n = view.node_count();
+    let horizon = cfg.horizon;
+
+    // The word-packed emission rows (one bit row per (modulus, residue))
+    // rebuilt from the schedule's public assignment, so the scalar and
+    // fused paths run on byte-identical inputs.
+    let (words, rows) = emission_rows(&view);
+
+    let mut table = Table::new(
+        format!(
+            "E13 — fused kernel emission on erdos_renyi({}, {}), {} fills of {} distinct-modulus \
+             rows x {} words (medians of {})",
+            cfg.nodes,
+            cfg.edge_prob,
+            horizon,
+            rows.len(),
+            words,
+            cfg.reps
+        ),
+        &["emission path", "kernel mode", "median ms", "speedup vs scalar", "criterion"],
+    );
+    let mut entries = Vec::new();
+
+    let mut scalar_sum = 0u64;
+    let scalar_ms = median_ms(cfg.reps, || {
+        scalar_sum = fill_sweep(&rows, words, horizon, kernels::scalar::set_rows_count);
+    });
+    let mut portable_sum = 0u64;
+    let portable_ms = median_ms(cfg.reps, || {
+        portable_sum = fill_sweep(&rows, words, horizon, |dst, refs| {
+            kernels::set_rows_count_in(KernelMode::Portable, dst, refs)
+        });
+    });
+    let mut fused_sum = 0u64;
+    let fused_ms = median_ms(cfg.reps, || {
+        fused_sum = fill_sweep(&rows, words, horizon, kernels::set_rows_count);
+    });
+    let mut fill_sum = 0u64;
+    let fill_ms = median_ms(cfg.reps, || {
+        let mut buf = fhg_graph::HappySet::new(n);
+        fill_sum = 0;
+        for t in 0..horizon {
+            view.fill(t, &mut buf);
+            fill_sum += buf.len() as u64;
+        }
+    });
+    assert_eq!(scalar_sum, portable_sum, "portable kernel checksum diverged");
+    assert_eq!(scalar_sum, fused_sum, "dispatched kernel checksum diverged");
+    assert_eq!(scalar_sum, fill_sum, "ResidueSchedule::fill checksum diverged");
+
+    let active = match KernelMode::active() {
+        KernelMode::Wide => "wide",
+        KernelMode::Portable => "portable",
+    };
+    let rows_out: [(&str, &str, f64, String); 4] = [
+        ("scalar reset+OR-then-rescan (PR 3 shape)", "-", scalar_ms, "-".to_string()),
+        ("fused gather+popcount", "portable", portable_ms, "-".to_string()),
+        (
+            "fused gather+popcount (dispatched)",
+            active,
+            fused_ms,
+            format!(">=2x vs scalar: {}", scalar_ms / fused_ms >= 2.0),
+        ),
+        ("ResidueSchedule::fill end-to-end", active, fill_ms, "-".to_string()),
+    ];
+    let engine_label = |path: &str, mode: &str| {
+        if mode == "-" {
+            path.replace(' ', "-")
+        } else {
+            format!("{}-{}", path.replace(' ', "-"), mode)
+        }
+    };
+    for (path, mode, ms, criterion) in rows_out {
+        table.push(&[
+            path.to_string(),
+            mode.to_string(),
+            format!("{ms:.3}"),
+            format!("{:.2}x", scalar_ms / ms),
+            criterion,
+        ]);
+        entries.push(BenchEntry {
+            experiment: "e13",
+            engine: engine_label(path, mode),
+            threads: 1,
+            horizon,
+            median_ms: ms,
+            speedup: scalar_ms / ms,
+        });
+    }
+
+    // Parity witness: the production engines, forced per engine, still
+    // match the sequential reference bitwise after the kernel refactor.
+    let mut parity = Table::new(
+        "E13b — engine parity after the kernel refactor (same graph, short horizon)",
+        &["engine", "horizon", "matches reference"],
+    );
+    let checker = GraphChecker::new(&graph);
+    let reference = analyze_schedule_reference(&graph, &mut scheduler, horizon);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    for (label, engine) in [
+        ("closed-form cycle profile", AnalysisEngine::ClosedForm),
+        ("sharded + residue cache", AnalysisEngine::ShardedSweep),
+    ] {
+        let analysis = pool.install(|| {
+            analyze_schedule_with_engine(&graph, &mut scheduler, horizon, &checker, engine)
+        });
+        parity.push(&[
+            label.to_string(),
+            horizon.to_string(),
+            matches_reference(&analysis, &reference).to_string(),
+        ]);
+    }
+
+    (vec![table, parity], entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn experiment_ids_are_wired_up() {
-        assert_eq!(EXPERIMENT_IDS.len(), 12);
+        assert_eq!(EXPERIMENT_IDS.len(), 13);
     }
 
     #[test]
@@ -893,6 +1082,27 @@ mod tests {
         assert!(json.contains("\"smoke\": true"));
         assert_eq!(json.matches("\"experiment\": \"e12\"").count(), 4);
         assert!(!json.contains(",\n  ]"), "no trailing comma before the array close");
+    }
+
+    #[test]
+    fn e13_reports_all_paths_and_agreeing_checksums() {
+        // Tiny configuration: structure + kernel-level parity (the checksum
+        // asserts inside e13), no perf assertions.
+        let cfg = AnalysisBenchConfig {
+            nodes: 150,
+            edge_prob: 0.04,
+            seed: 11,
+            horizon: 96,
+            long_horizon: 1024,
+            reps: 1,
+        };
+        let (tables, entries) = run_experiment_collecting("e13", &cfg);
+        assert_eq!(tables.len(), 2, "timing table plus the parity witness");
+        assert_eq!(entries.len(), 4, "scalar, portable, dispatched, end-to-end");
+        assert!((entries[0].speedup - 1.0).abs() < 1e-9, "scalar baseline speedup is 1");
+        assert!(entries.iter().any(|e| e.engine.contains("fused-gather+popcount")));
+        let parity = tables[1].to_markdown();
+        assert!(!parity.contains("| false |"), "every engine must match the reference: {parity}");
     }
 
     #[test]

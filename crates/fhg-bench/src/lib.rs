@@ -26,7 +26,7 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    bench_entries_to_json, run_all, run_experiment, run_experiment_collecting, AnalysisBenchConfig,
-    BenchEntry, EXPERIMENT_IDS,
+    bench_entries_to_json, emission_rows, fill_sweep, run_all, run_experiment,
+    run_experiment_collecting, AnalysisBenchConfig, BenchEntry, ModulusRows, EXPERIMENT_IDS,
 };
 pub use table::Table;

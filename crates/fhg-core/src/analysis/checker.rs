@@ -7,7 +7,10 @@
 //!
 //! * the production path can pick the fastest representation for the graph at
 //!   hand ([`GraphChecker`]: dense word-wise adjacency rows up to
-//!   [`DENSE_ADJACENCY_LIMIT`] nodes, branchless CSR probes beyond), and
+//!   [`DENSE_ADJACENCY_LIMIT`] nodes, branchless CSR probes beyond — both
+//!   walk the set through `fhg_graph::kernels::all_set_bits` and the dense
+//!   path probes each row with the fused AND-any kernel, so verification
+//!   rides the same runtime-dispatched wide loops as emission), and
 //! * tests can substitute instrumented checkers (the counting checker in
 //!   `tests/residue_cache.rs`) to observe *which* holidays each engine
 //!   actually verifies — the closed-form and sharded engines both promise

@@ -120,14 +120,16 @@ impl CycleProfile {
             }
             running += happy.len() as u64;
             size_prefix.push(running);
-            for p in happy.iter() {
+            // Attendance recording through the set-bit extraction kernel:
+            // one trailing_zeros word scan per class, no iterator chain.
+            happy.for_each(|p| {
                 if p >= n {
                     all_independent = false;
-                    continue;
+                    return;
                 }
                 per_node[p].record(offset);
                 events.push((p, offset));
-            }
+            });
         }
 
         // Counting-sort the (node, offset) events into per-node CSR rows.

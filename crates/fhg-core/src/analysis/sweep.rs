@@ -178,13 +178,16 @@ impl ShardSweep {
                 self.all_independent = false;
             }
             self.total_happiness += self.happy.len() as u64;
-            for p in self.happy.iter() {
+            // Per-holiday accumulation through the set-bit extraction
+            // kernel (disjoint field captures keep the scratch buffer
+            // borrowed immutably while the accumulators update).
+            self.happy.for_each(|p| {
                 if p >= n {
                     self.all_independent = false;
-                    continue;
+                } else {
+                    self.accum[p].record(offset);
                 }
-                self.accum[p].record(offset);
-            }
+            });
         }
     }
 }

@@ -35,7 +35,10 @@ fn hosts_into_via(fill: impl FnOnce(&mut HappySet), out: &mut Vec<NodeId>) {
     out.clear();
     fhg_graph::happy_set::with_thread_scratch(|buf| {
         fill(buf);
-        out.extend(buf.iter());
+        // Member extraction through the set-bit kernel (trailing_zeros word
+        // scan) rather than the iterator chain — this copy is the whole
+        // steady-state cost of the shim.
+        buf.for_each(|p| out.push(p));
     });
 }
 
@@ -102,15 +105,20 @@ impl ResidueTable {
         self.n
     }
 
-    /// Writes the hosting set of holiday `t` into `out` with one word-wise OR
-    /// per distinct modulus (and a single cardinality recount at the end).
-    /// Resets `out` to the table's capacity.
+    /// Writes the hosting set of holiday `t` into `out` by gathering one row
+    /// per distinct modulus into a single fused gather+popcount pass over
+    /// the output words ([`HappySet::assign_many`] batches the rows and
+    /// indexes them in the inner loop): `out` is written exactly once — no
+    /// reset memset, no per-row sweep, no cardinality rescan.  Resets `out`
+    /// to the table's capacity.
     pub fn fill(&self, t: u64, out: &mut HappySet) {
-        out.reset(self.n);
-        out.union_many(self.groups.iter().map(|(m, rows)| {
-            let r = if m.is_power_of_two() { t & (m - 1) } else { t % m };
-            &rows[r as usize]
-        }));
+        out.assign_many(
+            self.n,
+            self.groups.iter().map(|(m, rows)| {
+                let r = if m.is_power_of_two() { t & (m - 1) } else { t % m };
+                &rows[r as usize]
+            }),
+        );
     }
 
     /// Writes the nodes hosting at holiday `t` into `out` (cleared first,

@@ -4,7 +4,17 @@
 //! bookkeeping, visited marks in traversals) need a dense set of node ids.
 //! A `Vec<bool>` works but wastes 8x the memory and defeats the cache; this
 //! minimal word-packed bit set keeps those scans tight without pulling in an
-//! external dependency.
+//! external dependency.  The bulk operations (union, intersection probes,
+//! popcounts, member walks) run on the fused word loops in
+//! [`crate::kernels`], so every consumer gets the runtime-dispatched wide
+//! path for free.
+//!
+//! Invariant: the backing words never contain a set bit at a position `>=
+//! capacity()` — every mutator bounds-checks, and the bulk operations only
+//! combine sets of equal capacity — so word-level kernels may walk the raw
+//! words without a capacity guard.
+
+use crate::kernels;
 
 const WORD_BITS: usize = 64;
 
@@ -74,7 +84,7 @@ impl FixedBitSet {
 
     /// Number of elements currently stored.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count(&self.words) as usize
     }
 
     /// Returns `true` if the set has no elements.
@@ -89,6 +99,17 @@ impl FixedBitSet {
             let len = self.len;
             BitIter { word, base }.take_while(move |&v| v < len)
         })
+    }
+
+    /// Calls `f` with every stored value in increasing order — the
+    /// set-bit-extraction kernel ([`kernels::for_each_set_bit`]) behind the
+    /// hot member walks (`hosts_into`, attendance recording), cheaper than
+    /// driving [`FixedBitSet::iter`] through a `flat_map` chain.
+    #[inline]
+    pub fn for_each(&self, f: impl FnMut(usize)) {
+        // Sound without a capacity guard: no word ever holds a bit at a
+        // position >= capacity() (module invariant).
+        kernels::for_each_set_bit(&self.words, f);
     }
 
     /// Smallest value in `0..capacity()` *not* in the set, if any.
@@ -117,20 +138,26 @@ impl FixedBitSet {
         &self.words
     }
 
-    /// Whether the two sets share any element, computed word-wise.
+    /// Mutable view of the backing words, for the in-crate kernel callers
+    /// ([`crate::happy_set::HappySet`]'s fused union) — crate-private so the
+    /// no-stray-high-bits invariant stays enforceable.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Whether the two sets share any element, computed word-wise with the
+    /// fused AND-any kernel (per-block early exit).
     ///
     /// Capacities may differ; values beyond the shorter capacity cannot
     /// intersect.
     pub fn intersects(&self, other: &FixedBitSet) -> bool {
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        kernels::intersects(&self.words, &other.words)
     }
 
     /// In-place union with another set of the same capacity.
     pub fn union_with(&mut self, other: &FixedBitSet) {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernels::or_rows(&mut self.words, &[&other.words]);
     }
 
     /// In-place intersection with another set of the same capacity.
@@ -205,6 +232,19 @@ mod tests {
         }
         let got: Vec<usize> = s.iter().collect();
         assert_eq!(got, vec![1, 5, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn for_each_matches_iter_at_word_boundaries() {
+        for capacity in [0usize, 1, 63, 64, 65, 130, 256] {
+            let mut s = FixedBitSet::new(capacity);
+            for v in (0..capacity).step_by(3) {
+                s.insert(v);
+            }
+            let mut walked = Vec::new();
+            s.for_each(|v| walked.push(v));
+            assert_eq!(walked, s.iter().collect::<Vec<_>>(), "capacity {capacity}");
+        }
     }
 
     #[test]

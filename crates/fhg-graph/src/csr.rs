@@ -95,14 +95,16 @@ impl CsrGraph {
 
     /// Whether `set` (as a bit set over node ids) is an independent set.
     ///
-    /// Walks the set's backing words directly and probes each member's CSR
-    /// neighbourhood against the raw words with branchless OR-accumulation
-    /// (the conditional per neighbour is a data dependency, not a branch —
-    /// measurably faster than short-circuit probes on scattered members).
-    /// Members `>= node_count()` make the set invalid, mirroring
-    /// [`crate::properties::is_independent_set`].  This is the big-graph
-    /// complement to [`crate::properties::AdjacencyBitmap::is_independent`],
-    /// whose dense rows are fully word-wise but cost `n²/8` bytes.
+    /// Walks the set's backing words through the set-bit-extraction kernel
+    /// ([`crate::kernels::all_set_bits`], early exit on the first conflict)
+    /// and probes each member's CSR neighbourhood against the raw words with
+    /// branchless OR-accumulation (the conditional per neighbour is a data
+    /// dependency, not a branch — measurably faster than short-circuit
+    /// probes on scattered members).  Members `>= node_count()` make the set
+    /// invalid, mirroring [`crate::properties::is_independent_set`].  This
+    /// is the big-graph complement to
+    /// [`crate::properties::AdjacencyBitmap::is_independent`], whose dense
+    /// rows are fully word-wise but cost `n²/8` bytes.
     pub fn is_independent(&self, set: &crate::bitset::FixedBitSet) -> bool {
         let n = self.node_count();
         if set.capacity() < n {
@@ -113,24 +115,16 @@ impl CsrGraph {
                 .all(|u| u < n && self.neighbors(u).iter().all(|&v| !set.contains(v)));
         }
         let words = set.as_words();
-        for (wi, &w0) in words.iter().enumerate() {
-            let mut w = w0;
-            while w != 0 {
-                let u = wi * 64 + w.trailing_zeros() as usize;
-                w &= w - 1;
-                if u >= n {
-                    return false;
-                }
-                let mut hit = 0u64;
-                for &v in self.neighbors(u) {
-                    hit |= words[v >> 6] & (1u64 << (v & 63));
-                }
-                if hit != 0 {
-                    return false;
-                }
+        crate::kernels::all_set_bits(words, |u| {
+            if u >= n {
+                return false;
             }
-        }
-        true
+            let mut hit = 0u64;
+            for &v in self.neighbors(u) {
+                hit |= words[v >> 6] & (1u64 << (v & 63));
+            }
+            hit == 0
+        })
     }
 
     /// Converts back into a mutable [`Graph`].

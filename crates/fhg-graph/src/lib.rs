@@ -22,6 +22,10 @@
 //!   bipartiteness, degeneracy, triangles, independence checks).
 //! * [`happy_set`] — the reusable word-packed [`HappySet`] buffer the
 //!   scheduler engine fills once per holiday without allocating.
+//! * [`kernels`] — the fused word kernels (OR+popcount emission, AND-any
+//!   independence probes, set-bit extraction) every hot bit loop runs on,
+//!   with a runtime-dispatched AVX2 wide path and a portable unrolled
+//!   fallback (`FHG_KERNEL=portable|wide` override).
 //! * [`dynamic`] — the dynamic-setting substrate of paper §6: an edge-event
 //!   stream applied to a graph with notification of affected nodes.
 //!
@@ -36,7 +40,9 @@
 //! assert!(comps.component_count() >= 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `kernels` is the one module allowed to use `unsafe` (AVX2 intrinsics
+// behind a runtime feature check); everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitset;
@@ -47,6 +53,7 @@ pub mod generators;
 pub mod graph;
 pub mod happy_set;
 pub mod io;
+pub mod kernels;
 pub mod properties;
 
 pub use bitset::FixedBitSet;
@@ -55,6 +62,7 @@ pub use dynamic::{DynamicGraph, EdgeEvent, EdgeEventKind};
 pub use error::GraphError;
 pub use graph::{Edge, Graph};
 pub use happy_set::HappySet;
+pub use kernels::KernelMode;
 
 /// Identifier of a node (a "parent" in the paper's terminology).
 ///

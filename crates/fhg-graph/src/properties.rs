@@ -264,10 +264,15 @@ impl AdjacencyBitmap {
     }
 
     /// Whether `set` is an independent set, verified by ANDing every member's
-    /// adjacency row against the set.  Members `>= node_count()` make the set
-    /// invalid (mirroring [`is_independent_set`]).
+    /// adjacency row against the set — the member walk runs on the
+    /// set-bit-extraction kernel and each row probe on the fused AND-any
+    /// kernel ([`crate::kernels`]), both with early exit on the first
+    /// conflict.  Members `>= node_count()` make the set invalid (mirroring
+    /// [`is_independent_set`]).
     pub fn is_independent(&self, set: &FixedBitSet) -> bool {
-        set.iter().all(|u| u < self.rows.len() && !self.rows[u].intersects(set))
+        crate::kernels::all_set_bits(set.as_words(), |u| {
+            u < self.rows.len() && !self.rows[u].intersects(set)
+        })
     }
 }
 

@@ -16,6 +16,15 @@
 //! Float fields are compared through `to_bits`, so `NaN` mean gaps (fewer
 //! than two happy holidays) compare equal exactly when both paths produce
 //! them.
+//!
+//! Every emission and verification loop under test runs on the fused word
+//! kernels (`fhg_graph::kernels`), whose implementation is selected once per
+//! process (`FHG_KERNEL=portable|wide`, defaulting to the AVX2 wide path
+//! where supported).  CI runs this whole suite under `FHG_KERNEL=portable`
+//! in addition to the default dispatch — alongside the `FHG_THREADS=1/8`
+//! matrix — so a divergence between the wide and portable kernels shows up
+//! as a parity failure here even if the kernel-level property tests were
+//! ever weakened.
 
 use proptest::prelude::*;
 
