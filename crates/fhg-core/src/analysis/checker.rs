@@ -18,6 +18,13 @@
 //!
 //! The holiday number is passed alongside the set for exactly that reason:
 //! the verdict must not depend on it, but instrumentation wants to see it.
+//!
+//! Checkers must be `Sync` because both sharded paths probe from worker
+//! threads: the sweep verifies each shard's residue classes in place, and
+//! the parallel `CycleProfile` build verifies each class from the one
+//! shard that owns its range — so the once-per-class promise holds at
+//! every thread count, and verification (the closed form's dominant cost
+//! on large cycles) scales with the pool.
 
 use fhg_graph::{properties, CsrGraph, FixedBitSet, Graph};
 

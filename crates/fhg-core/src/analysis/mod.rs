@@ -49,13 +49,21 @@
 //! counts and ragged horizons).  Independence checking itself is behind the
 //! [`checker`] module's [`HolidayChecker`] trait so tests can observe which
 //! holidays each engine probes (`tests/residue_cache.rs`).
+//!
+//! The production accumulation plane is the struct-of-arrays column bank of
+//! the [`sweep`] module (the Sequential engine deliberately stays on the
+//! scalar array-of-structs reference), which also powers the totals-only
+//! fast path: [`analyze_schedule_totals`] returns the whole-schedule
+//! aggregates ([`AnalysisTotals`]) without per-node assembly or float
+//! finalisation whenever the closed form applies, and always equals
+//! `analyze_schedule(..).totals()`.
 
 mod checker;
 mod profile;
 mod sweep;
 
 pub use checker::{GraphChecker, HolidayChecker, DENSE_ADJACENCY_LIMIT};
-pub use profile::CycleProfile;
+pub use profile::{CycleProfile, DeriveScratch};
 
 use fhg_graph::{Graph, NodeId};
 use rayon::prelude::*;
@@ -103,10 +111,49 @@ pub struct ScheduleAnalysis {
     pub total_happiness: u64,
 }
 
+/// Whole-schedule aggregates without the per-node breakdown — what the
+/// totals-only fast path ([`CycleProfile::derive_totals`],
+/// [`analyze_schedule_totals`]) produces by skipping the `NodeAnalysis`
+/// assembly and per-node float finalisation entirely.  Always equal to the
+/// same aggregates reduced from a full [`ScheduleAnalysis`]
+/// ([`ScheduleAnalysis::totals`]), which the parity suite pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisTotals {
+    /// Number of holidays analysed.
+    pub horizon: u64,
+    /// Total happy appearances across all nodes and holidays (saturating
+    /// at astronomical horizons).
+    pub total_happiness: u64,
+    /// Mean happy-set size per holiday.
+    pub mean_happy_set_size: f64,
+    /// The largest unhappiness streak over all nodes.
+    pub max_unhappiness: u64,
+    /// Whether every node's observed behaviour is perfectly periodic.
+    pub all_periodic: bool,
+    /// Number of nodes that were never happy within the horizon.
+    pub never_happy: u64,
+    /// Whether every happy set produced was an independent set.
+    pub all_happy_sets_independent: bool,
+}
+
 impl ScheduleAnalysis {
     /// The largest unhappiness streak over all nodes.
     pub fn max_unhappiness(&self) -> u64 {
         self.per_node.iter().map(|n| n.max_unhappiness).max().unwrap_or(0)
+    }
+
+    /// Reduces this analysis to its whole-schedule aggregates — the view
+    /// the totals-only fast path computes directly.
+    pub fn totals(&self) -> AnalysisTotals {
+        AnalysisTotals {
+            horizon: self.horizon,
+            total_happiness: self.total_happiness,
+            mean_happy_set_size: self.mean_happy_set_size,
+            max_unhappiness: self.max_unhappiness(),
+            all_periodic: self.all_periodic(),
+            never_happy: self.never_happy.len() as u64,
+            all_happy_sets_independent: self.all_happy_sets_independent,
+        }
     }
 
     /// Whether every node's observed behaviour is perfectly periodic.
@@ -264,36 +311,68 @@ where
         AnalysisEngine::ShardedSweep => {
             let view = scheduler.residue_schedule().expect("clamp guarantees a residue view");
             // Pure function of t: shard the horizon across worker threads and
-            // verify each residue class exactly once.
+            // verify each residue class exactly once.  The per-shard column
+            // banks merge through the exact column-kernel rule.
             let verify_below = view.cycle().min(horizon);
             let threads = rayon::current_num_threads().max(1);
-            let mut shards: Vec<sweep::ShardSweep> = sweep::split_offsets(horizon, threads)
+            let mut shards: Vec<sweep::BankSweep> = sweep::split_offsets(horizon, threads)
                 .into_iter()
                 .map(|offsets| {
-                    sweep::ShardSweep::new(n, scheduler.node_count(), offsets, verify_below)
+                    sweep::BankSweep::new(n, scheduler.node_count(), offsets, verify_below)
                 })
                 .collect();
             shards
                 .par_iter_mut()
                 .for_each(|shard| shard.sweep(start, n, checker, |t, out| view.fill(t, out)));
-            let (global, all_independent, total_happiness) = sweep::merge_shards(n, shards);
-            sweep::finalize(
+            let mut cols = sweep::ColumnScratch::new();
+            let (mut bank, all_independent, total_happiness) =
+                sweep::merge_bank_shards(n, &shards, &mut cols);
+            sweep::finalize_bank(
                 scheduler.name().to_string(),
                 horizon,
                 graph,
-                global,
+                &mut bank,
                 all_independent,
                 total_happiness,
+                &mut cols,
             )
         }
         AnalysisEngine::Sequential => {
             // Stateful scheduler: single sequential sweep, every holiday
-            // verified.
+            // verified — on the deliberately independent array-of-structs
+            // reference plane (see the sweep module docs).
             let name = scheduler.name().to_string();
-            let mut shard = sweep::ShardSweep::new(n, scheduler.node_count(), 0..horizon, horizon);
+            let mut shard =
+                sweep::ReferenceSweep::new(n, scheduler.node_count(), 0..horizon, horizon);
             shard.sweep(start, n, checker, |t, out| scheduler.fill_happy_set(t, out));
             let (global, all_independent, total_happiness) = sweep::merge_shards(n, vec![shard]);
             sweep::finalize(name, horizon, graph, global, all_independent, total_happiness)
+        }
+    }
+}
+
+/// The totals-only entry point: whole-schedule aggregates of `horizon`
+/// holidays, on the cheapest sound path.  When the closed-form engine
+/// applies, the per-node assembly and float finalisation are skipped
+/// entirely ([`CycleProfile::derive_totals`]); otherwise the full analysis
+/// runs and is reduced — so the result always equals
+/// `analyze_schedule(..).totals()` (pinned by the parity suite).
+pub fn analyze_schedule_totals<S: Scheduler + ?Sized>(
+    graph: &Graph,
+    scheduler: &mut S,
+    horizon: u64,
+) -> AnalysisTotals {
+    let checker = GraphChecker::new(graph);
+    match AnalysisEngine::select(scheduler, horizon) {
+        AnalysisEngine::ClosedForm => {
+            let n = graph.node_count();
+            let start = scheduler.first_holiday();
+            let view = scheduler.residue_schedule().expect("closed form implies a residue view");
+            let profile = CycleProfile::build(view, start, n, &checker);
+            profile.derive_totals(horizon).expect("closed form implies horizon >= cycle")
+        }
+        engine => {
+            analyze_schedule_with_engine(graph, scheduler, horizon, &checker, engine).totals()
         }
     }
 }

@@ -1,17 +1,37 @@
 //! Closed-form cycle analytics: profile each residue class once, derive the
-//! whole horizon.
+//! whole horizon — with a sharded parallel build and a struct-of-arrays
+//! derivation plane.
 //!
 //! A perfectly periodic schedule repeats with period `C =`
 //! [`ResidueSchedule::cycle`]: the happy set of holiday `t` depends only on
 //! `t mod C`, so every statistic of an arbitrarily long horizon is already
 //! determined by **one cycle** of happy sets.  A [`CycleProfile`] walks that
-//! single cycle — through the no-re-fill enumerator
-//! [`ResidueSchedule::classes`] — and records, per node, its attendance
-//! pattern: count per cycle, first/last offsets, internal gap structure, and
-//! the explicit attendance-offset list (the gap multiset in CSR form).  Each
-//! residue class is independence-verified exactly once during that walk, the
-//! same promise the sharded engine's residue cache makes (locked down by
+//! single cycle and records, per node, its attendance pattern: count per
+//! cycle, first/last offsets, internal gap structure (as one
+//! [`AccumBank`](super::sweep) column bank), and the explicit
+//! attendance-offset list (the gap multiset in CSR form).  Each residue
+//! class is independence-verified exactly once during that walk, the same
+//! promise the sharded engine's residue cache makes (locked down by
 //! `tests/residue_cache.rs`).
+//!
+//! # Sharded parallel build
+//!
+//! For large cycles (`cycle ~ horizon`, where the build itself dominates
+//! and is verification-bound) the cycle walk shards: the residue classes
+//! split into one contiguous range per worker of the persistent
+//! `compat/rayon` pool, each shard emitting, verifying and collecting
+//! `(node, offset)` events with private scratch, exactly as the PR 2 sweep
+//! shards the horizon.  The per-class sizes and events concatenate in
+//! class order — the combined event sequence is offset-major, exactly what
+//! a sequential walk would have pushed — so the counting sort builds an
+//! identical attendance CSR at any thread count, and the one-cycle column
+//! bank is then replayed **node-major from that CSR** (streaming column
+//! access instead of per-class scatter): the built profile, and everything
+//! derived from it, is **bitwise-identical at any thread count** (pinned
+//! by the build-parity test below and `tests/analysis_parity.rs`).  Each
+//! class is still verified exactly once, by the one shard that owns it.
+//!
+//! # Closed-form derivation
 //!
 //! [`CycleProfile::derive`] then produces the [`ScheduleAnalysis`] of any
 //! horizon `h ≥ C` without touching the schedule again:
@@ -20,30 +40,49 @@
 //!   by the repetition count, the per-cycle internal gaps replicate, and the
 //!   wrap-around gap between consecutive cycles (`C - last + first`)
 //!   contributes `h/C - 1` boundary gaps to the sums, streaks and the
-//!   period-uniformity check;
-//! * the ragged tail of `h mod C` offsets is replayed from the stored
-//!   attendance offsets (no emission, no verification — those classes were
-//!   already profiled) and merged with the exact segment rule
-//!   ([`super::sweep::merge_node`]).
+//!   period-uniformity check — by the shared lane fold ([`fold_lane`], the
+//!   scalar rule `merge_node(empty, replicate(a))` applied while the
+//!   columns stream);
+//! * **whole-cycle horizons** (`h mod C = 0`, the common serving shape)
+//!   fuse that fold straight into finalisation: one read-only pass over
+//!   the profile columns, no intermediate bank at all;
+//! * **ragged horizons** materialise the replicated bank
+//!   ([`replicate_global_into`]) and replay the `h mod C` tail from the
+//!   stored attendance offsets (no emission, no verification — those
+//!   classes were already profiled), merged through the exact column-kernel
+//!   rule ([`AccumBank::merge_from`](super::sweep)).
 //!
 //! Because replication and tail replay compose through the same integer
 //! arithmetic as the sequential sweep, the derived analysis is
 //! **bitwise-identical** to [`super::analyze_schedule_reference`] at every
-//! horizon — the parity property `tests/analysis_parity.rs` locks down.  The
-//! cost is `O(C)` emissions plus `O(n + attendance)` derivation, independent
-//! of the horizon: a 1M-holiday analysis costs the same as a 4096-holiday
-//! one (experiment `e12`).
+//! horizon — the parity property `tests/analysis_parity.rs` locks down.
+//! The cost is `O(C)` emissions plus `O(n + attendance)` derivation,
+//! independent of the horizon.
+//!
+//! # The totals-only fast path and the serving-tier scratch
+//!
+//! Callers that only want whole-schedule aggregates (`mul`, fairness
+//! totals, the independence verdict) skip the per-node assembly entirely:
+//! [`CycleProfile::derive_totals`] folds the replicated bank straight to an
+//! [`AnalysisTotals`] — no `NodeAnalysis` structs, no float work per node.
+//! Both derivation paths also exist as `_with` variants taking a reusable
+//! [`DeriveScratch`], which makes repeated derivations from one cached
+//! profile **allocation-free after warm-up** (proved by
+//! `tests/zero_alloc.rs`) — the shape a batch/streaming serving tier wants:
+//! build once per schedule, derive per request.
 
-use fhg_graph::{Graph, NodeId};
+use fhg_graph::{Graph, HappySet, NodeId};
+use rayon::prelude::*;
 
 use super::checker::HolidayChecker;
-use super::sweep::{self, NodeAccum, NONE};
-use super::ScheduleAnalysis;
+use super::sweep::{self, AccumBank, ColumnScratch, NONE};
+use super::{AnalysisTotals, ScheduleAnalysis};
 use crate::schedulers::residue::ResidueSchedule;
 
 /// A word-wise profile of one full residue cycle: per-node attendance
-/// patterns plus the per-class verification verdict, sufficient to derive
-/// the analysis of any horizon of at least one cycle in closed form.
+/// patterns (a struct-of-arrays column bank) plus the per-class
+/// verification verdict, sufficient to derive the analysis of any horizon
+/// of at least one cycle in closed form.
 pub struct CycleProfile {
     /// First holiday of the profiled cycle (the scheduler's
     /// [`first_holiday`](crate::scheduler::Scheduler::first_holiday)).
@@ -53,9 +92,9 @@ pub struct CycleProfile {
     /// Number of graph nodes tracked (attendance of out-of-range nodes is
     /// flagged as non-independent and excluded, like the sweep engines do).
     node_count: usize,
-    /// Per-node accumulator over the one profiled cycle (offsets relative to
-    /// the cycle start).
-    per_node: Vec<NodeAccum>,
+    /// Per-node accumulator columns over the one profiled cycle (offsets
+    /// relative to the cycle start).
+    bank: AccumBank,
     /// CSR starts into `offsets`, one entry per node plus a sentinel.
     starts: Vec<usize>,
     /// Attendance offsets within the cycle, ascending per node.
@@ -64,6 +103,49 @@ pub struct CycleProfile {
     /// happiness of the first `k` classes), so ragged tails fold exactly.
     size_prefix: Vec<u64>,
     /// Whether every residue class passed its independence check.
+    all_independent: bool,
+}
+
+/// Reusable buffers for the closed-form derivation: the global column bank,
+/// a tail-segment bank and the mask/temporary columns.  Allocate once, hand
+/// to [`CycleProfile::derive_with`] / [`CycleProfile::derive_totals_with`]
+/// per request — after the first call (which sizes the buffers) derivation
+/// performs zero heap allocations on the totals path.
+#[derive(Debug, Default)]
+pub struct DeriveScratch {
+    bank: AccumBank,
+    tail: AccumBank,
+    cols: ColumnScratch,
+}
+
+impl DeriveScratch {
+    /// Empty scratch; the first derivation sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs `f` with this thread's shared [`DeriveScratch`] — the buffer behind
+/// the scratch-less [`CycleProfile::derive`] / [`CycleProfile::derive_totals`]
+/// conveniences, so repeated one-shot derivations (every closed-form
+/// `analyze_schedule` call) reuse warm columns instead of faulting in a
+/// megabyte of fresh allocations per call.  Same pattern as
+/// `fhg_graph::happy_set::with_thread_scratch`; `f` must not re-enter.
+fn with_derive_scratch<R>(f: impl FnOnce(&mut DeriveScratch) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<DeriveScratch> =
+            std::cell::RefCell::new(DeriveScratch::new());
+    }
+    SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+}
+
+/// One worker's contiguous range of residue classes during the parallel
+/// profile build: private emission scratch, event list and per-class sizes.
+struct BuildShard {
+    range: std::ops::Range<u64>,
+    events: Vec<(NodeId, u64)>,
+    sizes: Vec<u64>,
+    happy: HappySet,
     all_independent: bool,
 }
 
@@ -85,7 +167,10 @@ impl CycleProfile {
     pub const MAX_EVENTS: u64 = 1 << 24;
 
     /// Profiles one full cycle of `view` starting at holiday `start`,
-    /// verifying each residue class exactly once through `checker`.
+    /// verifying each residue class exactly once through `checker`.  The
+    /// class walk shards across the ambient worker-thread pool (the
+    /// `FHG_THREADS` knob / an installed pool); the result is
+    /// bitwise-identical at any thread count (see the module docs).
     ///
     /// `node_count` is the conflict graph's node count: attendance of nodes
     /// at or beyond it marks the schedule non-independent (mirroring the
@@ -106,30 +191,68 @@ impl CycleProfile {
             Self::MAX_CYCLE
         );
         let n = node_count;
-        let mut per_node = vec![NodeAccum::empty(); n];
-        let mut events: Vec<(NodeId, u64)> = Vec::new();
+        let threads = rayon::current_num_threads().max(1);
+        // Exact-capacity event lists: the per-cycle attendance volume is
+        // precomputed on the view, so the class walk never regrows them.
+        let attendance = view.attendance_per_cycle().min(Self::MAX_EVENTS) as usize;
+        let mut shards: Vec<BuildShard> = sweep::split_offsets(cycle, threads)
+            .into_iter()
+            .map(|range| BuildShard {
+                sizes: Vec::with_capacity((range.end - range.start) as usize),
+                events: Vec::with_capacity(
+                    (attendance as u64 * (range.end - range.start) / cycle) as usize + n / 64 + 16,
+                ),
+                range,
+                happy: HappySet::new(view.node_count()),
+                all_independent: true,
+            })
+            .collect();
+
+        // The parallel class walk: `view.fill` is pure in `t`, so each
+        // shard emits, verifies and collects its contiguous class range
+        // with private scratch — each class is filled and verified exactly
+        // once, by the one shard that owns it.  The walk only gathers
+        // `(node, offset)` events (through the set-bit extraction kernel,
+        // one trailing_zeros word scan per class) and per-class sizes; all
+        // per-node accumulation happens afterwards, node-major, from the
+        // sorted CSR.
+        shards.par_iter_mut().for_each(|shard| {
+            for offset in shard.range.clone() {
+                let t = start + offset;
+                view.fill(t, &mut shard.happy);
+                if shard.all_independent && !checker.check(t, shard.happy.as_bitset()) {
+                    shard.all_independent = false;
+                }
+                shard.sizes.push(shard.happy.len() as u64);
+                let BuildShard { events, all_independent, happy, .. } = shard;
+                happy.for_each(|p| {
+                    if p >= n {
+                        *all_independent = false;
+                        return;
+                    }
+                    events.push((p, offset));
+                });
+            }
+        });
+
+        // Concatenate in class order: the combined event sequence is
+        // offset-major (shards are contiguous ascending ranges), exactly
+        // what a sequential walk would have pushed, so the counting sort
+        // below builds an identical CSR at any thread count.
+        let mut all_independent = true;
         let mut size_prefix = Vec::with_capacity(cycle as usize + 1);
         size_prefix.push(0u64);
-        let mut all_independent = true;
         let mut running = 0u64;
-        let mut classes = view.classes(start);
-        while let Some((t, happy)) = classes.next_class() {
-            let offset = t - start;
-            if all_independent && !checker.check(t, happy.as_bitset()) {
-                all_independent = false;
+        let mut counts = vec![0u64; n];
+        for shard in &shards {
+            all_independent &= shard.all_independent;
+            for &size in &shard.sizes {
+                running += size;
+                size_prefix.push(running);
             }
-            running += happy.len() as u64;
-            size_prefix.push(running);
-            // Attendance recording through the set-bit extraction kernel:
-            // one trailing_zeros word scan per class, no iterator chain.
-            happy.for_each(|p| {
-                if p >= n {
-                    all_independent = false;
-                    return;
-                }
-                per_node[p].record(offset);
-                events.push((p, offset));
-            });
+            for &(p, _) in &shard.events {
+                counts[p] += 1;
+            }
         }
 
         // Counting-sort the (node, offset) events into per-node CSR rows.
@@ -137,21 +260,35 @@ impl CycleProfile {
         // ascending.
         let mut starts = Vec::with_capacity(n + 1);
         starts.push(0usize);
-        for a in &per_node {
-            starts.push(starts.last().unwrap() + a.happy as usize);
+        for (p, &c) in counts.iter().enumerate() {
+            starts.push(starts[p] + c as usize);
         }
         let mut cursor = starts.clone();
-        let mut offsets = vec![0u64; events.len()];
-        for (p, o) in events {
-            offsets[cursor[p]] = o;
-            cursor[p] += 1;
+        let mut offsets = vec![0u64; starts[n]];
+        for shard in shards {
+            for (p, o) in shard.events {
+                offsets[cursor[p]] = o;
+                cursor[p] += 1;
+            }
+        }
+
+        // The one-cycle column bank, replayed node-major from the CSR: each
+        // lane's offsets are contiguous and ascending, so this is the exact
+        // record sequence of a sequential walk with streaming (not
+        // scattered) column access — and, built from the merged CSR, it is
+        // trivially identical at every thread count.
+        let mut bank = AccumBank::new(n);
+        for p in 0..n {
+            for &o in &offsets[starts[p]..starts[p + 1]] {
+                bank.record(p, o);
+            }
         }
 
         CycleProfile {
             start,
             cycle,
             node_count: n,
-            per_node,
+            bank,
             starts,
             offsets,
             size_prefix,
@@ -181,7 +318,7 @@ impl CycleProfile {
 
     /// How many holidays per cycle node `p` attends.
     pub fn count_per_cycle(&self, p: NodeId) -> u64 {
-        self.per_node[p].happy
+        self.bank.count[p]
     }
 
     /// The offsets (within the cycle, ascending) at which node `p` attends.
@@ -205,39 +342,116 @@ impl CycleProfile {
         self.size_prefix[self.cycle as usize]
     }
 
+    /// Total happy appearances over the first `classes` residue classes of
+    /// the cycle — the per-class size prefix ragged tails fold through.
+    ///
+    /// # Panics
+    /// Panics if `classes > cycle`.
+    pub fn happiness_prefix(&self, classes: u64) -> u64 {
+        self.size_prefix[classes as usize]
+    }
+
     /// Derives the full [`ScheduleAnalysis`] of `horizon` holidays in closed
     /// form.  Returns `None` when `horizon < cycle` (no full repetition to
-    /// fold — callers fall back to a sweep engine).
+    /// fold — callers fall back to a sweep engine); `derive(0)` is therefore
+    /// always `None` (every cycle is at least 1 long).
     pub fn derive(&self, scheduler: &str, graph: &Graph, horizon: u64) -> Option<ScheduleAnalysis> {
-        let (global, all_independent, total_happiness) = self.derive_accums(horizon)?;
-        Some(sweep::finalize(
+        with_derive_scratch(|scratch| self.derive_with(scheduler, graph, horizon, scratch))
+    }
+
+    /// [`CycleProfile::derive`] with caller-owned scratch, for repeated
+    /// derivations from one cached profile.
+    pub fn derive_with(
+        &self,
+        scheduler: &str,
+        graph: &Graph,
+        horizon: u64,
+        scratch: &mut DeriveScratch,
+    ) -> Option<ScheduleAnalysis> {
+        if horizon < self.cycle {
+            return None;
+        }
+        if horizon.is_multiple_of(self.cycle) {
+            // Whole-cycle horizons (the common serving shape): replicate
+            // and finalise in one fused pass, no bank materialisation.
+            return Some(self.finalize_fused(scheduler, graph, horizon));
+        }
+        let (all_independent, total_happiness) =
+            self.derive_accums(horizon, scratch).expect("horizon >= cycle was checked");
+        Some(sweep::finalize_bank(
             scheduler.to_string(),
             horizon,
             graph,
-            global,
+            &mut scratch.bank,
             all_independent,
             total_happiness,
+            &mut scratch.cols,
         ))
     }
 
-    /// The closed-form core: merged global accumulators plus the scalar
-    /// verdicts for `horizon` holidays.
-    fn derive_accums(&self, horizon: u64) -> Option<(Vec<NodeAccum>, bool, u64)> {
+    /// The totals-only fast path: whole-schedule aggregates of `horizon`
+    /// holidays, skipping the per-node assembly and float finalisation
+    /// entirely.  Equal to [`CycleProfile::derive`]`(..).totals()` by
+    /// construction, at a fraction of the cost.  Returns `None` exactly
+    /// when [`CycleProfile::derive`] would.
+    pub fn derive_totals(&self, horizon: u64) -> Option<AnalysisTotals> {
+        with_derive_scratch(|scratch| self.derive_totals_with(horizon, scratch))
+    }
+
+    /// [`CycleProfile::derive_totals`] with caller-owned scratch — zero
+    /// heap allocations per call after the first (the serving-tier shape;
+    /// proved by `tests/zero_alloc.rs`).
+    pub fn derive_totals_with(
+        &self,
+        horizon: u64,
+        scratch: &mut DeriveScratch,
+    ) -> Option<AnalysisTotals> {
+        if horizon < self.cycle {
+            return None;
+        }
+        if horizon.is_multiple_of(self.cycle) {
+            // Whole-cycle horizons: replicate and reduce in one fused
+            // read-only pass — no bank, no writes, no allocations at all.
+            return Some(self.totals_fused(horizon));
+        }
+        let (all_independent, total_happiness) =
+            self.derive_accums(horizon, scratch).expect("horizon >= cycle was checked");
+        Some(sweep::totals_from_bank(horizon, &scratch.bank, all_independent, total_happiness))
+    }
+
+    /// The ragged-horizon core: fills `scratch.bank` with the merged global
+    /// accumulator columns for `horizon` holidays (replicated repetitions
+    /// plus the partial-cycle tail) and returns the scalar verdicts.
+    fn derive_accums(&self, horizon: u64, scratch: &mut DeriveScratch) -> Option<(bool, u64)> {
         if horizon < self.cycle {
             return None;
         }
         let reps = horizon / self.cycle;
         let tail = horizon % self.cycle;
         let base = reps * self.cycle;
-        let mut global = Vec::with_capacity(self.node_count);
-        for p in 0..self.node_count {
-            let mut g = NodeAccum::empty();
-            sweep::merge_node(&mut g, &replicate(&self.per_node[p], reps, self.cycle));
-            if tail > 0 {
-                sweep::merge_node(&mut g, &self.tail_accum(p, tail, base));
+
+        let g = &mut scratch.bank;
+        replicate_global_into(g, &self.bank, reps, self.cycle);
+
+        if tail > 0 {
+            // Segment bank of the ragged tail: each node's attendances at
+            // cycle offsets `< tail`, replayed from the stored offsets at
+            // absolute offsets starting at `base`, merged with the exact
+            // column rule.  A lane with tail attendance always has cycle
+            // attendance, so the merge never hits the take-first branch.
+            let tb = &mut scratch.tail;
+            tb.reset(self.node_count);
+            for p in 0..self.node_count {
+                for &o in self.attendance_offsets(p) {
+                    if o >= tail {
+                        break;
+                    }
+                    tb.record(p, base + o);
+                }
             }
-            global.push(g);
+            g.merge_from(tb, &mut scratch.cols);
         }
+
         // Per-node fields cannot overflow (each is bounded by the horizon),
         // but the whole-schedule total is `n`-fold larger; saturate rather
         // than wrap on horizons beyond ~10^16 (the sweep engines could never
@@ -245,41 +459,254 @@ impl CycleProfile {
         let total_happiness = reps
             .saturating_mul(self.happiness_per_cycle())
             .saturating_add(self.size_prefix[tail as usize]);
-        Some((global, self.all_independent, total_happiness))
+        Some((self.all_independent, total_happiness))
     }
 
-    /// Segment accumulator of the ragged tail: node `p`'s attendances at
-    /// cycle offsets `< tail`, replayed from the stored offsets and shifted
-    /// to absolute offsets starting at `base`.
-    fn tail_accum(&self, p: NodeId, tail: u64, base: u64) -> NodeAccum {
-        let mut a = NodeAccum::empty();
-        for &o in self.attendance_offsets(p) {
-            if o >= tail {
-                break;
-            }
-            a.record(o);
+    /// The whole-cycle full derivation: one fused pass reading the profile
+    /// columns, folding each lane through [`fold_lane`] and assembling its
+    /// [`NodeAnalysis`](super::NodeAnalysis) directly — no global bank is
+    /// materialised (`horizon = reps · cycle`, so there is no tail to
+    /// merge).  Bitwise-identical to the bank path by construction: both
+    /// run the same lane fold and the same finalisation arithmetic.
+    fn finalize_fused(&self, scheduler: &str, graph: &Graph, horizon: u64) -> ScheduleAnalysis {
+        let n = self.node_count;
+        let reps = horizon / self.cycle;
+        let shift = (reps - 1) * self.cycle;
+        let src = LaneColumns::of(&self.bank, n);
+        let per_node: Vec<super::NodeAnalysis> = (0..n)
+            .map(|p| {
+                let lane = fold_lane(src.read(p), reps, self.cycle, shift);
+                let trailing = if lane.last == NONE { horizon } else { horizon - 1 - lane.last };
+                super::NodeAnalysis {
+                    node: p,
+                    degree: graph.degree(p),
+                    happy_count: lane.count,
+                    max_unhappiness: lane.max_streak.max(trailing),
+                    observed_period: (lane.uniform && lane.first_gap != NONE)
+                        .then_some(lane.first_gap),
+                    first_happy: (lane.first != NONE).then_some(lane.first),
+                    mean_gap: if lane.gap_count > 0 {
+                        lane.gap_sum as f64 / lane.gap_count as f64
+                    } else {
+                        f64::NAN
+                    },
+                }
+            })
+            .collect();
+        let never_happy =
+            src.count.iter().enumerate().filter(|(_, &c)| c == 0).map(|(p, _)| p).collect();
+        let total_happiness = reps.saturating_mul(self.happiness_per_cycle());
+        ScheduleAnalysis {
+            scheduler: scheduler.to_string(),
+            horizon,
+            mean_happy_set_size: if horizon == 0 {
+                0.0
+            } else {
+                total_happiness as f64 / horizon as f64
+            },
+            per_node,
+            all_happy_sets_independent: self.all_independent,
+            never_happy,
+            total_happiness,
         }
-        if a.happy > 0 {
-            // Gaps and streaks are shift-invariant; only the endpoints move.
-            a.first += base;
-            a.last += base;
+    }
+
+    /// The whole-cycle totals derivation: one fused **read-only** pass —
+    /// fold each lane, reduce to the aggregates, allocate nothing.
+    fn totals_fused(&self, horizon: u64) -> AnalysisTotals {
+        let n = self.node_count;
+        let reps = horizon / self.cycle;
+        let shift = (reps - 1) * self.cycle;
+        let src = LaneColumns::of(&self.bank, n);
+        let mut max_unhappiness = 0u64;
+        let mut all_periodic = true;
+        let mut never_happy = 0u64;
+        for p in 0..n {
+            let lane = fold_lane(src.read(p), reps, self.cycle, shift);
+            let trailing = if lane.last == NONE { horizon } else { horizon - 1 - lane.last };
+            max_unhappiness = max_unhappiness.max(lane.max_streak.max(trailing));
+            all_periodic &= lane.uniform && lane.first_gap != NONE;
+            never_happy += u64::from(lane.count == 0);
         }
-        a
+        let total_happiness = reps.saturating_mul(self.happiness_per_cycle());
+        AnalysisTotals {
+            horizon,
+            total_happiness,
+            mean_happy_set_size: if horizon == 0 {
+                0.0
+            } else {
+                total_happiness as f64 / horizon as f64
+            },
+            max_unhappiness,
+            all_periodic,
+            never_happy,
+            all_happy_sets_independent: self.all_independent,
+        }
+    }
+}
+
+/// Borrowed column views of one bank, re-sliced to a common length so every
+/// per-lane read below indexes without bounds checks.
+struct LaneColumns<'a> {
+    count: &'a [u64],
+    first: &'a [u64],
+    last: &'a [u64],
+    gap_sum: &'a [u64],
+    gap_count: &'a [u64],
+    first_gap: &'a [u64],
+    max_streak: &'a [u64],
+    uniform: &'a [u64],
+}
+
+impl<'a> LaneColumns<'a> {
+    fn of(bank: &'a AccumBank, n: usize) -> Self {
+        LaneColumns {
+            count: &bank.count[..n],
+            first: &bank.first[..n],
+            last: &bank.last[..n],
+            gap_sum: &bank.gap_sum[..n],
+            gap_count: &bank.gap_count[..n],
+            first_gap: &bank.first_gap[..n],
+            max_streak: &bank.max_streak[..n],
+            uniform: &bank.uniform[..n],
+        }
+    }
+
+    #[inline]
+    fn read(&self, p: usize) -> FoldedLane {
+        FoldedLane {
+            count: self.count[p],
+            first: self.first[p],
+            last: self.last[p],
+            gap_sum: self.gap_sum[p],
+            gap_count: self.gap_count[p],
+            first_gap: self.first_gap[p],
+            max_streak: self.max_streak[p],
+            uniform: self.uniform[p] != 0,
+        }
+    }
+}
+
+/// One lane's accumulator values, in scalar form — the unit the fused fold
+/// reads, transforms and writes.
+#[derive(Clone, Copy)]
+struct FoldedLane {
+    count: u64,
+    first: u64,
+    last: u64,
+    gap_sum: u64,
+    gap_count: u64,
+    first_gap: u64,
+    max_streak: u64,
+    uniform: bool,
+}
+
+impl FoldedLane {
+    fn empty() -> Self {
+        FoldedLane {
+            count: 0,
+            first: NONE,
+            last: NONE,
+            gap_sum: 0,
+            gap_count: 0,
+            first_gap: NONE,
+            max_streak: 0,
+            uniform: true,
+        }
+    }
+}
+
+/// The closed-form lane fold: `merge_node(empty, replicate(a, reps, cycle))`
+/// as straight-line scalar arithmetic ([`replicate`] stays the executable
+/// specification the property tests compare against) — internal gaps repeat
+/// `reps` times, the `reps - 1` cycle boundaries each contribute the
+/// wrap-around gap `cycle - last + first`, and the leading unhappy stretch
+/// before the first attendance folds into the streak (the empty-global
+/// merge's take-first rule).  `shift` is the precomputed
+/// `(reps - 1) · cycle`.  Shared by the bank-materialising
+/// [`replicate_global_into`] and the fused whole-cycle derivations, so the
+/// two paths cannot drift.
+#[inline]
+fn fold_lane(a: FoldedLane, reps: u64, cycle: u64, shift: u64) -> FoldedLane {
+    if a.count == 0 {
+        return FoldedLane::empty();
+    }
+    let wrap = cycle - a.last + a.first;
+    let streak = if reps > 1 { a.max_streak.max(wrap - 1) } else { a.max_streak };
+    FoldedLane {
+        count: reps * a.count,
+        first: a.first,
+        last: shift + a.last,
+        gap_sum: reps * a.gap_sum + (reps - 1) * wrap,
+        gap_count: reps * a.gap_count + (reps - 1),
+        first_gap: if a.gap_count > 0 {
+            a.first_gap
+        } else if reps > 1 {
+            wrap
+        } else {
+            NONE
+        },
+        max_streak: streak.max(a.first),
+        uniform: a.uniform && (reps == 1 || a.gap_count == 0 || a.first_gap == wrap),
+    }
+}
+
+/// Analytically replicates the one-cycle bank `src` over `reps ≥ 1`
+/// consecutive cycles of length `cycle` and folds the result into an empty
+/// global — out of place, into `dst` — in **one fused streaming pass** over
+/// the columns: the scalar rule `merge_node(empty, replicate(a))`
+/// ([`replicate`] remains the executable specification the property tests
+/// compare against), applied lane by lane while the eight source and eight
+/// destination columns stream sequentially.  Internal gaps repeat `reps`
+/// times, the `reps - 1` cycle boundaries each contribute the wrap-around
+/// gap `cycle - last + first`, and the leading unhappy stretch before each
+/// node's first attendance is folded into the streak (the empty-global
+/// merge's take-first rule).
+///
+/// A composition of the generic column kernels computes the same fold in
+/// ~20 separate passes (mask, blend, scale, restore); measured on the e14
+/// configuration that moves ~3.5x the memory of this single fused pass, so
+/// — exactly like the fused gather of PR 4 replaced per-row OR passes —
+/// the replicate fold gets its own fused loop, while the masked column
+/// kernels keep powering the segment merge (where the algebra genuinely
+/// needs per-lane conditionals across two banks).
+fn replicate_global_into(dst: &mut AccumBank, src: &AccumBank, reps: u64, cycle: u64) {
+    debug_assert!(reps >= 1);
+    let n = src.len();
+    dst.resize_lanes(n);
+    let shift = (reps - 1) * cycle;
+    let cols = LaneColumns::of(src, n);
+    let (d_count, d_first, d_last) = (&mut dst.count[..n], &mut dst.first[..n], &mut dst.last[..n]);
+    let (d_gsum, d_gcnt) = (&mut dst.gap_sum[..n], &mut dst.gap_count[..n]);
+    let (d_fgap, d_streak, d_uni) =
+        (&mut dst.first_gap[..n], &mut dst.max_streak[..n], &mut dst.uniform[..n]);
+    for p in 0..n {
+        let lane = fold_lane(cols.read(p), reps, cycle, shift);
+        d_count[p] = lane.count;
+        d_first[p] = lane.first;
+        d_last[p] = lane.last;
+        d_gsum[p] = lane.gap_sum;
+        d_gcnt[p] = lane.gap_count;
+        d_fgap[p] = lane.first_gap;
+        d_streak[p] = lane.max_streak;
+        d_uni[p] = if lane.uniform { sweep::UNIFORM } else { 0 };
     }
 }
 
 /// Analytically replicates a one-cycle accumulator over `reps` consecutive
-/// cycles of length `cycle`, producing exactly the segment accumulator a
-/// sequential [`NodeAccum::record`] pass over all `reps · count` attendance
-/// offsets would: internal gaps repeat `reps` times, and the `reps - 1`
-/// cycle boundaries each contribute the wrap-around gap
+/// cycles of length `cycle` — the scalar specification of
+/// [`replicate_global_into`], producing exactly the segment accumulator a
+/// sequential [`sweep::NodeAccum::record`] pass over all `reps · count`
+/// attendance offsets would: internal gaps repeat `reps` times, and the
+/// `reps - 1` cycle boundaries each contribute the wrap-around gap
 /// `cycle - last + first`.
-fn replicate(a: &NodeAccum, reps: u64, cycle: u64) -> NodeAccum {
+#[cfg(test)]
+fn replicate(a: &sweep::NodeAccum, reps: u64, cycle: u64) -> sweep::NodeAccum {
     if a.happy == 0 || reps == 0 {
-        return NodeAccum::empty();
+        return sweep::NodeAccum::empty();
     }
     let wrap = cycle - a.last + a.first;
-    NodeAccum {
+    sweep::NodeAccum {
         first: a.first,
         last: (reps - 1) * cycle + a.last,
         happy: reps * a.happy,
@@ -300,6 +727,7 @@ fn replicate(a: &NodeAccum, reps: u64, cycle: u64) -> NodeAccum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sweep::NodeAccum;
 
     /// Reference: record every attendance offset of `reps` cycles one by one.
     fn replicate_by_record(offsets: &[u64], reps: u64, cycle: u64) -> NodeAccum {
@@ -312,18 +740,19 @@ mod tests {
         a
     }
 
+    const CASES: &[(&[u64], u64)] = &[
+        (&[0], 4),
+        (&[3], 8),
+        (&[0, 2, 4, 6], 8),
+        (&[1, 4], 6),
+        (&[0, 1, 2, 3, 4, 5, 6, 7], 8),
+        (&[5, 6], 16),
+        (&[], 4),
+    ];
+
     #[test]
     fn replicate_is_bitwise_identical_to_recording_every_offset() {
-        let cases: &[(&[u64], u64)] = &[
-            (&[0], 4),
-            (&[3], 8),
-            (&[0, 2, 4, 6], 8),
-            (&[1, 4], 6),
-            (&[0, 1, 2, 3, 4, 5, 6, 7], 8),
-            (&[5, 6], 16),
-            (&[], 4),
-        ];
-        for &(offsets, cycle) in cases {
+        for &(offsets, cycle) in CASES {
             for reps in [1u64, 2, 3, 7] {
                 let mut one = NodeAccum::empty();
                 offsets.iter().for_each(|&o| one.record(o));
@@ -332,6 +761,35 @@ mod tests {
                     replicate_by_record(offsets, reps, cycle),
                     "offsets {offsets:?}, cycle {cycle}, reps {reps}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_global_into_matches_the_scalar_rule_per_lane() {
+        // All case lanes side by side in one bank, so the masked passes
+        // must keep every lane independent (empty lanes included).  The
+        // scalar specification is `merge_node(empty, replicate(a))`: the
+        // replicated segment folded into an empty global, which also
+        // accounts the leading unhappy stretch.
+        for reps in [1u64, 2, 3, 7] {
+            let cycle = 16u64; // one shared cycle so lanes can coexist
+            let mut bank = AccumBank::new(CASES.len());
+            let mut expected = Vec::new();
+            for (p, &(offsets, _)) in CASES.iter().enumerate() {
+                let mut one = NodeAccum::empty();
+                for &o in offsets {
+                    one.record(o);
+                    bank.record(p, o);
+                }
+                let mut g = NodeAccum::empty();
+                sweep::merge_node(&mut g, &replicate(&one, reps, cycle));
+                expected.push(g);
+            }
+            let mut dst = AccumBank::default();
+            replicate_global_into(&mut dst, &bank, reps, cycle);
+            for (p, e) in expected.iter().enumerate() {
+                assert_eq!(&dst.node(p), e, "reps {reps}, lane {p}");
             }
         }
     }
@@ -359,5 +817,78 @@ mod tests {
         assert_eq!(r.first_gap, 16);
         assert_eq!(r.gap_count, 5);
         assert_eq!(r.max_streak, 15);
+    }
+
+    #[test]
+    fn derive_refuses_sub_cycle_horizons_on_both_paths() {
+        use crate::schedulers::PeriodicDegreeBound;
+        use crate::Scheduler;
+        use fhg_graph::generators::erdos_renyi;
+
+        let g = erdos_renyi(24, 0.15, 3);
+        let s = PeriodicDegreeBound::new(&g);
+        let view = s.residue_schedule().expect("perfectly periodic");
+        let checker = super::super::GraphChecker::new(&g);
+        let profile = CycleProfile::build(view, s.first_holiday(), g.node_count(), &checker);
+        let cycle = profile.cycle();
+        assert!(cycle > 1);
+        // The fast path must pin the same edge cases as the full derive.
+        assert!(profile.derive("x", &g, 0).is_none(), "derive(0)");
+        assert!(profile.derive_totals(0).is_none(), "derive_totals(0)");
+        assert!(profile.derive("x", &g, cycle - 1).is_none(), "derive(cycle - 1)");
+        assert!(profile.derive_totals(cycle - 1).is_none(), "derive_totals(cycle - 1)");
+        assert!(profile.derive("x", &g, cycle).is_some(), "derive(cycle)");
+        assert!(profile.derive_totals(cycle).is_some(), "derive_totals(cycle)");
+    }
+
+    #[test]
+    fn totals_saturate_instead_of_overflowing_at_the_u64_boundary() {
+        use crate::analysis::GraphChecker;
+        use fhg_graph::Graph;
+
+        // Four nodes hosting every other holiday: happiness_per_cycle = 4
+        // on a cycle of 2, so reps · per_cycle overflows u64 at horizons
+        // near u64::MAX and must saturate, while every per-node field stays
+        // bounded by the horizon.
+        let graph = Graph::new(4);
+        let view = ResidueSchedule::new(vec![0, 1, 0, 1], vec![2, 2, 2, 2]);
+        let checker = GraphChecker::new(&graph);
+        let profile = CycleProfile::build(&view, 0, 4, &checker);
+        assert_eq!(profile.happiness_per_cycle(), 4);
+
+        let horizon = u64::MAX;
+        let analysis = profile.derive("sat", &graph, horizon).expect("horizon >= cycle");
+        assert_eq!(analysis.total_happiness, u64::MAX, "total must saturate, not wrap");
+        let n0 = &analysis.per_node[0];
+        assert_eq!(n0.happy_count, horizon / 2 + 1, "per-node counts stay exact");
+        assert_eq!(n0.observed_period, Some(2));
+        let totals = profile.derive_totals(horizon).expect("horizon >= cycle");
+        assert_eq!(totals, analysis.totals(), "fast path matches the reduced full derive");
+        assert_eq!(totals.total_happiness, u64::MAX);
+    }
+
+    #[test]
+    fn parallel_build_is_bitwise_identical_across_thread_counts() {
+        use crate::schedulers::PeriodicDegreeBound;
+        use crate::Scheduler;
+        use fhg_graph::generators::erdos_renyi;
+        use rayon::ThreadPoolBuilder;
+
+        let g = erdos_renyi(48, 0.12, 11);
+        let s = PeriodicDegreeBound::new(&g);
+        let view = s.residue_schedule().expect("perfectly periodic");
+        let checker = super::super::GraphChecker::new(&g);
+        let reference = CycleProfile::build(view, s.first_holiday(), g.node_count(), &checker);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got = pool
+                .install(|| CycleProfile::build(view, s.first_holiday(), g.node_count(), &checker));
+            assert_eq!(got.cycle(), reference.cycle());
+            assert_eq!(got.all_classes_independent(), reference.all_classes_independent());
+            assert_eq!(got.starts, reference.starts, "{threads} threads: CSR starts");
+            assert_eq!(got.offsets, reference.offsets, "{threads} threads: attendance offsets");
+            assert_eq!(got.size_prefix, reference.size_prefix, "{threads} threads: size prefix");
+            assert_eq!(got.bank, reference.bank, "{threads} threads: column bank");
+        }
     }
 }

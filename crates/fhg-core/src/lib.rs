@@ -38,9 +38,9 @@ pub mod scheduler;
 pub mod schedulers;
 
 pub use analysis::{
-    analyze_schedule, analyze_schedule_reference, analyze_schedule_with_checker,
-    analyze_schedule_with_engine, AnalysisEngine, CycleProfile, GraphChecker, HolidayChecker,
-    NodeAnalysis, ScheduleAnalysis,
+    analyze_schedule, analyze_schedule_reference, analyze_schedule_totals,
+    analyze_schedule_with_checker, analyze_schedule_with_engine, AnalysisEngine, AnalysisTotals,
+    CycleProfile, DeriveScratch, GraphChecker, HolidayChecker, NodeAnalysis, ScheduleAnalysis,
 };
 pub use gathering::{orientation_from_happy_set, Gathering};
 pub use scheduler::Scheduler;

@@ -152,6 +152,10 @@ pub struct ResidueSchedule {
     slots: Vec<u64>,
     moduli: Vec<u64>,
     cycle: u64,
+    /// Precomputed `Σ_p cycle / m_p` (saturating) — the per-cycle attendance
+    /// volume.  Cached at construction so the engine-selection budget check
+    /// costs O(1) per analysis instead of one divide per node.
+    attendance: u64,
     /// Word-packed emission rows; `None` when over the memory budget or the
     /// rows would be too sparse to beat the bucket index.
     table: Option<ResidueTable>,
@@ -257,11 +261,12 @@ impl ResidueSchedule {
             assert!(slot < m, "node {p}: slot {slot} is not a residue modulo {m}");
         }
         let cycle = moduli.iter().fold(1u64, |acc, &m| lcm_saturating(acc, m));
+        let attendance = moduli.iter().fold(0u64, |acc, &m| acc.saturating_add(cycle / m));
         let table = if with_table { ResidueTable::build_moduli(&slots, &moduli) } else { None };
         // The bucket index is the table's fallback; when the table exists it
         // would never be read, so skip its counting sort and memory.
         let buckets = if table.is_none() { BucketIndex::build(&slots, &moduli) } else { None };
-        ResidueSchedule { slots, moduli, cycle, table, buckets }
+        ResidueSchedule { slots, moduli, cycle, attendance, table, buckets }
     }
 
     /// Builds the schedule for power-of-two periods `2^{exponents[p]}` (the
@@ -305,15 +310,16 @@ impl ResidueSchedule {
     }
 
     /// Total happy appearances over one full cycle: `Σ_p cycle / m_p`
-    /// (saturating).  This — not the cycle length — is what bounds the
-    /// memory of a closed-form
+    /// (saturating), precomputed at construction.  This — not the cycle
+    /// length — is what bounds the memory of a closed-form
     /// [`CycleProfile`](crate::analysis::CycleProfile), so
     /// [`AnalysisEngine::select`](crate::analysis::AnalysisEngine::select)
     /// budgets on it: a hub-and-spoke degree distribution can pack
     /// `n · cycle / 2` attendances into one cycle even when the cycle itself
-    /// is short.
+    /// is short.  The profile builder also sizes its per-shard event lists
+    /// from it, so the class walk never regrows them.
     pub fn attendance_per_cycle(&self) -> u64 {
-        self.moduli.iter().fold(0u64, |acc, &m| acc.saturating_add(self.cycle / m))
+        self.attendance
     }
 
     /// Whether the word-packed table was built (diagnostics only; `fill`
@@ -502,6 +508,32 @@ mod tests {
         assert!(!s.has_table(), "astronomically long periods cannot be tabulated");
         assert_eq!(s.hosts(0), vec![0, 1]);
         assert_eq!(s.hosts(1), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn lcm_saturation_at_the_u64_boundary() {
+        // Coprime factors whose product overflows: 2^63 and 3 — the lcm
+        // must saturate to u64::MAX, not wrap to 2^63·3 mod 2^64.
+        let s = ResidueSchedule::new(vec![0, 0], vec![1 << 63, 3]);
+        assert_eq!(s.cycle(), u64::MAX);
+
+        // Equal astronomical moduli: gcd equals the modulus, so the lcm is
+        // exact — saturation must not fire below the boundary.
+        let s = ResidueSchedule::new(vec![0, 0], vec![u64::MAX, u64::MAX]);
+        assert_eq!(s.cycle(), u64::MAX, "exact lcm of equal moduli");
+        assert_eq!(s.attendance_per_cycle(), 2, "one attendance per node per cycle");
+
+        // Coprime odd moduli just below the boundary (u64::MAX is odd, so
+        // gcd(MAX, MAX - 2) divides 2 and must be 1): saturates.
+        let s = ResidueSchedule::new(vec![0, 0], vec![u64::MAX, u64::MAX - 2]);
+        assert_eq!(s.cycle(), u64::MAX);
+        assert!(!s.has_table());
+        assert_eq!(s.hosts(0), vec![0, 1], "emission still works on saturated cycles");
+
+        // Powers of two at the top: lcm(2^63, 2^62) = 2^63, exactly.
+        let s = ResidueSchedule::new(vec![0, 0], vec![1 << 63, 1 << 62]);
+        assert_eq!(s.cycle(), 1 << 63);
+        assert_eq!(s.attendance_per_cycle(), 3, "1 + 2 attendances per cycle");
     }
 
     #[test]

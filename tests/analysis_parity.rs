@@ -29,8 +29,8 @@
 use proptest::prelude::*;
 
 use fhg::core::analysis::{
-    analyze_schedule, analyze_schedule_reference, analyze_schedule_with_engine, AnalysisEngine,
-    GraphChecker, ScheduleAnalysis,
+    analyze_schedule, analyze_schedule_reference, analyze_schedule_totals,
+    analyze_schedule_with_engine, AnalysisEngine, CycleProfile, GraphChecker, ScheduleAnalysis,
 };
 use fhg::core::schedulers::standard_suite;
 use fhg::graph::generators::Family;
@@ -162,6 +162,75 @@ proptest! {
                 );
                 assert_bitwise_identical(&got, &expected, &ctx);
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// PR 5 lockdown for the struct-of-arrays derivation planes: for every
+    /// periodic scheduler in the suite, the **parallel profile build**
+    /// (classes sharded across 1/2/8 worker threads), the **fused
+    /// whole-cycle derive** (`horizon = k·cycle`), the **ragged bank
+    /// derive** (`k·cycle ± 1`, replicate + column-merge of the tail) and
+    /// the **totals-only fast path** all agree bitwise with the sequential
+    /// array-of-structs reference.  The kernel modes behind the column
+    /// passes are covered by the CI matrix (`FHG_KERNEL=portable` runs
+    /// this whole suite) plus the explicit-mode proptests in
+    /// `fhg-graph/src/kernels.rs`.
+    #[test]
+    fn soa_derivation_planes_match_the_reference(
+        family in prop::sample::select(Family::ALL.to_vec()),
+        seed in 0u64..200,
+        k in 2u64..5,
+        threads in prop::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let graph = family.generate(30, 3.5, seed);
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let checker = GraphChecker::new(&graph);
+        let suite_prod = standard_suite(&graph, seed ^ 0x3C3C);
+        let suite_ref = standard_suite(&graph, seed ^ 0x3C3C);
+        for (prod, mut reference) in suite_prod.into_iter().zip(suite_ref) {
+            let Some(cycle) = prod.schedule_cycle() else { continue };
+            let view = prod.residue_schedule().expect("cycle implies a residue view");
+            // Build inside the pinned pool: the class walk shards across
+            // exactly `threads` workers.
+            let profile = pool.install(|| {
+                CycleProfile::build(view, prod.first_holiday(), graph.node_count(), &checker)
+            });
+            for horizon in [cycle, k * cycle - 1, k * cycle, k * cycle + 1] {
+                let expected = analyze_schedule_reference(&graph, reference.as_mut(), horizon);
+                let ctx = format!(
+                    "{} on {} (seed {seed}, cycle {cycle}, horizon {horizon}, {threads} threads)",
+                    prod.name(),
+                    family.name()
+                );
+                let derived = profile
+                    .derive(prod.name(), &graph, horizon)
+                    .expect("horizon >= cycle");
+                assert_bitwise_identical(&derived, &expected, &ctx);
+                let totals =
+                    profile.derive_totals(horizon).expect("horizon >= cycle");
+                prop_assert_eq!(&totals, &expected.totals(), "{}: totals fast path", ctx);
+            }
+        }
+    }
+}
+
+/// The totals entry point dispatches per engine but must always equal the
+/// reduced full analysis — closed form (fused fold), sharded sweep
+/// (sub-cycle horizon) and sequential (stateful scheduler) alike.
+#[test]
+fn analyze_schedule_totals_equals_the_reduced_analysis() {
+    let graph = Family::ErdosRenyi.generate(34, 4.0, 21);
+    for horizon in [0u64, 5, 64, 131] {
+        let suite_full = standard_suite(&graph, 13);
+        let suite_totals = standard_suite(&graph, 13);
+        for (mut full, mut totals) in suite_full.into_iter().zip(suite_totals) {
+            let expected = analyze_schedule(&graph, full.as_mut(), horizon).totals();
+            let got = analyze_schedule_totals(&graph, totals.as_mut(), horizon);
+            assert_eq!(got, expected, "{} at horizon {horizon}", full.name());
         }
     }
 }

@@ -36,7 +36,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use fhg::core::analysis::{analyze_schedule, AnalysisEngine, GraphChecker, HolidayChecker};
+use fhg::core::analysis::{
+    analyze_schedule, AnalysisEngine, CycleProfile, DeriveScratch, GraphChecker, HolidayChecker,
+};
 use fhg::core::schedulers::{standard_suite, PeriodicDegreeBound};
 use fhg::core::{HappySet, Scheduler};
 use fhg::graph::generators;
@@ -193,6 +195,54 @@ fn fill_happy_set_allocates_nothing_after_warmup() {
             deltas.windows(2).all(|w| w[0] == w[1]),
             "{threads} threads: allocations grew with the horizon ({deltas:?}), \
              so some engine allocated per holiday or per repetition"
+        );
+    }
+
+    // The serving-tier derivation paths (PR 5): repeated derivations from
+    // one cached profile with caller-owned scratch.  The totals-only fast
+    // path must be entirely allocation-free after warm-up — fused
+    // whole-cycle folds are read-only, and ragged tails reuse the scratch
+    // bank and mask columns.  The full derive allocates only its output
+    // (the per-node vector), so its allocation count must not depend on
+    // the horizon.
+    {
+        let scheduler = PeriodicDegreeBound::new(&graph);
+        let view = scheduler.residue_schedule().expect("perfectly periodic");
+        let checker = GraphChecker::new(&graph);
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let profile = pool.install(|| {
+            CycleProfile::build(view, scheduler.first_holiday(), graph.node_count(), &checker)
+        });
+        let cycle = profile.cycle();
+        let mut scratch = DeriveScratch::new();
+        // Warm-up: one whole-cycle fold and one ragged fold size the
+        // scratch bank, tail bank and mask columns.
+        assert!(profile.derive_totals_with(8 * cycle, &mut scratch).is_some());
+        assert!(profile.derive_totals_with(8 * cycle + 3, &mut scratch).is_some());
+        let delta = min_alloc_delta(|| {
+            for horizon in [cycle, 4 * cycle, 64 * cycle, 64 * cycle + 1, 8 * cycle + 5] {
+                let totals = profile.derive_totals_with(horizon, &mut scratch).unwrap();
+                assert!(totals.all_happy_sets_independent);
+            }
+        });
+        assert_eq!(
+            delta, 0,
+            "totals-only derivation allocated {delta} times after warm-up \
+             (the serving path must reuse the caller's scratch)"
+        );
+
+        let mut derive_deltas = Vec::new();
+        for horizon in [4 * cycle, 64 * cycle, 1024 * cycle] {
+            let _ = profile.derive_with("warm", &graph, horizon, &mut scratch).unwrap();
+            derive_deltas.push(min_alloc_delta(|| {
+                let analysis =
+                    profile.derive_with("derive", &graph, horizon, &mut scratch).unwrap();
+                assert!(analysis.all_happy_sets_independent);
+            }));
+        }
+        assert!(
+            derive_deltas.windows(2).all(|w| w[0] == w[1]),
+            "full derive allocations grew with the horizon ({derive_deltas:?})"
         );
     }
 
