@@ -48,7 +48,11 @@
 //! partitioned (locked down by `tests/analysis_parity.rs` across thread
 //! counts and ragged horizons).  Independence checking itself is behind the
 //! [`checker`] module's [`HolidayChecker`] trait so tests can observe which
-//! holidays each engine probes (`tests/residue_cache.rs`).
+//! holidays each engine probes (`tests/residue_cache.rs`); the closed-form
+//! build and the sharded sweep hand their classes to the checker in batches
+//! of up to 64 ([`HolidayChecker::check_batch`]), so a [`GraphChecker`]
+//! verifies a whole batch per adjacency-row pass without changing the
+//! once-per-class probe contract.
 //!
 //! The production accumulation plane is the struct-of-arrays column bank of
 //! the [`sweep`] module (the Sequential engine deliberately stays on the
@@ -62,7 +66,9 @@ mod checker;
 mod profile;
 mod sweep;
 
-pub use checker::{GraphChecker, HolidayChecker, DENSE_ADJACENCY_LIMIT};
+pub use checker::{
+    dense_limit, GraphChecker, HolidayChecker, BLOCKED_ADJACENCY_LIMIT, DENSE_ADJACENCY_LIMIT,
+};
 pub use profile::{CycleProfile, DeriveScratch};
 
 use fhg_graph::{Graph, NodeId};

@@ -71,10 +71,10 @@
 //! `tests/zero_alloc.rs`) — the shape a batch/streaming serving tier wants:
 //! build once per schedule, derive per request.
 
-use fhg_graph::{Graph, HappySet, NodeId};
+use fhg_graph::{Graph, NodeId};
 use rayon::prelude::*;
 
-use super::checker::HolidayChecker;
+use super::checker::{ClassBatch, HolidayChecker};
 use super::sweep::{self, AccumBank, ColumnScratch, NONE};
 use super::{AnalysisTotals, ScheduleAnalysis};
 use crate::schedulers::residue::ResidueSchedule;
@@ -140,12 +140,13 @@ fn with_derive_scratch<R>(f: impl FnOnce(&mut DeriveScratch) -> R) -> R {
 }
 
 /// One worker's contiguous range of residue classes during the parallel
-/// profile build: private emission scratch, event list and per-class sizes.
+/// profile build: private emission scratch, event list, per-class sizes and
+/// the verification batch buffer.
 struct BuildShard {
     range: std::ops::Range<u64>,
     events: Vec<(NodeId, u64)>,
     sizes: Vec<u64>,
-    happy: HappySet,
+    batch: ClassBatch,
     all_independent: bool,
 }
 
@@ -203,7 +204,7 @@ impl CycleProfile {
                     (attendance as u64 * (range.end - range.start) / cycle) as usize + n / 64 + 16,
                 ),
                 range,
-                happy: HappySet::new(view.node_count()),
+                batch: ClassBatch::new(view.node_count()),
                 all_independent: true,
             })
             .collect();
@@ -211,7 +212,11 @@ impl CycleProfile {
         // The parallel class walk: `view.fill` is pure in `t`, so each
         // shard emits, verifies and collects its contiguous class range
         // with private scratch — each class is filled and verified exactly
-        // once, by the one shard that owns it.  The walk only gathers
+        // once, by the one shard that owns it.  Verification is batched:
+        // classes buffer into the shard's [`ClassBatch`] slots and flush
+        // through [`HolidayChecker::check_batch`] up to 64 at a time, so a
+        // [`super::GraphChecker`] loads each adjacency row once per batch
+        // instead of once per class.  The walk only gathers
         // `(node, offset)` events (through the set-bit extraction kernel,
         // one trailing_zeros word scan per class) and per-class sizes; all
         // per-node accumulation happens afterwards, node-major, from the
@@ -219,12 +224,10 @@ impl CycleProfile {
         shards.par_iter_mut().for_each(|shard| {
             for offset in shard.range.clone() {
                 let t = start + offset;
-                view.fill(t, &mut shard.happy);
-                if shard.all_independent && !checker.check(t, shard.happy.as_bitset()) {
-                    shard.all_independent = false;
-                }
-                shard.sizes.push(shard.happy.len() as u64);
-                let BuildShard { events, all_independent, happy, .. } = shard;
+                let BuildShard { events, all_independent, batch, sizes, .. } = shard;
+                let happy = batch.slot(t);
+                view.fill(t, happy);
+                sizes.push(happy.len() as u64);
                 happy.for_each(|p| {
                     if p >= n {
                         *all_independent = false;
@@ -232,7 +235,13 @@ impl CycleProfile {
                     }
                     events.push((p, offset));
                 });
+                if batch.commit() {
+                    let ok = batch.flush(shard.all_independent, checker);
+                    shard.all_independent &= ok;
+                }
             }
+            let ok = shard.batch.flush(shard.all_independent, checker);
+            shard.all_independent &= ok;
         });
 
         // Concatenate in class order: the combined event sequence is

@@ -430,6 +430,9 @@ pub(super) struct BankSweep {
     pub(super) verify_below: u64,
     pub(super) bank: AccumBank,
     pub(super) happy: HappySet,
+    /// Buffered classes awaiting batched verification — only offsets below
+    /// `verify_below` pass through it; replayed offsets keep using `happy`.
+    pub(super) batch: super::checker::ClassBatch,
     pub(super) all_independent: bool,
     pub(super) total_happiness: u64,
 }
@@ -441,14 +444,17 @@ impl BankSweep {
             verify_below,
             bank: AccumBank::new(n),
             happy: HappySet::new(capacity),
+            batch: super::checker::ClassBatch::new(capacity),
             all_independent: true,
             total_happiness: 0,
         }
     }
 
-    /// Sweeps the shard's offsets: emit, verify (below `verify_below`), and
+    /// Sweeps the shard's offsets: emit, verify (below `verify_below`,
+    /// buffered through the [`super::checker::ClassBatch`] and flushed via
+    /// [`HolidayChecker::check_batch`] up to 64 classes at a time), and
     /// count.  Zero heap allocations per holiday: `fill` reuses the shard's
-    /// scratch buffer and every column was sized up front.
+    /// scratch buffers and every column was sized up front.
     pub(super) fn sweep<C: HolidayChecker + ?Sized>(
         &mut self,
         start: u64,
@@ -458,25 +464,41 @@ impl BankSweep {
     ) {
         for offset in self.offsets.clone() {
             let t = start + offset;
-            fill(t, &mut self.happy);
-            if self.all_independent
-                && offset < self.verify_below
-                && !checker.check(t, self.happy.as_bitset())
-            {
-                self.all_independent = false;
-            }
-            self.total_happiness += self.happy.len() as u64;
-            // Per-holiday accumulation through the set-bit extraction
-            // kernel (disjoint field captures keep the scratch buffer
-            // borrowed immutably while the columns update).
-            self.happy.for_each(|p| {
-                if p >= n {
-                    self.all_independent = false;
-                } else {
-                    self.bank.record(p, offset);
+            if offset < self.verify_below {
+                // Verified offsets emit straight into a batch slot so the
+                // set survives until the flush; accumulation reads the
+                // same slot (disjoint field captures keep it borrowed
+                // immutably while the columns update).
+                let happy = self.batch.slot(t);
+                fill(t, happy);
+                self.total_happiness += happy.len() as u64;
+                happy.for_each(|p| {
+                    if p >= n {
+                        self.all_independent = false;
+                    } else {
+                        self.bank.record(p, offset);
+                    }
+                });
+                if self.batch.commit() {
+                    let ok = self.batch.flush(self.all_independent, checker);
+                    self.all_independent &= ok;
                 }
-            });
+            } else {
+                // Replayed offsets (the residue cache already holds their
+                // verdict) bypass verification entirely.
+                fill(t, &mut self.happy);
+                self.total_happiness += self.happy.len() as u64;
+                self.happy.for_each(|p| {
+                    if p >= n {
+                        self.all_independent = false;
+                    } else {
+                        self.bank.record(p, offset);
+                    }
+                });
+            }
         }
+        let ok = self.batch.flush(self.all_independent, checker);
+        self.all_independent &= ok;
     }
 }
 

@@ -101,10 +101,18 @@ mod tests {
         // block nobody else.
         let g = erdos_renyi(40, 0.15, 3);
         let mut s = FirstComeFirstGrab::new(&g, 9);
+        // One checker and one member buffer reused across the sweep
+        // (`is_independent_set` would rebuild its scratch per holiday).
+        let checker = crate::analysis::GraphChecker::new(&g);
+        let mut members = fhg_graph::FixedBitSet::new(g.node_count());
         for t in 0..200 {
             let happy = s.happy_set(t);
+            members.clear();
+            happy.iter().for_each(|&p| {
+                members.insert(p);
+            });
             assert!(
-                fhg_graph::properties::is_independent_set(&g, &happy),
+                crate::analysis::HolidayChecker::check(&checker, t, &members),
                 "holiday {t}: the grab set must be independent"
             );
             assert!(!happy.is_empty(), "some parent always wakes first overall");

@@ -181,9 +181,17 @@ mod tests {
     fn happy_sets_are_color_classes_and_recoloring_stays_proper() {
         let g = erdos_renyi(40, 0.12, 9);
         let mut s = PhasedGreedy::new(&g);
+        // One checker and one member buffer reused across the sweep
+        // (`is_independent_set` would rebuild its scratch per holiday).
+        let checker = crate::analysis::GraphChecker::new(&g);
+        let mut members = fhg_graph::FixedBitSet::new(g.node_count());
         for t in 1..200u64 {
             let happy = s.happy_set(t);
-            assert!(fhg_graph::properties::is_independent_set(&g, &happy), "holiday {t}");
+            members.clear();
+            happy.iter().for_each(|&p| {
+                members.insert(p);
+            });
+            assert!(crate::analysis::HolidayChecker::check(&checker, t, &members), "holiday {t}");
             // Invariant: every colour now exceeds t.
             for p in g.nodes() {
                 assert!(s.current_color(p) > t, "node {p} colour {} <= {t}", s.current_color(p));

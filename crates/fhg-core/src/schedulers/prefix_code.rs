@@ -139,9 +139,17 @@ mod tests {
     fn happy_sets_are_single_color_classes_and_independent() {
         let g = erdos_renyi(50, 0.1, 3);
         let mut s = PrefixCodeScheduler::omega(&g);
+        // One checker and one member buffer reused across the sweep
+        // (`is_independent_set` would rebuild its scratch per holiday).
+        let checker = crate::analysis::GraphChecker::new(&g);
+        let mut members = fhg_graph::FixedBitSet::new(g.node_count());
         for t in 0..512u64 {
             let happy = s.happy_set(t);
-            assert!(fhg_graph::properties::is_independent_set(&g, &happy));
+            members.clear();
+            happy.iter().for_each(|&p| {
+                members.insert(p);
+            });
+            assert!(crate::analysis::HolidayChecker::check(&checker, t, &members));
             // All happy nodes share one colour (condition (1) of the scheme).
             let colors: std::collections::HashSet<u32> =
                 happy.iter().map(|&p| s.color(p)).collect();

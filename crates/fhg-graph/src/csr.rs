@@ -127,6 +127,22 @@ impl CsrGraph {
         })
     }
 
+    /// Batched independence over a
+    /// [`MembershipTable`](crate::properties::MembershipTable): bit `i` of
+    /// the result is set iff class `i` is *not* independent.  Walks the
+    /// batch union once and gathers each member's neighbour lanes through
+    /// [`crate::kernels::intersects_many_indexed`], so every neighbour list
+    /// is loaded once for the whole batch instead of once per class.
+    pub fn batch_violations(&self, table: &crate::properties::MembershipTable) -> u64 {
+        let mut violations = table.invalid();
+        let lanes = table.lanes();
+        crate::kernels::for_each_set_bit(table.union(), |u| {
+            let hits = crate::kernels::intersects_many_indexed(self.neighbors(u), lanes);
+            violations |= hits & table.lane(u);
+        });
+        violations
+    }
+
     /// Converts back into a mutable [`Graph`].
     pub fn to_graph(&self) -> Graph {
         let mut g = Graph::new(self.node_count());

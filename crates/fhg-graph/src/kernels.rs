@@ -22,6 +22,13 @@
 //! * [`intersects`] — the **fused AND-any** with per-block early exit,
 //!   backing `FixedBitSet::intersects` and the dense adjacency-row
 //!   independence checker.
+//! * [`intersects_many`] / [`intersects_many_indexed`] — the **row-broadcast
+//!   gather** behind batched independence verification: one adjacency row
+//!   (a bit row, or a CSR neighbour list) is tested against up to 64 class
+//!   bitmaps at once by OR-ing the lanes of a bit-sliced membership table
+//!   selected by the row's set bits.  Bit `i` of the returned word is set
+//!   iff the row intersects class `i` — one row load serves the whole
+//!   batch.
 //! * [`count`] — unrolled popcount of a word slice.
 //! * [`for_each_set_bit`] / [`all_set_bits`] — **set-bit extraction** via
 //!   `trailing_zeros` word scans, backing `hosts_into`, the `CycleProfile`
@@ -59,50 +66,71 @@
 //!
 //! The arithmetic family follows the same dispatch contract: masks,
 //! comparisons, max, blends and subtraction have AVX2 wide paths (plus
-//! `name_in` explicit-mode twins); the multiply-based folds and the
-//! u64→f64 conversion have **no profitable 256-bit form below AVX-512**
-//! (no packed 64-bit multiply, no packed u64→f64 convert), so — like
-//! [`count`] — they dispatch to the portable loop under either mode.
-//! Every member is property-tested against its naive [`scalar`]
-//! specification at adversarial lengths under both modes.
+//! `name_in` explicit-mode twins).  The multiply-based folds and the
+//! u64→f64 conversion have no profitable 256-bit form (no packed 64-bit
+//! multiply, no packed u64→f64 convert in AVX2), so under `portable` and
+//! `wide` they run the portable loop — but under [`KernelMode::Wide512`]
+//! they get their **first real wide forms**: `vpmullq` for the scaled
+//! folds and `vcvtuqq2pd` for the ratio finalise.  Every member is
+//! property-tested against its naive [`scalar`] specification at
+//! adversarial lengths under every available mode.
 //!
 //! # Dispatch contract
 //!
-//! Every data-plane kernel exists in two implementations:
+//! Every data-plane kernel exists in up to three implementations:
 //!
 //! * **portable** — unrolled `u64x4`-style scalar loops, available on every
-//!   target, and
+//!   target,
 //! * **wide** — 256-bit AVX2 loops, compiled only for `x86_64` and executed
-//!   only after a successful runtime `avx2` detection.
+//!   only after a successful runtime `avx2` detection, and
+//! * **wide512** — 512-bit AVX-512 loops (`avx512f` + `avx512dq`), again
+//!   `x86_64`-only behind a runtime detection.
 //!
-//! [`KernelMode::active`] decides between them **once per process** and
-//! caches the decision in a `OnceLock` (so the hot path never re-detects and
+//! Not every kernel has all three: a kernel adds an arm only where the
+//! wider ISA genuinely buys something.  The per-kernel dispatch table:
+//!
+//! | kernel | portable | wide (AVX2) | wide512 (AVX-512) |
+//! |---|---|---|---|
+//! | [`set_rows_count`], [`set_rows`], [`or_rows_count`], [`or_rows`] | ✓ | ✓ | runs the AVX2 arm |
+//! | [`intersects`], [`intersects_many`] | ✓ | ✓ | runs the AVX2 arm |
+//! | [`intersects_many_indexed`] | ✓ | gather-bound: portable | gather-bound: portable |
+//! | [`count`], [`for_each_set_bit`], [`all_set_bits`] | ✓ | scalar popcount unit: portable | portable |
+//! | masks, compares, [`max_assign`], blends, [`wrapping_sub_into`] | ✓ | ✓ | runs the AVX2 arm |
+//! | [`wrapping_scale_offset`]`(_into)`, [`saturating_add_scaled`] | ✓ | no packed 64-bit multiply: portable | ✓ (`vpmullq`) |
+//! | [`ratio_to_f64`] | ✓ | no packed u64→f64: portable | ✓ (`vcvtuqq2pd`) |
+//!
+//! [`KernelMode::active`] decides the mode **once per process** and caches
+//! the decision in a `OnceLock` (so the hot path never re-detects and
 //! never re-reads the environment): the `FHG_KERNEL` environment variable
-//! (`portable` | `wide`) overrides for parity testing, otherwise the wide
-//! path is used wherever it is supported.  Requesting `wide` on a machine
-//! without AVX2 falls back to portable — the override selects an
-//! implementation, it cannot make unsupported instructions execute.
+//! (`portable` | `wide` | `wide512`) overrides for parity testing,
+//! otherwise the widest supported path is used.  Requesting `wide` or
+//! `wide512` on a machine without the feature falls back to the best
+//! supported mode — the override selects an implementation, it cannot make
+//! unsupported instructions execute.
 //!
-//! Both implementations are **bitwise-identical by contract**: for every
+//! All implementations are **bitwise-identical by contract**: for every
 //! input, every kernel returns the same bits in `dst` and the same scalar
-//! result under either mode.  The property tests in this module pin that at
+//! result under every mode.  The property tests in this module pin that at
 //! adversarial capacities (0, 1, 63, 64, 65, 255, 256, 4095, 4097 bits)
-//! against a third, deliberately naive scalar reference ([`scalar`]), and CI
-//! runs the full workspace suite with `FHG_KERNEL=portable` forced so the
-//! wide path can never silently diverge.
+//! against a deliberately naive scalar reference ([`scalar`]), and CI
+//! runs the full workspace suite with `FHG_KERNEL=portable` and
+//! `FHG_KERNEL=wide512` forced so no arm can silently diverge.
 //!
 //! # How to add a kernel
 //!
 //! 1. Write the naive loop in [`scalar`] — that is the specification.
 //! 2. Add the unrolled portable version to [`portable`] and (only if the
 //!    inner loop genuinely vectorises) the AVX2 version to the
-//!    `x86_64`-gated `wide` module, as an `unsafe fn` with
-//!    `#[target_feature(enable = "avx2")]` and a safety comment.
+//!    `x86_64`-gated `wide` module and/or the AVX-512 version to the
+//!    `wide512` module, as an `unsafe fn` with the matching
+//!    `#[target_feature(enable = ...)]` and a safety comment.
 //! 3. Export a dispatching wrapper (`fn name(...)`) that validates slice
 //!    lengths **before** dispatch plus an explicit-mode twin (`name_in`) for
 //!    differential tests, following [`or_rows_count`] / [`or_rows_count_in`].
+//!    A kernel without its own `wide512` arm lists `Wide512` alongside
+//!    `Wide` in the AVX2 arm so the wider mode still takes its best path.
 //! 4. Extend `proptest` parity below to cover the new kernel at the
-//!    adversarial capacities, under both modes, against the scalar
+//!    adversarial capacities, under every mode, against the scalar
 //!    reference.
 //!
 //! This is the single module in the crate allowed to use `unsafe` (the
@@ -120,6 +148,9 @@ pub enum KernelMode {
     Portable,
     /// 256-bit AVX2 loops; `x86_64` with runtime `avx2` support only.
     Wide,
+    /// 512-bit AVX-512 loops (`avx512f` + `avx512dq`); kernels without a
+    /// 512-bit form run their AVX2 arm under this mode.
+    Wide512,
 }
 
 impl KernelMode {
@@ -135,11 +166,26 @@ impl KernelMode {
         }
     }
 
+    /// Whether the [`KernelMode::Wide512`] path can execute on this machine
+    /// (`avx512f` for the 512-bit integer core, `avx512dq` for the 64-bit
+    /// multiply and u64→f64 conversion the arithmetic family needs).
+    pub fn wide512_supported() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
     /// The mode every dispatching kernel entry point uses, decided once per
     /// process and cached in a `OnceLock`: the `FHG_KERNEL` override
-    /// (`portable` | `wide`) when set, otherwise [`KernelMode::Wide`]
-    /// wherever [`KernelMode::wide_supported`] — so the per-call cost is one
-    /// atomic load, never a feature re-detection or an environment read.
+    /// (`portable` | `wide` | `wide512`) when set, otherwise the widest
+    /// supported mode — so the per-call cost is one atomic load, never a
+    /// feature re-detection or an environment read.
     ///
     /// # Panics
     /// Panics if `FHG_KERNEL` is set to an unrecognised value.
@@ -151,16 +197,33 @@ impl KernelMode {
     /// Parses the `FHG_KERNEL` override (factored out of [`KernelMode::active`]
     /// so the policy is testable despite the process-wide cache).
     fn from_env(var: Option<&str>) -> KernelMode {
-        let auto = if Self::wide_supported() { KernelMode::Wide } else { KernelMode::Portable };
+        let auto = if Self::wide512_supported() {
+            KernelMode::Wide512
+        } else if Self::wide_supported() {
+            KernelMode::Wide
+        } else {
+            KernelMode::Portable
+        };
         match var {
             None | Some("") => auto,
             Some("portable") => KernelMode::Portable,
             // The override selects an implementation; it cannot make
-            // unsupported instructions execute, so `wide` degrades to the
-            // best supported mode.
-            Some("wide") => auto,
+            // unsupported instructions execute, so a wide request degrades
+            // to the best supported mode.  `wide` never upgrades to
+            // `wide512` — parity runs pin the exact arm they ask for.
+            Some("wide") => {
+                if Self::wide_supported() {
+                    KernelMode::Wide
+                } else {
+                    KernelMode::Portable
+                }
+            }
+            Some("wide512") => auto,
             Some(other) => {
-                panic!("FHG_KERNEL={other:?} is not a kernel mode (use \"portable\" or \"wide\")")
+                panic!(
+                    "FHG_KERNEL={other:?} is not a kernel mode \
+                     (use \"portable\", \"wide\" or \"wide512\")"
+                )
             }
         }
     }
@@ -197,7 +260,7 @@ pub fn set_rows_count_in(mode: KernelMode, dst: &mut [u64], rows: &[&[u64]]) -> 
     check_rows(dst.len(), rows);
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::set_rows_count(dst, rows) }
         }
@@ -219,7 +282,7 @@ pub fn set_rows_in(mode: KernelMode, dst: &mut [u64], rows: &[&[u64]]) {
     check_rows(dst.len(), rows);
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::set_rows(dst, rows) }
         }
@@ -247,7 +310,7 @@ pub fn or_rows_count_in(mode: KernelMode, dst: &mut [u64], rows: &[&[u64]]) -> u
     check_rows(dst.len(), rows);
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::or_rows_count(dst, rows) }
         }
@@ -269,7 +332,7 @@ pub fn or_rows_in(mode: KernelMode, dst: &mut [u64], rows: &[&[u64]]) {
     check_rows(dst.len(), rows);
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::or_rows(dst, rows) }
         }
@@ -288,12 +351,64 @@ pub fn intersects(a: &[u64], b: &[u64]) -> bool {
 pub fn intersects_in(mode: KernelMode, a: &[u64], b: &[u64]) -> bool {
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::intersects(a, b) }
         }
         _ => portable::intersects(a, b),
     }
+}
+
+/// The row-broadcast gather behind batched independence verification: ORs
+/// together `table[v]` for every set bit `v` of `row` and returns the
+/// resulting word.  `table` is a bit-sliced membership table — bit `i` of
+/// `table[v]` says node `v` belongs to class `i` of the batch — so bit `i`
+/// of the result is set iff `row` intersects class `i`: one adjacency-row
+/// load answers the AND-any question for up to 64 classes at once.
+///
+/// Empty row words are skipped (adjacency rows are sparse at scale), so the
+/// cost is one word test per 64 nodes plus one table load per neighbour.
+///
+/// # Panics
+/// Panics if `table` has fewer than `row.len() * 64` lanes (one per
+/// possible set bit).
+pub fn intersects_many(row: &[u64], table: &[u64]) -> u64 {
+    intersects_many_in(KernelMode::active(), row, table)
+}
+
+/// [`intersects_many`] under an explicit [`KernelMode`].
+pub fn intersects_many_in(mode: KernelMode, row: &[u64], table: &[u64]) -> u64 {
+    assert!(
+        table.len() >= row.len() * 64,
+        "kernel table too short: {} lanes for a {}-word row",
+        table.len(),
+        row.len()
+    );
+    match mode {
+        #[cfg(target_arch = "x86_64")]
+        KernelMode::Wide512 if KernelMode::wide512_supported() => {
+            // SAFETY: the avx512f/dq features were verified at runtime on
+            // this line.
+            unsafe { wide512::intersects_many(row, table) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
+            // SAFETY: the avx2 feature was verified at runtime on this line.
+            unsafe { wide::intersects_many(row, table) }
+        }
+        _ => portable::intersects_many(row, table),
+    }
+}
+
+/// [`intersects_many`] for a CSR neighbour list: ORs `table[v]` for every
+/// `v` in `indices`.  The access pattern is a data-dependent gather, which
+/// no supported ISA beats scalar loads at, so — like [`count`] — this runs
+/// the (unrolled) portable loop under every mode.
+///
+/// # Panics
+/// Panics if some index is out of the table's bounds.
+pub fn intersects_many_indexed(indices: &[usize], table: &[u64]) -> u64 {
+    portable::intersects_many_indexed(indices, table)
 }
 
 /// Number of set bits in `words` (unrolled popcount; the popcount unit is
@@ -346,25 +461,56 @@ fn check_columns(a: usize, b: usize) {
 /// that can hold garbage (empty nodes) are restored by a masked blend
 /// afterwards, which is why this fold wraps rather than saturates.
 ///
-/// Like [`count`], this dispatches to the portable loop under either mode:
-/// there is no packed 64-bit multiply below AVX-512, so a wide variant
-/// would not vectorise.
+/// No packed 64-bit multiply exists in AVX2, so `portable` and `wide` run
+/// the portable loop; [`KernelMode::Wide512`] runs `vpmullq`.
 pub fn wrapping_scale_offset(dst: &mut [u64], k: u64, c: u64) {
-    portable::wrapping_scale_offset(dst, k, c);
+    wrapping_scale_offset_in(KernelMode::active(), dst, k, c);
+}
+
+/// [`wrapping_scale_offset`] under an explicit [`KernelMode`].
+pub fn wrapping_scale_offset_in(mode: KernelMode, dst: &mut [u64], k: u64, c: u64) {
+    match mode {
+        #[cfg(target_arch = "x86_64")]
+        KernelMode::Wide512 if KernelMode::wide512_supported() => {
+            // SAFETY: the avx512f/dq features were verified at runtime on
+            // this line.
+            unsafe { wide512::wrapping_scale_offset(dst, k, c) }
+        }
+        _ => portable::wrapping_scale_offset(dst, k, c),
+    }
 }
 
 /// `out[i] = src[i] · k + c`, wrapping — the out-of-place twin of
 /// [`wrapping_scale_offset`], so a fold can read one bank and write
 /// another without a separate copy pass.
 ///
-/// Like [`count`], this dispatches to the portable loop under either mode
-/// (no packed 64-bit multiply below AVX-512).
+/// No packed 64-bit multiply exists in AVX2, so `portable` and `wide` run
+/// the portable loop; [`KernelMode::Wide512`] runs `vpmullq`.
 ///
 /// # Panics
 /// Panics if the column lengths differ.
 pub fn wrapping_scale_offset_into(out: &mut [u64], src: &[u64], k: u64, c: u64) {
+    wrapping_scale_offset_into_in(KernelMode::active(), out, src, k, c);
+}
+
+/// [`wrapping_scale_offset_into`] under an explicit [`KernelMode`].
+pub fn wrapping_scale_offset_into_in(
+    mode: KernelMode,
+    out: &mut [u64],
+    src: &[u64],
+    k: u64,
+    c: u64,
+) {
     check_columns(out.len(), src.len());
-    portable::wrapping_scale_offset_into(out, src, k, c);
+    match mode {
+        #[cfg(target_arch = "x86_64")]
+        KernelMode::Wide512 if KernelMode::wide512_supported() => {
+            // SAFETY: the avx512f/dq features were verified at runtime on
+            // this line.
+            unsafe { wide512::wrapping_scale_offset_into(out, src, k, c) }
+        }
+        _ => portable::wrapping_scale_offset_into(out, src, k, c),
+    }
 }
 
 /// `dst[i] = dst[i].saturating_add(src[i].saturating_mul(k))` — the
@@ -372,14 +518,28 @@ pub fn wrapping_scale_offset_into(out: &mut [u64], src: &[u64], k: u64, c: u64) 
 /// total that can genuinely overflow at astronomical horizons (the
 /// whole-schedule happiness total saturates rather than wraps).
 ///
-/// Like [`count`], this dispatches to the portable loop under either mode
-/// (no packed 64-bit multiply below AVX-512).
+/// No packed 64-bit multiply exists in AVX2, so `portable` and `wide` run
+/// the portable loop; [`KernelMode::Wide512`] runs `vpmullq` with the
+/// saturation masks derived from native unsigned 64-bit compares.
 ///
 /// # Panics
 /// Panics if the column lengths differ.
 pub fn saturating_add_scaled(dst: &mut [u64], src: &[u64], k: u64) {
+    saturating_add_scaled_in(KernelMode::active(), dst, src, k);
+}
+
+/// [`saturating_add_scaled`] under an explicit [`KernelMode`].
+pub fn saturating_add_scaled_in(mode: KernelMode, dst: &mut [u64], src: &[u64], k: u64) {
     check_columns(dst.len(), src.len());
-    portable::saturating_add_scaled(dst, src, k);
+    match mode {
+        #[cfg(target_arch = "x86_64")]
+        KernelMode::Wide512 if KernelMode::wide512_supported() => {
+            // SAFETY: the avx512f/dq features were verified at runtime on
+            // this line.
+            unsafe { wide512::saturating_add_scaled(dst, src, k) }
+        }
+        _ => portable::saturating_add_scaled(dst, src, k),
+    }
 }
 
 /// `dst[i] = max(dst[i], src[i])` (unsigned) — streak folding.
@@ -395,7 +555,7 @@ pub fn max_assign_in(mode: KernelMode, dst: &mut [u64], src: &[u64]) {
     check_columns(dst.len(), src.len());
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::max_assign(dst, src) }
         }
@@ -419,7 +579,7 @@ pub fn wrapping_sub_into_in(mode: KernelMode, out: &mut [u64], a: &[u64], b: &[u
     check_columns(out.len(), b.len());
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::wrapping_sub_into(out, a, b) }
         }
@@ -452,7 +612,7 @@ pub fn mask_cmp_scalar_in(mode: KernelMode, out: &mut [u64], src: &[u64], c: u64
     check_columns(out.len(), src.len());
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::mask_cmp_scalar(out, src, c, negate) }
         }
@@ -485,7 +645,7 @@ pub fn mask_cmp_into_in(mode: KernelMode, out: &mut [u64], a: &[u64], b: &[u64],
     check_columns(out.len(), b.len());
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::mask_cmp_into(out, a, b, negate) }
         }
@@ -535,7 +695,7 @@ pub fn bitop_assign_in(mode: KernelMode, dst: &mut [u64], src: &[u64], op: BitOp
     check_columns(dst.len(), src.len());
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::bitop_assign(dst, src, op) }
         }
@@ -561,7 +721,7 @@ pub fn blend_assign_in(mode: KernelMode, dst: &mut [u64], mask: &[u64], src: &[u
     check_columns(dst.len(), src.len());
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::blend_assign(dst, mask, src) }
         }
@@ -583,7 +743,7 @@ pub fn blend_scalar_assign_in(mode: KernelMode, dst: &mut [u64], mask: &[u64], c
     check_columns(dst.len(), mask.len());
     match mode {
         #[cfg(target_arch = "x86_64")]
-        KernelMode::Wide if KernelMode::wide_supported() => {
+        KernelMode::Wide | KernelMode::Wide512 if KernelMode::wide_supported() => {
             // SAFETY: the avx2 feature was verified at runtime on this line.
             unsafe { wide::blend_scalar_assign(dst, mask, c) }
         }
@@ -597,15 +757,29 @@ pub fn blend_scalar_assign_in(mode: KernelMode, dst: &mut [u64], mask: &[u64], c
 /// `0.0/0.0` (whose sign bit differs on x86), so `to_bits` parity across
 /// engines holds.
 ///
-/// Like [`count`], this dispatches to the portable loop under either mode
-/// (no packed u64→f64 conversion below AVX-512).
+/// No packed u64→f64 conversion exists in AVX2, so `portable` and `wide`
+/// run the portable loop; [`KernelMode::Wide512`] runs `vcvtuqq2pd` with
+/// the NaN constant blended in by mask (bit pattern pinned by test).
 ///
 /// # Panics
 /// Panics if the column lengths differ.
 pub fn ratio_to_f64(out: &mut [f64], num: &[u64], den: &[u64]) {
+    ratio_to_f64_in(KernelMode::active(), out, num, den);
+}
+
+/// [`ratio_to_f64`] under an explicit [`KernelMode`].
+pub fn ratio_to_f64_in(mode: KernelMode, out: &mut [f64], num: &[u64], den: &[u64]) {
     check_columns(out.len(), num.len());
     check_columns(out.len(), den.len());
-    portable::ratio_to_f64(out, num, den);
+    match mode {
+        #[cfg(target_arch = "x86_64")]
+        KernelMode::Wide512 if KernelMode::wide512_supported() => {
+            // SAFETY: the avx512f/dq features were verified at runtime on
+            // this line.
+            unsafe { wide512::ratio_to_f64(out, num, den) }
+        }
+        _ => portable::ratio_to_f64(out, num, den),
+    }
 }
 
 /// The deliberately naive reference implementations: one full `dst` pass per
@@ -642,6 +816,31 @@ pub mod scalar {
     /// Word-at-a-time AND-any over the common prefix.
     pub fn intersects(a: &[u64], b: &[u64]) -> bool {
         a.iter().zip(b).any(|(x, y)| x & y != 0)
+    }
+
+    /// Bit-by-bit row-broadcast gather: walk every set bit of `row` and OR
+    /// the matching membership-table lane.
+    ///
+    /// # Panics
+    /// Panics if `table` has fewer than `row.len() * 64` lanes.
+    pub fn intersects_many(row: &[u64], table: &[u64]) -> u64 {
+        let mut acc = 0u64;
+        for (wi, &word) in row.iter().enumerate() {
+            for bit in 0..64 {
+                if word & (1u64 << bit) != 0 {
+                    acc |= table[wi * 64 + bit];
+                }
+            }
+        }
+        acc
+    }
+
+    /// One-by-one indexed gather.
+    ///
+    /// # Panics
+    /// Panics if some index is out of the table's bounds.
+    pub fn intersects_many_indexed(indices: &[usize], table: &[u64]) -> u64 {
+        indices.iter().fold(0u64, |acc, &i| acc | table[i])
     }
 
     /// One-by-one `dst[i]·k + c`, wrapping.
@@ -854,6 +1053,41 @@ mod portable {
             i += 1;
         }
         false
+    }
+
+    pub(super) fn intersects_many(row: &[u64], table: &[u64]) -> u64 {
+        let mut acc = 0u64;
+        for (wi, &word) in row.iter().enumerate() {
+            // Empty words are the common case on sparse adjacency rows;
+            // non-empty ones walk set bits via trailing_zeros like the
+            // extraction kernel.
+            let mut w = word;
+            let base = wi * 64;
+            while w != 0 {
+                acc |= table[base + w.trailing_zeros() as usize];
+                w &= w - 1;
+            }
+        }
+        acc
+    }
+
+    pub(super) fn intersects_many_indexed(indices: &[usize], table: &[u64]) -> u64 {
+        // Four independent OR chains hide the gather latency.
+        let n = indices.len();
+        let mut i = 0usize;
+        let (mut a0, mut a1, mut a2, mut a3) = (0u64, 0u64, 0u64, 0u64);
+        while i + 4 <= n {
+            a0 |= table[indices[i]];
+            a1 |= table[indices[i + 1]];
+            a2 |= table[indices[i + 2]];
+            a3 |= table[indices[i + 3]];
+            i += 4;
+        }
+        while i < n {
+            a0 |= table[indices[i]];
+            i += 1;
+        }
+        a0 | a1 | a2 | a3
     }
 
     pub(super) fn count(words: &[u64]) -> u64 {
@@ -1426,6 +1660,246 @@ mod wide {
         }
         false
     }
+
+    /// # Safety
+    /// Requires runtime `avx2` support and `table.len() >= row.len() * 64`
+    /// (wrapper invariant).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn intersects_many(row: &[u64], table: &[u64]) -> u64 {
+        let n = row.len();
+        let mut acc = 0u64;
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: i + 4 <= n, so the four-word unaligned load is in
+            // bounds; avx2 is guaranteed by the caller contract.
+            let empty = unsafe {
+                let v = _mm256_loadu_si256(row.as_ptr().add(i) as *const __m256i);
+                _mm256_testz_si256(v, v)
+            };
+            // One vector test rejects 256 empty row bits — the common case
+            // on sparse adjacency rows; non-empty chunks fall back to the
+            // scalar set-bit walk (the table loads are a data-dependent
+            // gather either way).
+            if empty == 0 {
+                for (wi, &word) in row.iter().enumerate().take(i + 4).skip(i) {
+                    let mut w = word;
+                    let base = wi * 64;
+                    while w != 0 {
+                        acc |= table[base + w.trailing_zeros() as usize];
+                        w &= w - 1;
+                    }
+                }
+            }
+            i += 4;
+        }
+        while i < n {
+            let mut w = row[i];
+            let base = i * 64;
+            while w != 0 {
+                acc |= table[base + w.trailing_zeros() as usize];
+                w &= w - 1;
+            }
+            i += 1;
+        }
+        acc
+    }
+}
+
+/// 512-bit AVX-512 loops (`avx512f` + `avx512dq`): the arithmetic family's
+/// first real wide forms — `vpmullq` gives the 64-bit multiply folds a
+/// packed implementation and `vcvtuqq2pd` the u64→f64 finalise — plus the
+/// wider empty-chunk rejection for the row-broadcast gather.  Every
+/// function carries the matching `#[target_feature]` and must only be
+/// called after a successful runtime detection (the dispatch wrappers
+/// guarantee it); slice lengths were validated by the wrapper, so the raw
+/// pointer arithmetic stays in bounds.
+#[cfg(target_arch = "x86_64")]
+mod wide512 {
+    use std::arch::x86_64::{
+        __m512d, __m512i, _mm512_add_epi64, _mm512_castsi512_pd, _mm512_cmpeq_epu64_mask,
+        _mm512_cmplt_epu64_mask, _mm512_cvtepu64_pd, _mm512_div_pd, _mm512_loadu_si512,
+        _mm512_mask_mov_epi64, _mm512_mask_mov_pd, _mm512_mullo_epi64, _mm512_set1_epi64,
+        _mm512_setzero_si512, _mm512_storeu_pd, _mm512_storeu_si512, _mm512_test_epi64_mask,
+    };
+
+    /// Loads 8 words from `s[i..]`.
+    ///
+    /// # Safety
+    /// Requires runtime `avx512f` support and `i + 8 <= s.len()`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn load(s: &[u64], i: usize) -> __m512i {
+        // SAFETY: caller guarantees i + 8 <= s.len().
+        unsafe { _mm512_loadu_si512(s.as_ptr().add(i) as *const __m512i) }
+    }
+
+    /// Stores 8 words to `d[i..]`.
+    ///
+    /// # Safety
+    /// Requires runtime `avx512f` support and `i + 8 <= d.len()`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn store(d: &mut [u64], i: usize, v: __m512i) {
+        // SAFETY: caller guarantees i + 8 <= d.len().
+        unsafe { _mm512_storeu_si512(d.as_mut_ptr().add(i) as *mut __m512i, v) }
+    }
+
+    /// # Safety
+    /// Requires runtime `avx512f` + `avx512dq` support.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn wrapping_scale_offset(dst: &mut [u64], k: u64, c: u64) {
+        let n = dst.len();
+        let mut i = 0usize;
+        // SAFETY: the loop guard keeps every 8-word access in bounds;
+        // avx512f/dq are guaranteed by the caller contract.
+        unsafe {
+            let vk = _mm512_set1_epi64(k as i64);
+            let vc = _mm512_set1_epi64(c as i64);
+            while i + 8 <= n {
+                let d = load(dst, i);
+                store(dst, i, _mm512_add_epi64(_mm512_mullo_epi64(d, vk), vc));
+                i += 8;
+            }
+        }
+        while i < n {
+            dst[i] = dst[i].wrapping_mul(k).wrapping_add(c);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires runtime `avx512f` + `avx512dq` support and equal column
+    /// lengths.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn wrapping_scale_offset_into(out: &mut [u64], src: &[u64], k: u64, c: u64) {
+        let n = out.len();
+        let mut i = 0usize;
+        // SAFETY: loop guard + wrapper-validated lengths keep the 8-word
+        // accesses in bounds; avx512f/dq guaranteed by the caller contract.
+        unsafe {
+            let vk = _mm512_set1_epi64(k as i64);
+            let vc = _mm512_set1_epi64(c as i64);
+            while i + 8 <= n {
+                let s = load(src, i);
+                store(out, i, _mm512_add_epi64(_mm512_mullo_epi64(s, vk), vc));
+                i += 8;
+            }
+        }
+        while i < n {
+            out[i] = src[i].wrapping_mul(k).wrapping_add(c);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires runtime `avx512f` + `avx512dq` support and equal column
+    /// lengths.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn saturating_add_scaled(dst: &mut [u64], src: &[u64], k: u64) {
+        if k == 0 {
+            // src[i]·0 saturates to 0; dst is unchanged.
+            return;
+        }
+        let n = dst.len();
+        let mut i = 0usize;
+        // The product s·k (k > 0) overflows exactly when s > u64::MAX / k,
+        // so one scalar division turns saturating_mul into an unsigned
+        // compare; the saturating add overflows exactly when the wrapped
+        // sum is less than either addend.
+        let threshold = u64::MAX / k;
+        // SAFETY: loop guard + wrapper-validated lengths keep the 8-word
+        // accesses in bounds; avx512f/dq guaranteed by the caller contract.
+        unsafe {
+            let vk = _mm512_set1_epi64(k as i64);
+            let vmax = _mm512_set1_epi64(u64::MAX as i64);
+            let vthreshold = _mm512_set1_epi64(threshold as i64);
+            while i + 8 <= n {
+                let d = load(dst, i);
+                let s = load(src, i);
+                let mul_sat = _mm512_cmplt_epu64_mask(vthreshold, s);
+                let m = _mm512_mask_mov_epi64(_mm512_mullo_epi64(s, vk), mul_sat, vmax);
+                let sum = _mm512_add_epi64(d, m);
+                let add_sat = _mm512_cmplt_epu64_mask(sum, d);
+                store(dst, i, _mm512_mask_mov_epi64(sum, add_sat, vmax));
+                i += 8;
+            }
+        }
+        while i < n {
+            dst[i] = dst[i].saturating_add(src[i].saturating_mul(k));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires runtime `avx512f` + `avx512dq` support and equal column
+    /// lengths.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn ratio_to_f64(out: &mut [f64], num: &[u64], den: &[u64]) {
+        let n = out.len();
+        let mut i = 0usize;
+        // SAFETY: loop guard + wrapper-validated lengths keep the 8-lane
+        // accesses in bounds; avx512f/dq guaranteed by the caller contract.
+        unsafe {
+            // The NaN is built from the constant's exact bit pattern (a
+            // broadcast move, never an arithmetic 0/0), preserving the
+            // to_bits contract of the scalar specification.
+            let nan: __m512d = _mm512_castsi512_pd(_mm512_set1_epi64(f64::NAN.to_bits() as i64));
+            let zero = _mm512_setzero_si512();
+            while i + 8 <= n {
+                let vn = load(num, i);
+                let vd = load(den, i);
+                let q = _mm512_div_pd(_mm512_cvtepu64_pd(vn), _mm512_cvtepu64_pd(vd));
+                let den_zero = _mm512_cmpeq_epu64_mask(vd, zero);
+                _mm512_storeu_pd(out.as_mut_ptr().add(i), _mm512_mask_mov_pd(q, den_zero, nan));
+                i += 8;
+            }
+        }
+        while i < n {
+            out[i] = if den[i] > 0 { num[i] as f64 / den[i] as f64 } else { f64::NAN };
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires runtime `avx512f` support and `table.len() >= row.len() * 64`
+    /// (wrapper invariant).
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn intersects_many(row: &[u64], table: &[u64]) -> u64 {
+        let n = row.len();
+        let mut acc = 0u64;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n, so the eight-word unaligned load is in
+            // bounds; avx512f is guaranteed by the caller contract.
+            let occupied = unsafe {
+                let v = load(row, i);
+                _mm512_test_epi64_mask(v, v)
+            };
+            // One vector test rejects 512 empty row bits; each remaining
+            // non-empty word (flagged in the test mask) walks its set bits
+            // scalar — the table loads are a data-dependent gather.
+            let mut words = occupied;
+            while words != 0 {
+                let wi = i + words.trailing_zeros() as usize;
+                let mut w = row[wi];
+                let base = wi * 64;
+                while w != 0 {
+                    acc |= table[base + w.trailing_zeros() as usize];
+                    w &= w - 1;
+                }
+                words &= words - 1;
+            }
+            i += 8;
+        }
+        while i < n {
+            let mut w = row[i];
+            let base = i * 64;
+            while w != 0 {
+                acc |= table[base + w.trailing_zeros() as usize];
+                w &= w - 1;
+            }
+            i += 1;
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -1438,14 +1912,17 @@ mod tests {
     /// around both.
     const CAPACITIES: [usize; 9] = [0, 1, 63, 64, 65, 255, 256, 4095, 4097];
 
-    /// Both modes when the machine can execute both, otherwise portable
-    /// alone (Wide would silently degrade to the same code).
+    /// Every mode the machine can actually execute (an unsupported mode
+    /// would silently degrade to the same code as a supported one).
     fn modes() -> Vec<KernelMode> {
+        let mut modes = vec![KernelMode::Portable];
         if KernelMode::wide_supported() {
-            vec![KernelMode::Portable, KernelMode::Wide]
-        } else {
-            vec![KernelMode::Portable]
+            modes.push(KernelMode::Wide);
         }
+        if KernelMode::wide512_supported() {
+            modes.push(KernelMode::Wide512);
+        }
+        modes
     }
 
     /// Deterministic word soup from a seed (splitmix64), masked to `bits`.
@@ -1472,7 +1949,12 @@ mod tests {
         assert_eq!(KernelMode::from_env(Some("")), auto);
         assert_eq!(KernelMode::from_env(Some("portable")), KernelMode::Portable);
         let wide = KernelMode::from_env(Some("wide"));
-        if KernelMode::wide_supported() {
+        let wide512 = KernelMode::from_env(Some("wide512"));
+        assert_eq!(wide512, auto, "wide512 degrades to the best supported mode");
+        if KernelMode::wide512_supported() {
+            assert_eq!(auto, KernelMode::Wide512);
+            assert_eq!(wide, KernelMode::Wide, "wide pins the AVX2 arm, never upgrades");
+        } else if KernelMode::wide_supported() {
             assert_eq!(auto, KernelMode::Wide);
             assert_eq!(wide, KernelMode::Wide);
         } else {
@@ -1540,6 +2022,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn intersects_many_agrees_with_scalar() {
+        for &bits in &CAPACITIES {
+            for seed in 0..3u64 {
+                let row = words_for(bits, seed * 13 + 1);
+                let table = column_for(row.len() * 64, seed * 13 + 2);
+                let expected = scalar::intersects_many(&row, &table);
+                for mode in modes() {
+                    assert_eq!(
+                        intersects_many_in(mode, &row, &table),
+                        expected,
+                        "intersects_many: {bits} bits, {mode:?}"
+                    );
+                }
+                // The indexed twin over the same members must see the same
+                // table lanes.
+                let mut indices = Vec::new();
+                for_each_set_bit(&row, |b| indices.push(b));
+                assert_eq!(
+                    intersects_many_indexed(&indices, &table),
+                    scalar::intersects_many_indexed(&indices, &table),
+                    "indexed: {bits} bits"
+                );
+                assert_eq!(intersects_many_indexed(&indices, &table), expected);
+            }
+        }
+        assert_eq!(intersects_many_indexed(&[], &[]), 0, "no indices, no intersections");
+    }
+
+    #[test]
+    #[should_panic(expected = "table too short")]
+    fn short_membership_tables_are_rejected() {
+        let row = vec![1u64; 2];
+        let table = vec![0u64; 127];
+        intersects_many(&row, &table);
     }
 
     #[test]
@@ -1619,25 +2138,36 @@ mod tests {
                 for (k, c) in [(0u64, 0u64), (1, 0), (3, 17), (u64::MAX, 1), (1 << 40, u64::MAX)] {
                     let mut expected = a.clone();
                     scalar::wrapping_scale_offset(&mut expected, k, c);
-                    let mut got = a.clone();
-                    wrapping_scale_offset(&mut got, k, c);
-                    assert_eq!(got, expected, "scale_offset len {len} k {k} c {c}");
-                    let mut got_into = vec![0u64; len];
-                    wrapping_scale_offset_into(&mut got_into, &a, k, c);
-                    assert_eq!(got_into, expected, "scale_offset_into len {len} k {k} c {c}");
+                    let mut expected_sat = a.clone();
+                    scalar::saturating_add_scaled(&mut expected_sat, &b, k);
+                    for mode in modes() {
+                        let mut got = a.clone();
+                        wrapping_scale_offset_in(mode, &mut got, k, c);
+                        assert_eq!(got, expected, "scale_offset len {len} k {k} c {c} {mode:?}");
+                        let mut got_into = vec![0u64; len];
+                        wrapping_scale_offset_into_in(mode, &mut got_into, &a, k, c);
+                        assert_eq!(
+                            got_into, expected,
+                            "scale_offset_into len {len} k {k} c {c} {mode:?}"
+                        );
 
-                    let mut expected = a.clone();
-                    scalar::saturating_add_scaled(&mut expected, &b, k);
-                    let mut got = a.clone();
-                    saturating_add_scaled(&mut got, &b, k);
-                    assert_eq!(got, expected, "add_scaled len {len} k {k}");
+                        let mut got = a.clone();
+                        saturating_add_scaled_in(mode, &mut got, &b, k);
+                        assert_eq!(got, expected_sat, "add_scaled len {len} k {k} {mode:?}");
+                    }
                 }
                 let mut expected_f = vec![0.0f64; len];
                 scalar::ratio_to_f64(&mut expected_f, &a, &b);
-                let mut got_f = vec![0.0f64; len];
-                ratio_to_f64(&mut got_f, &a, &b);
                 let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-                assert_eq!(bits(&got_f), bits(&expected_f), "ratio len {len} (NaN-aware)");
+                for mode in modes() {
+                    let mut got_f = vec![0.0f64; len];
+                    ratio_to_f64_in(mode, &mut got_f, &a, &b);
+                    assert_eq!(
+                        bits(&got_f),
+                        bits(&expected_f),
+                        "ratio len {len} {mode:?} (NaN-aware)"
+                    );
+                }
 
                 for mode in modes() {
                     let mut expected = a.clone();
@@ -1695,11 +2225,22 @@ mod tests {
     fn ratio_nan_uses_the_constant_bit_pattern() {
         // The spec demands the *constant* f64::NAN where the denominator is
         // zero — a hardware 0.0/0.0 has its sign bit set on x86 and would
-        // break to_bits parity with the scalar finalise.
-        let mut out = [0.0f64; 2];
-        ratio_to_f64(&mut out, &[5, 7], &[0, 2]);
-        assert_eq!(out[0].to_bits(), f64::NAN.to_bits());
-        assert_eq!(out[1].to_bits(), 3.5f64.to_bits());
+        // break to_bits parity with the scalar finalise.  Nine lanes force
+        // the 8-lane wide512 body (not just its scalar tail) through the
+        // masked NaN blend.
+        let num = [5u64, 7, 1, 2, 3, 4, 5, 6, 9];
+        let den = [0u64, 2, 0, 1, 0, 2, 0, 3, 0];
+        for mode in modes() {
+            let mut out = [0.0f64; 9];
+            ratio_to_f64_in(mode, &mut out, &num, &den);
+            for i in 0..9 {
+                if den[i] == 0 {
+                    assert_eq!(out[i].to_bits(), f64::NAN.to_bits(), "lane {i} {mode:?}");
+                } else {
+                    assert_eq!(out[i].to_bits(), (num[i] as f64 / den[i] as f64).to_bits());
+                }
+            }
+        }
     }
 
     #[test]
@@ -1729,19 +2270,19 @@ mod tests {
             // word is a valid mask.
             let m = column_for(len, seed ^ 0xAAAA_AAAA);
 
-            let mut expected = a.clone();
-            scalar::wrapping_scale_offset(&mut expected, k, seed);
-            let mut got = a.clone();
-            wrapping_scale_offset(&mut got, k, seed);
-            prop_assert_eq!(&got, &expected);
-
-            let mut expected = a.clone();
-            scalar::saturating_add_scaled(&mut expected, &b, k);
-            let mut got = a.clone();
-            saturating_add_scaled(&mut got, &b, k);
-            prop_assert_eq!(&got, &expected);
-
             for mode in modes() {
+                let mut expected = a.clone();
+                scalar::wrapping_scale_offset(&mut expected, k, seed);
+                let mut got = a.clone();
+                wrapping_scale_offset_in(mode, &mut got, k, seed);
+                prop_assert_eq!(&got, &expected);
+
+                let mut expected = a.clone();
+                scalar::saturating_add_scaled(&mut expected, &b, k);
+                let mut got = a.clone();
+                saturating_add_scaled_in(mode, &mut got, &b, k);
+                prop_assert_eq!(&got, &expected);
+
                 let mut expected = a.clone();
                 scalar::max_assign(&mut expected, &b);
                 let mut got = a.clone();
@@ -1790,7 +2331,10 @@ mod tests {
             let expected_count = scalar::or_rows_count(&mut expected, &refs);
             let mut set_expected = dst0.clone();
             let set_count = scalar::set_rows_count(&mut set_expected, &refs);
+            let table = column_for(dst0.len() * 64, seed ^ 0x00C0_FFEE);
+            let many_expected = scalar::intersects_many(&dst0, &table);
             for mode in modes() {
+                prop_assert_eq!(intersects_many_in(mode, &dst0, &table), many_expected);
                 let mut dst = dst0.clone();
                 prop_assert_eq!(or_rows_count_in(mode, &mut dst, &refs), expected_count);
                 prop_assert_eq!(&dst, &expected);

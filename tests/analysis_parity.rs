@@ -19,12 +19,16 @@
 //!
 //! Every emission and verification loop under test runs on the fused word
 //! kernels (`fhg_graph::kernels`), whose implementation is selected once per
-//! process (`FHG_KERNEL=portable|wide`, defaulting to the AVX2 wide path
-//! where supported).  CI runs this whole suite under `FHG_KERNEL=portable`
-//! in addition to the default dispatch — alongside the `FHG_THREADS=1/8`
-//! matrix — so a divergence between the wide and portable kernels shows up
-//! as a parity failure here even if the kernel-level property tests were
-//! ever weakened.
+//! process (`FHG_KERNEL=portable|wide|wide512`, defaulting to the widest
+//! supported path — AVX-512 where detected, else AVX2).  CI runs this whole
+//! suite under `FHG_KERNEL=portable` and, where the runner supports it,
+//! `FHG_KERNEL=wide512`, in addition to the default dispatch — alongside
+//! the `FHG_THREADS=1/8` matrix — so a divergence between any two kernel
+//! arms shows up as a parity failure here even if the kernel-level property
+//! tests were ever weakened.  Batched verification rides the same runs: the
+//! closed-form build and the sharded sweep verify through
+//! `HolidayChecker::check_batch`, the reference engine stays per-class, so
+//! every parity case is also a batch-vs-per-class equivalence check.
 
 use proptest::prelude::*;
 

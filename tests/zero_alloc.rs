@@ -142,6 +142,38 @@ fn fill_happy_set_allocates_nothing_after_warmup() {
         );
     }
 
+    // Batched verification: after the thread-local membership table warms
+    // up, `check_batch` allocates nothing — the bit-sliced transpose fill
+    // re-walks the previous batch union instead of clearing storage, and
+    // the engines' flush borrow array lives on the stack.  Proved on all
+    // three adjacency layouts (flat, blocked, CSR, forced via
+    // `with_limits`).
+    {
+        let scheduler = PeriodicDegreeBound::new(&graph);
+        let view = scheduler.residue_schedule().expect("perfectly periodic");
+        let mut slots: Vec<HappySet> = (0..64).map(|_| HappySet::new(view.node_count())).collect();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            view.fill(i as u64, slot);
+        }
+        let classes: Vec<(u64, &fhg::graph::FixedBitSet)> =
+            slots.iter().enumerate().map(|(i, s)| (i as u64, s.as_bitset())).collect();
+        for (flat, blocked) in [(usize::MAX, usize::MAX), (0, usize::MAX), (0, 0)] {
+            let checker = GraphChecker::with_limits(&graph, flat, blocked);
+            assert!(checker.check_batch(&classes), "warm-up batch must verify");
+            let delta = min_alloc_delta(|| {
+                for _ in 0..64 {
+                    assert!(checker.check_batch(&classes));
+                }
+            });
+            assert_eq!(
+                delta,
+                0,
+                "batched verification on the {} layout allocated {delta} times after warm-up",
+                checker.layout()
+            );
+        }
+    }
+
     // The `happy_set` Vec shim: the intermediate HappySet is thread-local
     // scratch, so after warm-up each call allocates at most the returned Vec.
     let mut scheduler = PeriodicDegreeBound::new(&graph);
