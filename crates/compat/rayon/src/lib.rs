@@ -63,15 +63,35 @@ fn default_threads() -> usize {
     *DEFAULT_THREADS.get_or_init(|| {
         for var in ["FHG_THREADS", "RAYON_NUM_THREADS"] {
             if let Ok(value) = std::env::var(var) {
-                if let Ok(n) = value.trim().parse::<usize>() {
-                    if n >= 1 {
-                        return n;
-                    }
+                if let Some(n) = parse_thread_count(var, &value) {
+                    return n;
                 }
             }
         }
         thread::available_parallelism().map_or(1, |n| n.get())
     })
+}
+
+/// Parses one thread-count override (factored out of [`default_threads`] so
+/// the fallback policy is testable despite the process-wide cache).  Empty
+/// values are silently ignored; malformed or zero values warn once to
+/// stderr and are ignored — an environment typo must degrade to the
+/// detected parallelism, never kill or wedge the process.
+fn parse_thread_count(var: &str, value: &str) -> Option<usize> {
+    let value = value.trim();
+    if value.is_empty() {
+        return None;
+    }
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!(
+                "warning: {var}={value:?} is not a positive thread count; \
+                 using detected parallelism"
+            );
+            None
+        }
+    }
 }
 
 /// The number of worker threads parallel calls on this thread will use: an
@@ -499,6 +519,20 @@ mod tests {
             });
             assert_eq!(doubled, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn thread_count_overrides_fall_back_instead_of_wedging() {
+        // A malformed FHG_THREADS / RAYON_NUM_THREADS must degrade to the
+        // detected parallelism, never kill the process or pin it to a
+        // nonsensical count.
+        assert_eq!(parse_thread_count("FHG_THREADS", "4"), Some(4));
+        assert_eq!(parse_thread_count("FHG_THREADS", " 2 "), Some(2), "whitespace is trimmed");
+        assert_eq!(parse_thread_count("FHG_THREADS", ""), None);
+        assert_eq!(parse_thread_count("FHG_THREADS", "0"), None, "zero threads is invalid");
+        assert_eq!(parse_thread_count("FHG_THREADS", "-1"), None);
+        assert_eq!(parse_thread_count("RAYON_NUM_THREADS", "lots"), None);
+        assert_eq!(parse_thread_count("FHG_THREADS", "3.5"), None);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The E1–E15 experiment implementations (see `DESIGN.md` §5 and
+//! The E1–E16 experiment implementations (see `DESIGN.md` §5 and
 //! `EXPERIMENTS.md`).
 //!
 //! Every experiment uses fixed seeds, so the tables in `EXPERIMENTS.md` are
@@ -32,11 +32,12 @@ use fhg_radio::{evaluate_tdma, RadioNetwork};
 use crate::table::Table;
 
 /// The experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 15] = [
+pub const EXPERIMENT_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
-/// Sizing knobs for the analysis-engine experiments (`e11`–`e14`).
+/// Sizing knobs for the analysis-engine experiments (`e11`–`e16`).
 #[derive(Debug, Clone)]
 pub struct AnalysisBenchConfig {
     /// Nodes of the Erdős–Rényi conflict graph.
@@ -58,6 +59,10 @@ pub struct AnalysisBenchConfig {
     pub build_moduli: (u64, u64),
     /// Timing repetitions per measurement (the tables report medians).
     pub reps: usize,
+    /// Tenant schedules the `e16` serving-tier load generator caches.
+    pub serve_tenants: usize,
+    /// Windowed queries the `e16` load generator issues per measured path.
+    pub serve_queries: usize,
 }
 
 impl AnalysisBenchConfig {
@@ -75,6 +80,8 @@ impl AnalysisBenchConfig {
             build_nodes: 4096,
             build_moduli: (128, 625),
             reps: 5,
+            serve_tenants: 1024,
+            serve_queries: 200_000,
         }
     }
 
@@ -90,6 +97,8 @@ impl AnalysisBenchConfig {
             build_nodes: 1024,
             build_moduli: (32, 125),
             reps: 3,
+            serve_tenants: 1024,
+            serve_queries: 20_000,
         }
     }
 
@@ -136,7 +145,7 @@ pub fn bench_entries_to_json(smoke: bool, entries: &[BenchEntry]) -> String {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
-             \"horizon\": {}, \"median_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+             \"horizon\": {}, \"median_ms\": {:.6}, \"speedup\": {:.3}}}{}\n",
             e.experiment, e.engine, e.threads, e.horizon, e.median_ms, e.speedup, comma
         ));
     }
@@ -177,6 +186,7 @@ pub fn run_experiment_collecting(
         "e13" => e13_fused_kernel_emission_with(cfg),
         "e14" => e14_soa_derive_and_parallel_build_with(cfg),
         "e15" => e15_verification_throughput_with(cfg),
+        "e16" => e16_windowed_serving_with(cfg),
         other => panic!("unknown experiment id {other:?}; valid ids: {EXPERIMENT_IDS:?}"),
     }
 }
@@ -1857,6 +1867,196 @@ pub fn e15_verification_throughput_with(
     (vec![table, kernel_table, big_table], entries)
 }
 
+/// E16 — the windowed profile-serving tier under sustained load.
+///
+/// A load generator registers `cfg.serve_tenants` independent tenant
+/// schedules (small Erdős–Rényi conflict graphs, each under a
+/// `PeriodicDegreeBound` schedule), builds every profile once through the
+/// sharded `ProfileService::build_pending`, then replays
+/// `cfg.serve_queries` windowed queries with LCG-drawn tenants and ragged
+/// `[t0, t1)` windows.  Reported per path: p50/p99 per-query latency and
+/// sustained queries/sec — the acceptance criterion is ≥10⁴ windowed
+/// totals-queries/sec on a single core over ≥1k warm tenants.
+pub fn e16_windowed_serving_with(cfg: &AnalysisBenchConfig) -> (Vec<Table>, Vec<BenchEntry>) {
+    use fhg_core::serving::{ProfileService, Query};
+
+    let mut entries = Vec::new();
+    let tenants = cfg.serve_tenants;
+
+    // --- Registration: one small conflict graph + periodic schedule per
+    // tenant, sizes jittered so the cached cycles differ across tenants. ---
+    let mut service = ProfileService::new();
+    for i in 0..tenants {
+        let n = 40 + (i % 17) * 2;
+        let graph = generators::erdos_renyi(n, 4.0 / n as f64, 0xE16 ^ i as u64);
+        let scheduler = PeriodicDegreeBound::new(&graph);
+        service
+            .register(i as u64, &graph, &scheduler)
+            .expect("periodic tenants must register cleanly");
+    }
+    assert_eq!(service.tenant_count(), tenants);
+
+    // --- Sharded cold build across the persistent pool. ---
+    let build_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(build_threads).build().unwrap();
+    let t0 = Instant::now();
+    let built = pool.install(|| service.build_pending());
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(built >= 1 && built <= tenants, "every cold key builds exactly once");
+    assert_eq!(service.warm_count(), service.key_count());
+
+    // --- The query mix: LCG-drawn tenant + ragged window per request.
+    // Widths span sub-cycle through many-cycle; starts are arbitrary
+    // phases, so head/middle/tail of the start-offset fold all stay hot. ---
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let queries: Vec<Query> = (0..cfg.serve_queries)
+        .map(|_| {
+            let tenant = next() % tenants as u64;
+            let t0 = next() % (1 << 16);
+            let width = next() % (1 << 12);
+            Query { tenant, window: (t0, t0 + width) }
+        })
+        .collect();
+
+    let percentile =
+        |sorted: &[u64], p: usize| -> f64 { sorted[(sorted.len() - 1) * p / 100] as f64 / 1e6 };
+    let mut table = Table::new(
+        format!(
+            "E16 — windowed serving over {tenants} cached tenants ({built} profiles built in \
+             {build_ms:.1} ms on {build_threads} threads), {} LCG queries per path",
+            cfg.serve_queries
+        ),
+        &["path", "threads", "p50 latency µs", "p99 latency µs", "queries/s", "criterion"],
+    );
+    entries.push(BenchEntry {
+        experiment: "e16",
+        engine: "profile-build".into(),
+        threads: build_threads,
+        horizon: tenants as u64,
+        median_ms: build_ms,
+        speedup: 1.0,
+    });
+
+    // --- Single-core sustained totals queries (the acceptance path). ---
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(queries.len());
+    let mut checksum = 0u64;
+    let wall = Instant::now();
+    for q in &queries {
+        let t = Instant::now();
+        let totals = service.query_totals(q.tenant, q.window.0, q.window.1).unwrap();
+        latencies_ns.push(t.elapsed().as_nanos() as u64);
+        checksum = checksum.wrapping_add(totals.total_happiness);
+    }
+    let totals_qps = queries.len() as f64 / wall.elapsed().as_secs_f64();
+    assert!(checksum > 0, "the query mix must touch non-trivial windows");
+    latencies_ns.sort_unstable();
+    let (p50, p99) = (percentile(&latencies_ns, 50), percentile(&latencies_ns, 99));
+    table.push(&[
+        "query_totals (steady-state fold)".into(),
+        "1".into(),
+        format!("{:.2}", p50 * 1e3),
+        format!("{:.2}", p99 * 1e3),
+        format!("{totals_qps:.0}"),
+        format!(">=10000 q/s/core: {}", totals_qps >= 1e4),
+    ]);
+    entries.push(BenchEntry {
+        experiment: "e16",
+        engine: "windowed-totals-qps".into(),
+        threads: 1,
+        horizon: queries.len() as u64,
+        median_ms: p50,
+        speedup: totals_qps,
+    });
+    entries.push(BenchEntry {
+        experiment: "e16",
+        engine: "windowed-totals-p99".into(),
+        threads: 1,
+        horizon: queries.len() as u64,
+        median_ms: p99,
+        speedup: 1.0,
+    });
+
+    // --- Full per-node analyses (allocates the per-node vector, so it is
+    // the expensive tier; a quarter of the mix keeps the runtime flat). ---
+    let full_queries = &queries[..queries.len() / 4];
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(full_queries.len());
+    let wall = Instant::now();
+    for q in full_queries {
+        let t = Instant::now();
+        let analysis = service.query(q.tenant, q.window.0, q.window.1).unwrap();
+        latencies_ns.push(t.elapsed().as_nanos() as u64);
+        checksum = checksum.wrapping_add(analysis.per_node.len() as u64);
+    }
+    let full_qps = full_queries.len() as f64 / wall.elapsed().as_secs_f64();
+    latencies_ns.sort_unstable();
+    let (p50, p99) = (percentile(&latencies_ns, 50), percentile(&latencies_ns, 99));
+    table.push(&[
+        "query (full per-node analysis)".into(),
+        "1".into(),
+        format!("{:.2}", p50 * 1e3),
+        format!("{:.2}", p99 * 1e3),
+        format!("{full_qps:.0}"),
+        "- (informational)".into(),
+    ]);
+    entries.push(BenchEntry {
+        experiment: "e16",
+        engine: "windowed-full-qps".into(),
+        threads: 1,
+        horizon: full_queries.len() as u64,
+        median_ms: p50,
+        speedup: full_qps,
+    });
+    entries.push(BenchEntry {
+        experiment: "e16",
+        engine: "windowed-full-p99".into(),
+        threads: 1,
+        horizon: full_queries.len() as u64,
+        median_ms: p99,
+        speedup: 1.0,
+    });
+
+    // --- The batch front: the same mix through `query_batch`, sharded
+    // across the pool in 4096-query slabs. ---
+    let wall = Instant::now();
+    let mut served = 0usize;
+    for slab in queries.chunks(4096) {
+        let responses = pool.install(|| service.query_batch(slab));
+        served += responses.iter().filter(|r| r.is_ok()).count();
+    }
+    let batch_secs = wall.elapsed().as_secs_f64();
+    let batch_qps = served as f64 / batch_secs;
+    assert_eq!(served, queries.len(), "every batched query must be answerable");
+    table.push(&[
+        "query_batch (4096-query slabs)".into(),
+        build_threads.to_string(),
+        "-".into(),
+        "-".into(),
+        format!("{batch_qps:.0}"),
+        // With one worker the batch front is the single-core path plus
+        // slab bookkeeping, so the scaling criterion only binds when the
+        // pool actually has parallelism.
+        if build_threads > 1 {
+            format!(">= single-core qps: {}", batch_qps >= totals_qps)
+        } else {
+            "- (single worker)".into()
+        },
+    ]);
+    entries.push(BenchEntry {
+        experiment: "e16",
+        engine: "windowed-batch-qps".into(),
+        threads: build_threads,
+        horizon: queries.len() as u64,
+        median_ms: batch_secs * 1e3,
+        speedup: batch_qps,
+    });
+
+    (vec![table], entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1872,12 +2072,32 @@ mod tests {
             build_nodes: 64,
             build_moduli: (8, 27),
             reps: 1,
+            serve_tenants: 12,
+            serve_queries: 512,
         }
     }
 
     #[test]
     fn experiment_ids_are_wired_up() {
-        assert_eq!(EXPERIMENT_IDS.len(), 15);
+        assert_eq!(EXPERIMENT_IDS.len(), 16);
+    }
+
+    #[test]
+    fn e16_reports_throughput_and_tail_latency_rows() {
+        let (tables, entries) = run_experiment_collecting("e16", &tiny_cfg());
+        assert_eq!(tables.len(), 1);
+        let md = tables[0].to_markdown();
+        assert!(md.contains("query_totals"), "{md}");
+        assert!(md.contains("query_batch"), "{md}");
+        for engine in
+            ["profile-build", "windowed-totals-qps", "windowed-totals-p99", "windowed-batch-qps"]
+        {
+            assert!(entries.iter().any(|e| e.engine == engine), "missing {engine} row");
+        }
+        let qps = entries.iter().find(|e| e.engine == "windowed-totals-qps").unwrap();
+        assert!(qps.speedup > 0.0, "qps rides the speedup field");
+        let json = bench_entries_to_json(true, &entries);
+        assert!(json.contains("windowed-totals-p99"));
     }
 
     #[test]
@@ -1961,6 +2181,8 @@ mod tests {
             build_nodes: 48,
             build_moduli: (4, 9),
             reps: 1,
+            serve_tenants: 8,
+            serve_queries: 128,
         };
         let (tables, entries) = run_experiment_collecting("e13", &cfg);
         assert_eq!(tables.len(), 2, "timing table plus the parity witness");

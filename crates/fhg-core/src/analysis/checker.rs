@@ -68,18 +68,34 @@ pub const BLOCKED_ADJACENCY_LIMIT: usize = 65_536;
 /// benches can sweep the crossover without recompiling), otherwise
 /// [`DENSE_ADJACENCY_LIMIT`].
 ///
-/// # Panics
-/// Panics if `FHG_DENSE_LIMIT` is set to anything but a non-negative
-/// integer.
+/// A malformed value is **not** fatal: a long-lived serving process must
+/// not be killable by a typo in its environment, so unparseable overrides
+/// log one warning to stderr and fall back to the default (pinned by the
+/// unit tests below).
 pub fn dense_limit() -> usize {
     static LIMIT: OnceLock<usize> = OnceLock::new();
-    *LIMIT.get_or_init(|| match std::env::var("FHG_DENSE_LIMIT") {
-        Err(_) => DENSE_ADJACENCY_LIMIT,
-        Ok(raw) if raw.is_empty() => DENSE_ADJACENCY_LIMIT,
-        Ok(raw) => {
-            raw.parse().unwrap_or_else(|_| panic!("FHG_DENSE_LIMIT={raw:?} is not a node count"))
-        }
-    })
+    *LIMIT.get_or_init(|| parse_dense_limit(std::env::var("FHG_DENSE_LIMIT").ok().as_deref()))
+}
+
+/// Parses the `FHG_DENSE_LIMIT` override (factored out of [`dense_limit`]
+/// so the fallback policy is testable despite the process-wide cache):
+/// unset or empty means the default, a non-negative integer is taken
+/// verbatim, and anything else warns and falls back to the default.
+fn parse_dense_limit(raw: Option<&str>) -> usize {
+    match raw {
+        None => DENSE_ADJACENCY_LIMIT,
+        Some(raw) if raw.trim().is_empty() => DENSE_ADJACENCY_LIMIT,
+        Some(raw) => match raw.trim().parse() {
+            Ok(limit) => limit,
+            Err(_) => {
+                eprintln!(
+                    "warning: FHG_DENSE_LIMIT={raw:?} is not a node count; \
+                     using the default {DENSE_ADJACENCY_LIMIT}"
+                );
+                DENSE_ADJACENCY_LIMIT
+            }
+        },
+    }
 }
 
 /// A per-holiday independence verdict source, shareable across worker
@@ -282,6 +298,21 @@ impl HolidayChecker for GraphChecker {
 mod tests {
     use super::*;
     use fhg_graph::generators::erdos_renyi;
+
+    #[test]
+    fn dense_limit_override_falls_back_instead_of_panicking() {
+        // A malformed FHG_DENSE_LIMIT must never kill the process: the
+        // fallback to the compiled default is the pinned contract.
+        assert_eq!(parse_dense_limit(None), DENSE_ADJACENCY_LIMIT);
+        assert_eq!(parse_dense_limit(Some("")), DENSE_ADJACENCY_LIMIT);
+        assert_eq!(parse_dense_limit(Some("  ")), DENSE_ADJACENCY_LIMIT);
+        assert_eq!(parse_dense_limit(Some("garbage")), DENSE_ADJACENCY_LIMIT);
+        assert_eq!(parse_dense_limit(Some("-3")), DENSE_ADJACENCY_LIMIT);
+        assert_eq!(parse_dense_limit(Some("1e4")), DENSE_ADJACENCY_LIMIT);
+        assert_eq!(parse_dense_limit(Some("0")), 0, "zero is a valid crossover");
+        assert_eq!(parse_dense_limit(Some("8192")), 8192);
+        assert_eq!(parse_dense_limit(Some(" 512 ")), 512, "whitespace is trimmed");
+    }
 
     #[test]
     fn layout_selection_follows_the_limits() {

@@ -307,15 +307,21 @@ where
     let n = graph.node_count();
     let start = scheduler.first_holiday();
     match engine.clamp(scheduler, horizon) {
-        AnalysisEngine::ClosedForm => {
-            let view = scheduler.residue_schedule().expect("clamp guarantees a residue view");
+        // The residue-view arms re-check the view instead of unwrapping:
+        // `clamp` guarantees it exists, but a scheduler that mis-reports
+        // its periodicity must degrade to the sequential sweep, not crash
+        // the process (the serving tier additionally rejects such
+        // schedulers up front with a typed `RegisterError`).
+        AnalysisEngine::ClosedForm if scheduler.residue_schedule().is_some() => {
+            let view = scheduler.residue_schedule().expect("checked in the match guard");
             let profile = CycleProfile::build(view, start, n, checker);
-            profile
-                .derive(scheduler.name(), graph, horizon)
-                .expect("clamp guarantees horizon >= cycle")
+            // The windowed fold anchored at 0: identical to `derive` for
+            // every clamped horizon (>= cycle), and total — no horizon can
+            // panic it.
+            profile.derive_window(scheduler.name(), graph, 0, horizon)
         }
-        AnalysisEngine::ShardedSweep => {
-            let view = scheduler.residue_schedule().expect("clamp guarantees a residue view");
+        AnalysisEngine::ShardedSweep if scheduler.residue_schedule().is_some() => {
+            let view = scheduler.residue_schedule().expect("checked in the match guard");
             // Pure function of t: shard the horizon across worker threads and
             // verify each residue class exactly once.  The per-shard column
             // banks merge through the exact column-kernel rule.
@@ -343,10 +349,11 @@ where
                 &mut cols,
             )
         }
-        AnalysisEngine::Sequential => {
-            // Stateful scheduler: single sequential sweep, every holiday
-            // verified — on the deliberately independent array-of-structs
-            // reference plane (see the sweep module docs).
+        _ => {
+            // Stateful scheduler (or a residue-view arm whose guard failed):
+            // single sequential sweep, every holiday verified — on the
+            // deliberately independent array-of-structs reference plane
+            // (see the sweep module docs).
             let name = scheduler.name().to_string();
             let mut shard =
                 sweep::ReferenceSweep::new(n, scheduler.node_count(), 0..horizon, horizon);
@@ -370,12 +377,17 @@ pub fn analyze_schedule_totals<S: Scheduler + ?Sized>(
 ) -> AnalysisTotals {
     let checker = GraphChecker::new(graph);
     match AnalysisEngine::select(scheduler, horizon) {
-        AnalysisEngine::ClosedForm => {
+        // Re-checked (not unwrapped) for the same reason as the full
+        // analysis dispatch: a mis-reporting scheduler degrades, never
+        // crashes.
+        AnalysisEngine::ClosedForm if scheduler.residue_schedule().is_some() => {
             let n = graph.node_count();
             let start = scheduler.first_holiday();
-            let view = scheduler.residue_schedule().expect("closed form implies a residue view");
+            let view = scheduler.residue_schedule().expect("checked in the match guard");
             let profile = CycleProfile::build(view, start, n, &checker);
-            profile.derive_totals(horizon).expect("closed form implies horizon >= cycle")
+            // Total windowed fold anchored at 0 — equal to `derive_totals`
+            // for every selected horizon (>= cycle).
+            profile.derive_window_totals(0, horizon)
         }
         engine => {
             analyze_schedule_with_engine(graph, scheduler, horizon, &checker, engine).totals()

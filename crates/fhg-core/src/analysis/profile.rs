@@ -59,6 +59,25 @@
 //! The cost is `O(C)` emissions plus `O(n + attendance)` derivation,
 //! independent of the horizon.
 //!
+//! # Windowed derivation: the start-offset fold
+//!
+//! A serving tier doesn't always want the whole horizon from holiday one:
+//! [`CycleProfile::derive_window`] answers any window `[t0, t1)` of the
+//! schedule in closed form.  With phase `a = t0 mod C` the window is a
+//! ragged **head** (the rest of the phase cycle, replayed from the stored
+//! offsets rebased by `-a`), a run of phase-shifted **whole cycles**
+//! (replicated analytically as a pure segment by
+//! [`replicate_segment_into`] — no take-first fold, endpoints rebased
+//! behind the head) and a ragged **tail** — all merged in window order
+//! through the same exact column rule as the sharded sweep.  Unlike
+//! `derive`, the windowed entry points are **total**: zero-width and
+//! sub-cycle windows take the defined head-segment path (`derive_window(t,
+//! t)` is the empty analysis, `derive_window(0, h)` for `h < C` equals the
+//! sweep of `h` holidays), so no request shape can panic a long-lived
+//! server.  The whole-cycle verdict caveat: the window's independence flag
+//! is the *cycle's* verdict, not the window restriction (see the method
+//! docs).
+//!
 //! # The totals-only fast path and the serving-tier scratch
 //!
 //! Callers that only want whole-schedule aggregates (`mul`, fairness
@@ -385,8 +404,7 @@ impl CycleProfile {
             // and finalise in one fused pass, no bank materialisation.
             return Some(self.finalize_fused(scheduler, graph, horizon));
         }
-        let (all_independent, total_happiness) =
-            self.derive_accums(horizon, scratch).expect("horizon >= cycle was checked");
+        let (all_independent, total_happiness) = self.window_accums(0, horizon, scratch);
         Some(sweep::finalize_bank(
             scheduler.to_string(),
             horizon,
@@ -423,52 +441,184 @@ impl CycleProfile {
             // read-only pass — no bank, no writes, no allocations at all.
             return Some(self.totals_fused(horizon));
         }
-        let (all_independent, total_happiness) =
-            self.derive_accums(horizon, scratch).expect("horizon >= cycle was checked");
+        let (all_independent, total_happiness) = self.window_accums(0, horizon, scratch);
         Some(sweep::totals_from_bank(horizon, &scratch.bank, all_independent, total_happiness))
     }
 
-    /// The ragged-horizon core: fills `scratch.bank` with the merged global
-    /// accumulator columns for `horizon` holidays (replicated repetitions
-    /// plus the partial-cycle tail) and returns the scalar verdicts.
-    fn derive_accums(&self, horizon: u64, scratch: &mut DeriveScratch) -> Option<(bool, u64)> {
-        if horizon < self.cycle {
-            return None;
+    /// Derives the full [`ScheduleAnalysis`] of the window `[t0, t1)` —
+    /// holidays `start + t0` up to (excluding) `start + t1`, offsets
+    /// reported relative to the window start — in closed form via the
+    /// start-offset fold (see the module docs).  **Total over all windows**:
+    /// zero-width (`t1 <= t0`) and sub-cycle windows take the defined
+    /// head-segment path instead of returning `None` or panicking, so this
+    /// is the serving tier's entry point.  Bitwise-identical to
+    /// [`super::analyze_schedule_reference`] run over the same window
+    /// (pinned by `tests/window_parity.rs`), except that the independence
+    /// verdict is always the profiled cycle's whole-cycle verdict — a
+    /// serving tier answers "is this schedule valid", not "did the bad
+    /// class happen to fall inside the window".
+    pub fn derive_window(
+        &self,
+        scheduler: &str,
+        graph: &Graph,
+        t0: u64,
+        t1: u64,
+    ) -> ScheduleAnalysis {
+        with_derive_scratch(|scratch| self.derive_window_with(scheduler, graph, t0, t1, scratch))
+    }
+
+    /// [`CycleProfile::derive_window`] with caller-owned scratch, for
+    /// repeated windowed queries from one cached profile (the output
+    /// allocation is window-size-independent; the accumulation itself is
+    /// allocation-free after warm-up).
+    pub fn derive_window_with(
+        &self,
+        scheduler: &str,
+        graph: &Graph,
+        t0: u64,
+        t1: u64,
+        scratch: &mut DeriveScratch,
+    ) -> ScheduleAnalysis {
+        let horizon = t1.saturating_sub(t0);
+        if t0.is_multiple_of(self.cycle) && horizon >= self.cycle {
+            if let Some(analysis) = self.derive_with(scheduler, graph, horizon, scratch) {
+                return analysis;
+            }
         }
-        let reps = horizon / self.cycle;
-        let tail = horizon % self.cycle;
-        let base = reps * self.cycle;
+        let (all_independent, total_happiness) = self.window_accums(t0, t1, scratch);
+        sweep::finalize_bank(
+            scheduler.to_string(),
+            horizon,
+            graph,
+            &mut scratch.bank,
+            all_independent,
+            total_happiness,
+            &mut scratch.cols,
+        )
+    }
 
-        let g = &mut scratch.bank;
-        replicate_global_into(g, &self.bank, reps, self.cycle);
+    /// The totals-only windowed fast path: whole-window aggregates of
+    /// `[t0, t1)`, skipping the per-node assembly entirely.  Total over all
+    /// windows and **zero heap allocations per call** after the first (the
+    /// steady-state serving shape; proved by `tests/zero_alloc.rs`).  Equal
+    /// to [`CycleProfile::derive_window`]`(..).totals()` by construction.
+    pub fn derive_window_totals(&self, t0: u64, t1: u64) -> AnalysisTotals {
+        with_derive_scratch(|scratch| self.derive_window_totals_with(t0, t1, scratch))
+    }
 
+    /// [`CycleProfile::derive_window_totals`] with caller-owned scratch.
+    pub fn derive_window_totals_with(
+        &self,
+        t0: u64,
+        t1: u64,
+        scratch: &mut DeriveScratch,
+    ) -> AnalysisTotals {
+        let horizon = t1.saturating_sub(t0);
+        if t0.is_multiple_of(self.cycle) && horizon >= self.cycle {
+            if let Some(totals) = self.derive_totals_with(horizon, scratch) {
+                return totals;
+            }
+        }
+        let (all_independent, total_happiness) = self.window_accums(t0, t1, scratch);
+        sweep::totals_from_bank(horizon, &scratch.bank, all_independent, total_happiness)
+    }
+
+    /// The start-offset fold — the windowed (and ragged-horizon) core:
+    /// fills `scratch.bank` with the merged global accumulator columns of
+    /// the window `[t0, t1)` and returns the scalar verdicts.
+    ///
+    /// With phase `a = t0 mod cycle` and length `L = t1 - t0`, the window
+    /// decomposes into at most three contiguous pieces, each expressed as a
+    /// segment bank and folded in window order through the exact column
+    /// merge ([`AccumBank::merge_from`]):
+    ///
+    /// 1. a ragged **head** `[a, a + head_len)` of the phase cycle
+    ///    (`head_len = min(cycle - a, L)` when `a > 0`), replayed from the
+    ///    stored attendance offsets rebased to window offset `o - a`;
+    /// 2. `(L - head_len) / cycle` phase-shifted **whole cycles**, folded
+    ///    analytically by [`replicate_segment_into`] (or, when the head is
+    ///    empty, [`replicate_global_into`] straight into place);
+    /// 3. a ragged **tail** of the remaining `(L - head_len) mod cycle`
+    ///    offsets, replayed like the head.
+    ///
+    /// Each piece is bitwise the summary a sequential record pass over its
+    /// offsets would produce, and the column merge is exact at any cut, so
+    /// the merged bank — and everything finalised from it — is
+    /// bitwise-identical to a sequential sweep restricted to the window.
+    /// The whole-window happiness folds exactly through the per-class size
+    /// prefix (saturating only near the `u64` boundary, like
+    /// [`CycleProfile::derive`]).
+    fn window_accums(&self, t0: u64, t1: u64, scratch: &mut DeriveScratch) -> (bool, u64) {
+        let n = self.node_count;
+        let cycle = self.cycle;
+        let len = t1.saturating_sub(t0);
+        let phase = t0 % cycle;
+        let head_len = if phase == 0 { 0 } else { (cycle - phase).min(len) };
+        let rem = len - head_len;
+        let reps = rem / cycle;
+        let tail = rem % cycle;
+
+        if head_len == 0 && reps > 0 {
+            // Cycle-aligned window start: fold the replicated cycles
+            // straight into place, exactly the classic derive prefix.
+            replicate_global_into(&mut scratch.bank, &self.bank, reps, cycle);
+        } else {
+            scratch.bank.reset(n);
+            if head_len > 0 {
+                // Ragged head: each node's attendances at cycle offsets in
+                // `[phase, phase + head_len)`, rebased to the window.  The
+                // merge into the empty global takes the take-first branch,
+                // accounting each lane's leading unhappy stretch.
+                let seg = &mut scratch.tail;
+                seg.reset(n);
+                for p in 0..n {
+                    let offs = self.attendance_offsets(p);
+                    let from = offs.partition_point(|&o| o < phase);
+                    for &o in &offs[from..] {
+                        if o >= phase + head_len {
+                            break;
+                        }
+                        seg.record(p, o - phase);
+                    }
+                }
+                scratch.bank.merge_from(seg, &mut scratch.cols);
+            }
+            if reps > 0 {
+                // Phase-shifted whole cycles behind the head, as one
+                // analytically replicated segment.
+                let seg = &mut scratch.tail;
+                replicate_segment_into(seg, &self.bank, reps, cycle, head_len);
+                scratch.bank.merge_from(seg, &mut scratch.cols);
+            }
+        }
         if tail > 0 {
-            // Segment bank of the ragged tail: each node's attendances at
-            // cycle offsets `< tail`, replayed from the stored offsets at
-            // absolute offsets starting at `base`, merged with the exact
-            // column rule.  A lane with tail attendance always has cycle
-            // attendance, so the merge never hits the take-first branch.
-            let tb = &mut scratch.tail;
-            tb.reset(self.node_count);
-            for p in 0..self.node_count {
+            // Ragged tail: cycle offsets `< tail`, replayed at absolute
+            // window offsets starting behind the last whole cycle.
+            let base = head_len + reps * cycle;
+            let seg = &mut scratch.tail;
+            seg.reset(n);
+            for p in 0..n {
                 for &o in self.attendance_offsets(p) {
                     if o >= tail {
                         break;
                     }
-                    tb.record(p, base + o);
+                    seg.record(p, base + o);
                 }
             }
-            g.merge_from(tb, &mut scratch.cols);
+            scratch.bank.merge_from(seg, &mut scratch.cols);
         }
 
-        // Per-node fields cannot overflow (each is bounded by the horizon),
-        // but the whole-schedule total is `n`-fold larger; saturate rather
-        // than wrap on horizons beyond ~10^16 (the sweep engines could never
-        // reach them to compare against anyway).
+        // Per-node fields cannot overflow (each is bounded by the window
+        // length), but the whole-window total is `n`-fold larger; saturate
+        // rather than wrap on windows beyond ~10^16 (the sweep engines
+        // could never reach them to compare against anyway).
+        let head_happiness =
+            self.size_prefix[(phase + head_len) as usize] - self.size_prefix[phase as usize];
         let total_happiness = reps
             .saturating_mul(self.happiness_per_cycle())
+            .saturating_add(head_happiness)
             .saturating_add(self.size_prefix[tail as usize]);
-        Some((self.all_independent, total_happiness))
+        (self.all_independent, total_happiness)
     }
 
     /// The whole-cycle full derivation: one fused pass reading the profile
@@ -480,11 +630,10 @@ impl CycleProfile {
     fn finalize_fused(&self, scheduler: &str, graph: &Graph, horizon: u64) -> ScheduleAnalysis {
         let n = self.node_count;
         let reps = horizon / self.cycle;
-        let shift = (reps - 1) * self.cycle;
         let src = LaneColumns::of(&self.bank, n);
         let per_node: Vec<super::NodeAnalysis> = (0..n)
             .map(|p| {
-                let lane = fold_lane(src.read(p), reps, self.cycle, shift);
+                let lane = fold_lane(src.read(p), reps, self.cycle);
                 let trailing = if lane.last == NONE { horizon } else { horizon - 1 - lane.last };
                 super::NodeAnalysis {
                     node: p,
@@ -525,13 +674,12 @@ impl CycleProfile {
     fn totals_fused(&self, horizon: u64) -> AnalysisTotals {
         let n = self.node_count;
         let reps = horizon / self.cycle;
-        let shift = (reps - 1) * self.cycle;
         let src = LaneColumns::of(&self.bank, n);
         let mut max_unhappiness = 0u64;
         let mut all_periodic = true;
         let mut never_happy = 0u64;
         for p in 0..n {
-            let lane = fold_lane(src.read(p), reps, self.cycle, shift);
+            let lane = fold_lane(src.read(p), reps, self.cycle);
             let trailing = if lane.last == NONE { horizon } else { horizon - 1 - lane.last };
             max_unhappiness = max_unhappiness.max(lane.max_streak.max(trailing));
             all_periodic &= lane.uniform && lane.first_gap != NONE;
@@ -625,27 +773,25 @@ impl FoldedLane {
     }
 }
 
-/// The closed-form lane fold: `merge_node(empty, replicate(a, reps, cycle))`
-/// as straight-line scalar arithmetic ([`replicate`] stays the executable
-/// specification the property tests compare against) — internal gaps repeat
-/// `reps` times, the `reps - 1` cycle boundaries each contribute the
-/// wrap-around gap `cycle - last + first`, and the leading unhappy stretch
-/// before the first attendance folds into the streak (the empty-global
-/// merge's take-first rule).  `shift` is the precomputed
-/// `(reps - 1) · cycle`.  Shared by the bank-materialising
-/// [`replicate_global_into`] and the fused whole-cycle derivations, so the
-/// two paths cannot drift.
+/// The closed-form **segment** replicate: `replicate(a, reps, cycle)` as
+/// straight-line scalar arithmetic over one lane ([`replicate`] stays the
+/// executable specification the property tests compare against) — internal
+/// gaps repeat `reps` times and the `reps - 1` cycle boundaries each
+/// contribute the wrap-around gap `cycle - last + first`.  The result is
+/// exactly the segment summary a sequential record pass over all
+/// `reps · count` attendance offsets would produce, so it composes through
+/// [`AccumBank::merge_from`] at any position of a longer horizon — the
+/// building block of the windowed derivation.
 #[inline]
-fn fold_lane(a: FoldedLane, reps: u64, cycle: u64, shift: u64) -> FoldedLane {
+fn replicate_lane(a: FoldedLane, reps: u64, cycle: u64) -> FoldedLane {
     if a.count == 0 {
         return FoldedLane::empty();
     }
     let wrap = cycle - a.last + a.first;
-    let streak = if reps > 1 { a.max_streak.max(wrap - 1) } else { a.max_streak };
     FoldedLane {
         count: reps * a.count,
         first: a.first,
-        last: shift + a.last,
+        last: (reps - 1) * cycle + a.last,
         gap_sum: reps * a.gap_sum + (reps - 1) * wrap,
         gap_count: reps * a.gap_count + (reps - 1),
         first_gap: if a.gap_count > 0 {
@@ -655,8 +801,60 @@ fn fold_lane(a: FoldedLane, reps: u64, cycle: u64, shift: u64) -> FoldedLane {
         } else {
             NONE
         },
-        max_streak: streak.max(a.first),
+        max_streak: if reps > 1 { a.max_streak.max(wrap - 1) } else { a.max_streak },
         uniform: a.uniform && (reps == 1 || a.gap_count == 0 || a.first_gap == wrap),
+    }
+}
+
+/// The closed-form **global** lane fold: `merge_node(empty, replicate(a))` —
+/// [`replicate_lane`] plus the empty-global merge's take-first rule (the
+/// leading unhappy stretch before the first attendance folds into the
+/// streak).  Shared by the bank-materialising [`replicate_global_into`] and
+/// the fused whole-cycle derivations, so the two paths cannot drift.
+#[inline]
+fn fold_lane(a: FoldedLane, reps: u64, cycle: u64) -> FoldedLane {
+    let mut lane = replicate_lane(a, reps, cycle);
+    if lane.count > 0 {
+        lane.max_streak = lane.max_streak.max(lane.first);
+    }
+    lane
+}
+
+/// Writes one scalar lane back to a bank's columns (the `uniform` bool
+/// re-encoded as the word mask).
+#[inline]
+fn store_lane(dst: &mut AccumBank, p: usize, lane: FoldedLane) {
+    dst.count[p] = lane.count;
+    dst.first[p] = lane.first;
+    dst.last[p] = lane.last;
+    dst.gap_sum[p] = lane.gap_sum;
+    dst.gap_count[p] = lane.gap_count;
+    dst.first_gap[p] = lane.first_gap;
+    dst.max_streak[p] = lane.max_streak;
+    dst.uniform[p] = if lane.uniform { sweep::UNIFORM } else { 0 };
+}
+
+/// Analytically replicates the one-cycle bank `src` over `reps ≥ 1`
+/// consecutive cycles and rebases the result `base` offsets later — a pure
+/// **segment** bank (no take-first fold), positioned at `[base,
+/// base + reps · cycle)` of a longer horizon.  Shifting a segment summary
+/// moves only its endpoints (`first`/`last`); every gap field is a
+/// difference of offsets and is translation-invariant, so the stored lane
+/// is exactly what recording `base + o` for every replicated offset `o`
+/// would produce.  The windowed derivation merges this behind the ragged
+/// head segment through the exact column rule.
+fn replicate_segment_into(dst: &mut AccumBank, src: &AccumBank, reps: u64, cycle: u64, base: u64) {
+    debug_assert!(reps >= 1);
+    let n = src.len();
+    dst.resize_lanes(n);
+    let cols = LaneColumns::of(src, n);
+    for p in 0..n {
+        let mut lane = replicate_lane(cols.read(p), reps, cycle);
+        if lane.count > 0 {
+            lane.first += base;
+            lane.last += base;
+        }
+        store_lane(dst, p, lane);
     }
 }
 
@@ -683,14 +881,13 @@ fn replicate_global_into(dst: &mut AccumBank, src: &AccumBank, reps: u64, cycle:
     debug_assert!(reps >= 1);
     let n = src.len();
     dst.resize_lanes(n);
-    let shift = (reps - 1) * cycle;
     let cols = LaneColumns::of(src, n);
     let (d_count, d_first, d_last) = (&mut dst.count[..n], &mut dst.first[..n], &mut dst.last[..n]);
     let (d_gsum, d_gcnt) = (&mut dst.gap_sum[..n], &mut dst.gap_count[..n]);
     let (d_fgap, d_streak, d_uni) =
         (&mut dst.first_gap[..n], &mut dst.max_streak[..n], &mut dst.uniform[..n]);
     for p in 0..n {
-        let lane = fold_lane(cols.read(p), reps, cycle, shift);
+        let lane = fold_lane(cols.read(p), reps, cycle);
         d_count[p] = lane.count;
         d_first[p] = lane.first;
         d_last[p] = lane.last;
@@ -848,6 +1045,91 @@ mod tests {
         assert!(profile.derive_totals(cycle - 1).is_none(), "derive_totals(cycle - 1)");
         assert!(profile.derive("x", &g, cycle).is_some(), "derive(cycle)");
         assert!(profile.derive_totals(cycle).is_some(), "derive_totals(cycle)");
+    }
+
+    #[test]
+    fn replicate_segment_into_matches_recording_every_rebased_offset() {
+        // The rebased replicate must equal recording `base + o` for every
+        // replicated offset — per lane, empty lanes included.
+        for reps in [1u64, 2, 3, 7] {
+            for base in [0u64, 1, 5, 64] {
+                let cycle = 16u64;
+                let mut bank = AccumBank::new(CASES.len());
+                let mut expected = Vec::new();
+                for (p, &(offsets, _)) in CASES.iter().enumerate() {
+                    offsets.iter().for_each(|&o| bank.record(p, o));
+                    let mut seq = NodeAccum::empty();
+                    for rep in 0..reps {
+                        for &o in offsets {
+                            seq.record(base + rep * cycle + o);
+                        }
+                    }
+                    expected.push(seq);
+                }
+                let mut dst = AccumBank::default();
+                replicate_segment_into(&mut dst, &bank, reps, cycle, base);
+                for (p, e) in expected.iter().enumerate() {
+                    assert_eq!(&dst.node(p), e, "reps {reps}, base {base}, lane {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derive_window_pins_the_degenerate_shapes() {
+        use crate::schedulers::PeriodicDegreeBound;
+        use crate::Scheduler;
+        use fhg_graph::generators::erdos_renyi;
+
+        let g = erdos_renyi(24, 0.15, 3);
+        let s = PeriodicDegreeBound::new(&g);
+        let view = s.residue_schedule().expect("perfectly periodic");
+        let checker = super::super::GraphChecker::new(&g);
+        let profile = CycleProfile::build(view, s.first_holiday(), g.node_count(), &checker);
+        let cycle = profile.cycle();
+        assert!(cycle > 1);
+
+        // derive_window(t, t) = the empty analysis, at any anchor.
+        for t in [0u64, 1, cycle - 1, cycle, 3 * cycle + 2] {
+            let empty = profile.derive_window("w", &g, t, t);
+            assert_eq!(empty.horizon, 0);
+            assert_eq!(empty.total_happiness, 0);
+            assert!(empty.per_node.iter().all(|n| n.happy_count == 0));
+            let totals = profile.derive_window_totals(t, t);
+            assert_eq!(totals, empty.totals(), "t = {t}");
+            // Inverted windows are zero-width too, never a panic.
+            let inverted = profile.derive_window_totals(t + 5, t);
+            assert_eq!(inverted, totals, "inverted at t = {t}");
+        }
+
+        // derive_window(0, h) = derive(h) wherever derive is defined...
+        for h in [cycle, cycle + 1, 3 * cycle - 1, 4 * cycle] {
+            let classic = profile.derive("w", &g, h).expect("h >= cycle");
+            let windowed = profile.derive_window("w", &g, 0, h);
+            assert_eq!(windowed.totals(), classic.totals(), "h = {h}");
+            assert_eq!(windowed.per_node.len(), classic.per_node.len());
+            for (a, b) in windowed.per_node.iter().zip(&classic.per_node) {
+                assert_eq!(a.happy_count, b.happy_count, "h = {h}, node {}", a.node);
+                assert_eq!(a.max_unhappiness, b.max_unhappiness, "h = {h}, node {}", a.node);
+                assert_eq!(a.first_happy, b.first_happy, "h = {h}, node {}", a.node);
+                assert_eq!(a.observed_period, b.observed_period, "h = {h}, node {}", a.node);
+                assert_eq!(a.mean_gap.to_bits(), b.mean_gap.to_bits(), "h = {h}, node {}", a.node);
+            }
+            assert_eq!(profile.derive_window_totals(0, h), classic.totals(), "totals h = {h}");
+        }
+
+        // ...and stays defined below the cycle, where derive refuses.
+        for h in [1u64, cycle / 2, cycle - 1] {
+            assert!(profile.derive("w", &g, h).is_none());
+            let windowed = profile.derive_window("w", &g, 0, h);
+            assert_eq!(windowed.horizon, h);
+            assert_eq!(
+                windowed.total_happiness,
+                profile.happiness_prefix(h),
+                "sub-cycle happiness folds through the size prefix (h = {h})"
+            );
+            assert_eq!(profile.derive_window_totals(0, h), windowed.totals(), "h = {h}");
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod gathering;
 pub mod lower_bound;
 pub mod scheduler;
 pub mod schedulers;
+pub mod serving;
 
 pub use analysis::{
     analyze_schedule, analyze_schedule_reference, analyze_schedule_totals,
@@ -44,6 +45,7 @@ pub use analysis::{
 };
 pub use gathering::{orientation_from_happy_set, Gathering};
 pub use scheduler::Scheduler;
+pub use serving::{ProfileService, Query, QueryError, RegisterError, WindowAnalysis, WindowTotals};
 
 /// The zero-allocation per-holiday buffer filled by
 /// [`Scheduler::fill_happy_set`] (defined in [`fhg_graph::happy_set`] so the

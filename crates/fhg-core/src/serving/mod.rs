@@ -1,0 +1,585 @@
+//! The profile-serving tier: cached closed-form profiles answering windowed
+//! queries for many tenants, built for a long-lived process.
+//!
+//! [`ProfileService`] fronts the closed-form analytics of
+//! [`CycleProfile`](crate::analysis::CycleProfile) with the three things a
+//! server needs that a batch binary does not:
+//!
+//! * **A schedule-hash-keyed profile cache.**  Every registered tenant maps
+//!   to a 64-bit content key — FNV-1a over the conflict graph's adjacency
+//!   and the residue schedule's `(slot, modulus)` assignment plus the first
+//!   holiday — and profiles are cached **per key, not per tenant**: tenants
+//!   submitting an identical (graph, schedule) pair share one immutable
+//!   profile build.  The key is returned by [`ProfileService::register`] so
+//!   callers can correlate invalidations.
+//! * **An explicit invalidation contract.**  Nothing expires implicitly: a
+//!   cached profile is dropped only by [`ProfileService::invalidate`] (or
+//!   [`invalidate_all`](ProfileService::invalidate_all)), which evicts the
+//!   *schedule key* — every tenant sharing it goes cold together — and by
+//!   re-[`register`](ProfileService::register)ing a tenant whose schedule
+//!   content changed (the hash no longer matches, so the tenant rebinds to
+//!   a fresh key; the old key is dropped when its last tenant leaves).
+//!   Cold keys rebuild on the next [`build_pending`](ProfileService::build_pending).
+//! * **Total, typed request handling.**  Registration validates *before*
+//!   building — a non-periodic scheduler, an over-budget cycle or an
+//!   over-budget attendance volume is a [`RegisterError`], never an unwrap
+//!   crash or a budget assert — and queries return [`QueryError`] for
+//!   unknown tenants or cold profiles.  The window fold itself is total:
+//!   zero-width, inverted and sub-cycle windows all take defined paths
+//!   (see [`CycleProfile::derive_window`](crate::analysis::CycleProfile::derive_window)).
+//!
+//! # Batch front and sharding
+//!
+//! [`ProfileService::build_pending`] builds every cold profile, sharded
+//! across the persistent worker pool — one worker per profile, and each
+//! build's internal cycle walk shards further (the pool's caller always
+//! participates in a batch, so the nesting cannot deadlock).
+//! [`ProfileService::query_batch`] / [`query_batch_full`](ProfileService::query_batch_full)
+//! answer a request slice in parallel the same way; each worker reuses its
+//! thread-local derivation scratch, so steady-state totals queries perform
+//! **zero heap allocations** per request (proved by `tests/zero_alloc.rs`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fhg_graph::Graph;
+use rayon::prelude::*;
+
+use crate::analysis::{AnalysisTotals, CycleProfile, GraphChecker, ScheduleAnalysis};
+use crate::scheduler::Scheduler;
+use crate::schedulers::residue::ResidueSchedule;
+
+/// Why a scheduler could not be registered: the service refuses, with a
+/// typed error, every input the closed-form profile cannot represent —
+/// the preconditions that used to be unwraps and asserts deep in the
+/// analysis engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The scheduler exposes no perfectly periodic residue view
+    /// ([`Scheduler::residue_schedule`] returned `None`), so no cycle
+    /// profile exists to build.  Analyze it with the sweep engines instead
+    /// ([`crate::analysis::analyze_schedule`]).
+    NotPeriodic {
+        /// The offending scheduler's [`Scheduler::name`].
+        scheduler: String,
+    },
+    /// The schedule's cycle (possibly a saturated lcm) exceeds the profile
+    /// budget [`CycleProfile::MAX_CYCLE`].
+    CycleTooLong {
+        /// The schedule's cycle length.
+        cycle: u64,
+        /// The budget it exceeded.
+        max: u64,
+    },
+    /// The per-cycle attendance volume exceeds the profile memory budget
+    /// [`CycleProfile::MAX_EVENTS`].
+    AttendanceTooHeavy {
+        /// The schedule's total attendance per cycle.
+        attendance: u64,
+        /// The budget it exceeded.
+        max: u64,
+    },
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::NotPeriodic { scheduler } => {
+                write!(f, "scheduler {scheduler:?} exposes no periodic residue view")
+            }
+            RegisterError::CycleTooLong { cycle, max } => {
+                write!(f, "cycle {cycle} exceeds the profile budget {max}")
+            }
+            RegisterError::AttendanceTooHeavy { attendance, max } => {
+                write!(f, "attendance {attendance} per cycle exceeds the profile budget {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// No tenant with this id is registered.
+    UnknownTenant(u64),
+    /// The tenant is registered but its profile is cold (never built, or
+    /// explicitly invalidated); call
+    /// [`ProfileService::build_pending`] first.
+    ProfileNotBuilt(u64),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownTenant(t) => write!(f, "tenant {t} is not registered"),
+            QueryError::ProfileNotBuilt(t) => {
+                write!(f, "tenant {t}'s profile is cold; run build_pending first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One windowed request: analyze tenant `tenant` over the holiday window
+/// `[window.0, window.1)` (offsets relative to the schedule's first
+/// holiday; `window.1 <= window.0` is the empty window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// The tenant whose schedule to analyze.
+    pub tenant: u64,
+    /// The half-open window `[t0, t1)`.
+    pub window: (u64, u64),
+}
+
+/// A totals-only windowed response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowTotals {
+    /// The originating request's tenant.
+    pub tenant: u64,
+    /// The originating request's window.
+    pub window: (u64, u64),
+    /// The whole-window aggregates.
+    pub totals: AnalysisTotals,
+}
+
+/// A full per-node windowed response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAnalysis {
+    /// The originating request's tenant.
+    pub tenant: u64,
+    /// The originating request's window.
+    pub window: (u64, u64),
+    /// The per-node analysis of the window.
+    pub analysis: ScheduleAnalysis,
+}
+
+/// One cached (graph, schedule) pair and its profile, shared by every
+/// tenant whose content hashes to the same key.
+struct ProfileSlot {
+    graph: Graph,
+    view: ResidueSchedule,
+    start: u64,
+    name: String,
+    /// `None` while cold (pending first build, or invalidated).
+    profile: Option<CycleProfile>,
+    /// How many registered tenants point at this slot.
+    refs: usize,
+}
+
+/// The multi-tenant profile cache and batch query front — see the module
+/// docs for the cache keying and invalidation contract.
+#[derive(Default)]
+pub struct ProfileService {
+    /// tenant id → schedule key.
+    tenants: HashMap<u64, u64>,
+    /// schedule key → cached slot.
+    slots: HashMap<u64, ProfileSlot>,
+}
+
+impl ProfileService {
+    /// An empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers) tenant `tenant` with its conflict graph
+    /// and scheduler, returning the schedule key the tenant was bound to.
+    /// Validates every profile precondition up front — periodicity, the
+    /// cycle budget, the attendance budget — and returns a typed
+    /// [`RegisterError`] instead of crashing later.  The profile itself is
+    /// *not* built here: registration marks the key pending and
+    /// [`ProfileService::build_pending`] builds all pending keys sharded
+    /// across the worker pool.  Re-registering a tenant whose content
+    /// changed rebinds it (the old key is dropped with its last tenant);
+    /// re-registering identical content is a no-op that keeps any warm
+    /// profile.
+    pub fn register<S: Scheduler + ?Sized>(
+        &mut self,
+        tenant: u64,
+        graph: &Graph,
+        scheduler: &S,
+    ) -> Result<u64, RegisterError> {
+        let Some(view) = scheduler.residue_schedule() else {
+            return Err(RegisterError::NotPeriodic { scheduler: scheduler.name().to_string() });
+        };
+        let cycle = view.cycle();
+        if cycle > CycleProfile::MAX_CYCLE {
+            return Err(RegisterError::CycleTooLong { cycle, max: CycleProfile::MAX_CYCLE });
+        }
+        let attendance = view.attendance_per_cycle();
+        if attendance > CycleProfile::MAX_EVENTS {
+            return Err(RegisterError::AttendanceTooHeavy {
+                attendance,
+                max: CycleProfile::MAX_EVENTS,
+            });
+        }
+        let start = scheduler.first_holiday();
+        let key = schedule_key(graph, view, start);
+        match self.tenants.get(&tenant) {
+            Some(&old) if old == key => return Ok(key),
+            Some(&old) => self.release_key(old),
+            None => {}
+        }
+        self.tenants.insert(tenant, key);
+        self.slots.entry(key).and_modify(|slot| slot.refs += 1).or_insert_with(|| ProfileSlot {
+            graph: graph.clone(),
+            view: view.clone(),
+            start,
+            name: scheduler.name().to_string(),
+            profile: None,
+            refs: 1,
+        });
+        Ok(key)
+    }
+
+    /// Unregisters a tenant; its schedule key (and cached profile) is
+    /// dropped when the last tenant sharing it leaves.  Returns whether the
+    /// tenant was registered.
+    pub fn remove(&mut self, tenant: u64) -> bool {
+        match self.tenants.remove(&tenant) {
+            Some(key) => {
+                self.release_key(key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn release_key(&mut self, key: u64) {
+        if let Some(slot) = self.slots.get_mut(&key) {
+            slot.refs -= 1;
+            if slot.refs == 0 {
+                self.slots.remove(&key);
+            }
+        }
+    }
+
+    /// Explicitly invalidates a tenant's cached profile — the *schedule
+    /// key* goes cold, so every tenant sharing it rebuilds on the next
+    /// [`ProfileService::build_pending`].  Returns whether a warm profile
+    /// was actually dropped.
+    pub fn invalidate(&mut self, tenant: u64) -> bool {
+        let Some(&key) = self.tenants.get(&tenant) else {
+            return false;
+        };
+        match self.slots.get_mut(&key) {
+            Some(slot) => slot.profile.take().is_some(),
+            None => false,
+        }
+    }
+
+    /// Drops every cached profile (registrations stay).
+    pub fn invalidate_all(&mut self) {
+        for slot in self.slots.values_mut() {
+            slot.profile = None;
+        }
+    }
+
+    /// Builds every cold profile, sharded across the persistent worker
+    /// pool (each build's internal cycle walk shards further — the nesting
+    /// is deadlock-free because the pool's caller always participates).
+    /// Returns how many profiles were built.  Idempotent: warm profiles
+    /// are untouched, so the service stays bitwise-stable across calls.
+    pub fn build_pending(&mut self) -> usize {
+        let pending: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, slot)| slot.profile.is_none())
+            .map(|(&key, _)| key)
+            .collect();
+        let mut building: Vec<(u64, ProfileSlot)> = pending
+            .into_iter()
+            .map(|key| {
+                let slot = self.slots.remove(&key).expect("pending key was just enumerated");
+                (key, slot)
+            })
+            .collect();
+        building.par_iter_mut().for_each(|(_, slot)| {
+            let checker = GraphChecker::new(&slot.graph);
+            slot.profile = Some(CycleProfile::build(
+                &slot.view,
+                slot.start,
+                slot.graph.node_count(),
+                &checker,
+            ));
+        });
+        let built = building.len();
+        for (key, slot) in building {
+            self.slots.insert(key, slot);
+        }
+        built
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Number of distinct schedule keys currently cached (warm or cold).
+    pub fn key_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of warm (built) profiles.
+    pub fn warm_count(&self) -> usize {
+        self.slots.values().filter(|slot| slot.profile.is_some()).count()
+    }
+
+    /// The warm profile serving `tenant`, if any.
+    pub fn profile(&self, tenant: u64) -> Option<&CycleProfile> {
+        let key = self.tenants.get(&tenant)?;
+        self.slots.get(key)?.profile.as_ref()
+    }
+
+    fn slot_of(&self, tenant: u64) -> Result<(&ProfileSlot, &CycleProfile), QueryError> {
+        let key = self.tenants.get(&tenant).ok_or(QueryError::UnknownTenant(tenant))?;
+        let slot = self.slots.get(key).ok_or(QueryError::UnknownTenant(tenant))?;
+        let profile = slot.profile.as_ref().ok_or(QueryError::ProfileNotBuilt(tenant))?;
+        Ok((slot, profile))
+    }
+
+    /// Answers one totals-only windowed query — the hot serving shape:
+    /// after warm-up this performs zero heap allocations (thread-local
+    /// derivation scratch; proved by `tests/zero_alloc.rs`).
+    pub fn query_totals(
+        &self,
+        tenant: u64,
+        t0: u64,
+        t1: u64,
+    ) -> Result<AnalysisTotals, QueryError> {
+        let (_, profile) = self.slot_of(tenant)?;
+        Ok(profile.derive_window_totals(t0, t1))
+    }
+
+    /// Answers one full per-node windowed query (the output allocation is
+    /// proportional to the node count, never the window length).
+    pub fn query(&self, tenant: u64, t0: u64, t1: u64) -> Result<ScheduleAnalysis, QueryError> {
+        let (slot, profile) = self.slot_of(tenant)?;
+        Ok(profile.derive_window(&slot.name, &slot.graph, t0, t1))
+    }
+
+    /// The batch front, totals flavor: answers every request, sharded
+    /// across the worker pool, results in request order.  Individual
+    /// failures (unknown tenant, cold profile) fail their own slot only.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<WindowTotals, QueryError>> {
+        queries
+            .par_iter()
+            .map(|q| {
+                self.query_totals(q.tenant, q.window.0, q.window.1).map(|totals| WindowTotals {
+                    tenant: q.tenant,
+                    window: q.window,
+                    totals,
+                })
+            })
+            .collect()
+    }
+
+    /// The batch front, full-analysis flavor.
+    pub fn query_batch_full(&self, queries: &[Query]) -> Vec<Result<WindowAnalysis, QueryError>> {
+        queries
+            .par_iter()
+            .map(|q| {
+                self.query(q.tenant, q.window.0, q.window.1).map(|analysis| WindowAnalysis {
+                    tenant: q.tenant,
+                    window: q.window,
+                    analysis,
+                })
+            })
+            .collect()
+    }
+}
+
+/// 64-bit FNV-1a accumulator for the schedule content key.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn put(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The schedule content key: FNV-1a over the residue assignment
+/// (`(slot, modulus)` per node, plus the first holiday) *and* the conflict
+/// graph's adjacency — two tenants share a profile only when both the
+/// schedule and the graph match, because the independence verdict baked
+/// into a profile depends on the graph.
+fn schedule_key(graph: &Graph, view: &ResidueSchedule, start: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.put(start);
+    h.put(view.node_count() as u64);
+    for p in 0..view.node_count() {
+        h.put(view.slot(p));
+        h.put(view.modulus(p));
+    }
+    h.put(graph.node_count() as u64);
+    for u in graph.nodes() {
+        let row = graph.neighbors(u);
+        h.put(row.len() as u64);
+        for &v in row {
+            h.put(v as u64);
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_schedule_reference;
+    use crate::schedulers::{FirstComeFirstGrab, PeriodicDegreeBound};
+    use fhg_graph::generators::erdos_renyi;
+
+    #[test]
+    fn non_periodic_schedulers_are_a_typed_error_not_a_crash() {
+        let g = erdos_renyi(16, 0.2, 7);
+        let mut service = ProfileService::new();
+        let dynamic = FirstComeFirstGrab::new(&g, 42);
+        let err = service.register(1, &g, &dynamic).unwrap_err();
+        assert!(matches!(err, RegisterError::NotPeriodic { .. }), "{err}");
+        assert_eq!(service.tenant_count(), 0, "failed registrations leave no residue");
+    }
+
+    #[test]
+    fn over_budget_cycles_are_rejected_up_front() {
+        // Huge coprime moduli: the lcm saturates far past MAX_CYCLE.
+        let g = Graph::new(3);
+        let view = ResidueSchedule::scan_only(
+            vec![0, 1, 2],
+            vec![(1 << 21) + 1, (1 << 21) - 1, (1 << 20) + 3],
+        );
+        struct Fixed(ResidueSchedule);
+        impl Scheduler for Fixed {
+            fn node_count(&self) -> usize {
+                self.0.node_count()
+            }
+            fn fill_happy_set(&mut self, t: u64, out: &mut crate::HappySet) {
+                self.0.fill(t, out);
+            }
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn is_periodic(&self) -> bool {
+                true
+            }
+            fn period(&self, p: fhg_graph::NodeId) -> Option<u64> {
+                Some(self.0.modulus(p))
+            }
+            fn unhappiness_bound(&self, _p: fhg_graph::NodeId) -> Option<u64> {
+                None
+            }
+            fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+                Some(&self.0)
+            }
+        }
+        let mut service = ProfileService::new();
+        let err = service.register(9, &g, &Fixed(view)).unwrap_err();
+        assert!(matches!(err, RegisterError::CycleTooLong { .. }), "{err}");
+    }
+
+    #[test]
+    fn identical_content_shares_one_profile_and_invalidation_is_explicit() {
+        let g = erdos_renyi(24, 0.15, 3);
+        let s = PeriodicDegreeBound::new(&g);
+        let mut service = ProfileService::new();
+        let k1 = service.register(1, &g, &s).unwrap();
+        let k2 = service.register(2, &g, &s).unwrap();
+        assert_eq!(k1, k2, "identical content hashes to one key");
+        assert_eq!(service.key_count(), 1);
+        assert_eq!(service.tenant_count(), 2);
+
+        assert_eq!(service.query_totals(1, 0, 10), Err(QueryError::ProfileNotBuilt(1)));
+        assert_eq!(service.build_pending(), 1, "one shared build for both tenants");
+        assert_eq!(service.build_pending(), 0, "idempotent");
+        assert_eq!(service.warm_count(), 1);
+
+        let a = service.query_totals(1, 3, 40).unwrap();
+        let b = service.query_totals(2, 3, 40).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(service.query_totals(3, 0, 10), Err(QueryError::UnknownTenant(3)));
+
+        assert!(service.invalidate(1), "warm profile dropped");
+        assert!(!service.invalidate(1), "already cold");
+        assert_eq!(service.query_totals(2, 3, 40), Err(QueryError::ProfileNotBuilt(2)));
+        assert_eq!(service.build_pending(), 1);
+        assert_eq!(service.query_totals(2, 3, 40).unwrap(), a, "rebuild is bitwise-stable");
+
+        assert!(service.remove(1));
+        assert_eq!(service.key_count(), 1, "tenant 2 still holds the key");
+        assert!(service.remove(2));
+        assert_eq!(service.key_count(), 0, "last tenant drops the slot");
+    }
+
+    #[test]
+    fn served_windows_match_the_reference_sweep() {
+        let g = erdos_renyi(32, 0.12, 5);
+        let s = PeriodicDegreeBound::new(&g);
+        let mut service = ProfileService::new();
+        service.register(7, &g, &s).unwrap();
+        service.build_pending();
+        let cycle = service.profile(7).unwrap().cycle();
+
+        // Reference over [0, t1): the sweep from the schedule itself.
+        let t1 = 2 * cycle + 3;
+        let mut fresh = PeriodicDegreeBound::new(&g);
+        let reference = analyze_schedule_reference(&g, &mut fresh, t1);
+        let served = service.query(7, 0, t1).unwrap();
+        assert_eq!(served.totals(), reference.totals());
+
+        // The batch front agrees with the single-query path, slot by slot.
+        let queries: Vec<Query> = (0..20)
+            .map(|i| Query { tenant: 7, window: (i * 3, i * 3 + 1 + i % (2 * cycle)) })
+            .chain([Query { tenant: 99, window: (0, 5) }])
+            .collect();
+        let batch = service.query_batch(&queries);
+        for (q, r) in queries.iter().zip(&batch) {
+            match r {
+                Ok(w) => {
+                    assert_eq!(w.tenant, q.tenant);
+                    assert_eq!(
+                        w.totals,
+                        service.query_totals(q.tenant, q.window.0, q.window.1).unwrap()
+                    );
+                }
+                Err(e) => assert_eq!(*e, QueryError::UnknownTenant(99)),
+            }
+        }
+        let full = service.query_batch_full(&queries[..4]);
+        for (q, r) in queries.iter().zip(&full) {
+            let w = r.as_ref().unwrap();
+            assert_eq!(
+                w.analysis.totals(),
+                service.query_totals(q.tenant, q.window.0, q.window.1).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_key_separates_graph_and_schedule_content() {
+        let g1 = erdos_renyi(24, 0.15, 3);
+        let mut g2 = g1.clone();
+        // Flip one edge: same schedule, different graph, different key.
+        let (u, v) = (0, 1);
+        if g2.has_edge(u, v) {
+            g2.remove_edge(u, v).unwrap();
+        } else {
+            g2.add_edge(u, v).unwrap();
+        }
+        let s1 = PeriodicDegreeBound::new(&g1);
+        let view = s1.residue_schedule().unwrap();
+        let k_same = schedule_key(&g1, view, 1);
+        assert_eq!(k_same, schedule_key(&g1, view, 1), "deterministic");
+        assert_ne!(k_same, schedule_key(&g2, view, 1), "graph content is part of the key");
+        assert_ne!(k_same, schedule_key(&g1, view, 2), "the first holiday is part of the key");
+    }
+}

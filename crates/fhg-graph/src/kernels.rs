@@ -185,10 +185,10 @@ impl KernelMode {
     /// process and cached in a `OnceLock`: the `FHG_KERNEL` override
     /// (`portable` | `wide` | `wide512`) when set, otherwise the widest
     /// supported mode — so the per-call cost is one atomic load, never a
-    /// feature re-detection or an environment read.
-    ///
-    /// # Panics
-    /// Panics if `FHG_KERNEL` is set to an unrecognised value.
+    /// feature re-detection or an environment read.  An unrecognised
+    /// override is not fatal: it logs one warning to stderr and falls back
+    /// to auto-detection (a long-lived serving process must not be killable
+    /// by a typo in its environment).
     pub fn active() -> KernelMode {
         static MODE: OnceLock<KernelMode> = OnceLock::new();
         *MODE.get_or_init(|| Self::from_env(std::env::var("FHG_KERNEL").ok().as_deref()))
@@ -220,10 +220,11 @@ impl KernelMode {
             }
             Some("wide512") => auto,
             Some(other) => {
-                panic!(
-                    "FHG_KERNEL={other:?} is not a kernel mode \
-                     (use \"portable\", \"wide\" or \"wide512\")"
-                )
+                eprintln!(
+                    "warning: FHG_KERNEL={other:?} is not a kernel mode \
+                     (use \"portable\", \"wide\" or \"wide512\"); auto-detecting"
+                );
+                auto
             }
         }
     }
@@ -1964,9 +1965,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a kernel mode")]
-    fn from_env_rejects_unknown_values() {
-        KernelMode::from_env(Some("avx512"));
+    fn from_env_falls_back_to_auto_on_unknown_values() {
+        // A typo in the environment must never kill a serving process: the
+        // unrecognised override warns and auto-detects.
+        let auto = KernelMode::from_env(None);
+        assert_eq!(KernelMode::from_env(Some("avx512")), auto);
+        assert_eq!(KernelMode::from_env(Some("WIDE")), auto, "overrides are case-sensitive");
     }
 
     #[test]

@@ -276,6 +276,45 @@ fn fill_happy_set_allocates_nothing_after_warmup() {
             derive_deltas.windows(2).all(|w| w[0] == w[1]),
             "full derive allocations grew with the horizon ({derive_deltas:?})"
         );
+
+        // The windowed fold (PR 7): steady-state cached queries over
+        // arbitrary `[t0, t1)` windows — ragged head, phase-shifted whole
+        // cycles, ragged tail — must also be allocation-free in the
+        // totals-only path, and the full windowed derive must allocate
+        // independently of both window width and phase.
+        let windows = [
+            (0, 64 * cycle),
+            (1, 64 * cycle),
+            (cycle - 1, 64 * cycle + 1),
+            (3, 3 + cycle / 2),
+            (2 * cycle + 5, 66 * cycle + 7),
+            (7, 7),
+        ];
+        // Warm-up: one ragged windowed fold sizes the segment bank.
+        let _ = profile.derive_window_totals_with(1, 8 * cycle + 3, &mut scratch);
+        let delta = min_alloc_delta(|| {
+            for &(t0, t1) in &windows {
+                let _ = profile.derive_window_totals_with(t0, t1, &mut scratch);
+            }
+        });
+        assert_eq!(
+            delta, 0,
+            "windowed totals derivation allocated {delta} times after warm-up \
+             (the serving tier's steady state must reuse the caller's scratch)"
+        );
+
+        let mut window_deltas = Vec::new();
+        for &(t0, t1) in &[(1, 4 * cycle), (cycle + 3, 64 * cycle + 1), (5, 1024 * cycle + 2)] {
+            let _ = profile.derive_window_with("warm", &graph, t0, t1, &mut scratch);
+            window_deltas.push(min_alloc_delta(|| {
+                let analysis = profile.derive_window_with("window", &graph, t0, t1, &mut scratch);
+                assert!(analysis.total_happiness > 0);
+            }));
+        }
+        assert!(
+            window_deltas.windows(2).all(|w| w[0] == w[1]),
+            "windowed derive allocations grew with the window ({window_deltas:?})"
+        );
     }
 
     // The sub-cycle sharded sweep (horizon < cycle forces the sweep engine):
