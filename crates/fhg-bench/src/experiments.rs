@@ -1,4 +1,4 @@
-//! The E1–E16 experiment implementations (see `DESIGN.md` §5 and
+//! The E1–E17 experiment implementations (see `DESIGN.md` §5 and
 //! `EXPERIMENTS.md`).
 //!
 //! Every experiment uses fixed seeds, so the tables in `EXPERIMENTS.md` are
@@ -32,12 +32,12 @@ use fhg_radio::{evaluate_tdma, RadioNetwork};
 use crate::table::Table;
 
 /// The experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 16] = [
+pub const EXPERIMENT_IDS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
-/// Sizing knobs for the analysis-engine experiments (`e11`–`e16`).
+/// Sizing knobs for the analysis-engine experiments (`e11`–`e17`).
 #[derive(Debug, Clone)]
 pub struct AnalysisBenchConfig {
     /// Nodes of the Erdős–Rényi conflict graph.
@@ -63,6 +63,9 @@ pub struct AnalysisBenchConfig {
     pub serve_tenants: usize,
     /// Windowed queries the `e16` load generator issues per measured path.
     pub serve_queries: usize,
+    /// Edge events the `e17` churn stream pushes through the incremental
+    /// repair plane.
+    pub churn_events: usize,
 }
 
 impl AnalysisBenchConfig {
@@ -82,6 +85,7 @@ impl AnalysisBenchConfig {
             reps: 5,
             serve_tenants: 1024,
             serve_queries: 200_000,
+            churn_events: 512,
         }
     }
 
@@ -99,6 +103,7 @@ impl AnalysisBenchConfig {
             reps: 3,
             serve_tenants: 1024,
             serve_queries: 20_000,
+            churn_events: 128,
         }
     }
 
@@ -187,6 +192,7 @@ pub fn run_experiment_collecting(
         "e14" => e14_soa_derive_and_parallel_build_with(cfg),
         "e15" => e15_verification_throughput_with(cfg),
         "e16" => e16_windowed_serving_with(cfg),
+        "e17" => e17_incremental_repair_with(cfg),
         other => panic!("unknown experiment id {other:?}; valid ids: {EXPERIMENT_IDS:?}"),
     }
 }
@@ -524,8 +530,8 @@ pub fn e8_dynamic_recovery() -> Vec<Table> {
         let mut max_period = 0u64;
         let mut max_bound = 0u64;
         for event in events {
-            let repaired = scheduler.apply_event(event).expect("valid churn");
-            for p in repaired {
+            let repair = scheduler.apply_event(event).expect("valid churn");
+            for p in repair.recolored() {
                 repairs += 1;
                 max_period = max_period.max(scheduler.current_period(p));
                 max_bound = max_bound.max(scheduler.recovery_bound(p));
@@ -2054,6 +2060,198 @@ pub fn e16_windowed_serving_with(cfg: &AnalysisBenchConfig) -> (Vec<Table>, Vec<
         speedup: batch_qps,
     });
 
+    // --- Cache observability: every query above resolved a registered
+    // tenant's warm profile, so the counters must show pure hits. ---
+    let stats = service.stats();
+    assert_eq!(stats.misses, 0, "the e16 mix only queries registered tenants");
+    assert_eq!(stats.rebuilds, built as u64, "one build per cold key, no fallbacks");
+    table.push(&[
+        "cache counters".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "hits={} misses={} patches={} rebuilds={} evictions={}",
+            stats.hits, stats.misses, stats.patches, stats.rebuilds, stats.evictions
+        ),
+    ]);
+
+    (vec![table], entries)
+}
+
+/// E17 — incremental profile repair under dynamic edge events: one
+/// [`DynamicColorBound`] tenant on the `e12` conflict graph is cached by
+/// the serving tier, then a fixed LCG stream of edge events (delete when
+/// the drawn edge exists, insert otherwise) flows through
+/// `DynamicColorBound::apply_event` and `ProfileService::patch`, which
+/// repairs only the touched lanes of the cached closed form.  The table
+/// compares the median per-event repair against the full
+/// `CycleProfile::build` each event would otherwise force, reports the
+/// service cache counters, and hard-asserts the churned profile is
+/// content-identical (hence every derived analysis is bitwise-identical)
+/// to rebuild-from-scratch oracles on 1-, 2- and 8-thread pools.
+/// Acceptance: median repair >= 25x cheaper than a full build (the
+/// `criterion` column).
+pub fn e17_incremental_repair_with(cfg: &AnalysisBenchConfig) -> (Vec<Table>, Vec<BenchEntry>) {
+    use fhg_core::serving::{PatchOutcome, ProfileService};
+    use fhg_graph::{EdgeEvent, EdgeEventKind};
+
+    let graph = generators::erdos_renyi(cfg.nodes, cfg.edge_prob, cfg.seed);
+    let mut sched = DynamicColorBound::new(&graph);
+    let n = graph.node_count();
+
+    let mut service = ProfileService::new();
+    service.register(0, sched.graph(), &sched).expect("the dynamic tenant registers cleanly");
+    assert_eq!(service.build_pending(), 1, "exactly one cold profile to build");
+
+    // --- Full-rebuild baseline on the initial graph: what every edge
+    // event would cost without the patch plane. ---
+    let full_ms = {
+        let view = sched.residue_schedule().expect("colour-bound schedules are periodic");
+        let checker = GraphChecker::new(sched.graph());
+        let mut profile = CycleProfile::build(view, sched.first_holiday(), n, &checker);
+        let ms = median_ms(cfg.reps, || {
+            profile = CycleProfile::build(view, sched.first_holiday(), n, &checker);
+        });
+        assert!(profile.all_classes_independent(), "the colour bound keeps gatherings independent");
+        ms
+    };
+
+    // --- The churn stream: LCG-drawn endpoints; delete when the edge is
+    // present, insert otherwise, so the graph hovers around its seeded
+    // density while the cached profile is patched event by event. ---
+    let mut state = 0x000E_17C0_FFEE_u64 ^ cfg.seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let events = cfg.churn_events;
+    let mut per_event_ns: Vec<u64> = Vec::with_capacity(events);
+    let (mut patched, mut fell_back) = (0usize, 0usize);
+    for holiday in 0..events as u64 {
+        let u = (next() % n as u64) as usize;
+        let v = loop {
+            let v = (next() % n as u64) as usize;
+            if v != u {
+                break v;
+            }
+        };
+        let kind = if sched.graph().has_edge(u, v) {
+            EdgeEventKind::Delete
+        } else {
+            EdgeEventKind::Insert
+        };
+        let repair = sched
+            .apply_event(EdgeEvent { kind, u, v, holiday })
+            .expect("drawn endpoints are in range and distinct");
+        let t = Instant::now();
+        let outcome = service.patch(0, &repair).expect("tenant 0 stays registered");
+        per_event_ns.push(t.elapsed().as_nanos() as u64);
+        match outcome {
+            PatchOutcome::Patched(_) => patched += 1,
+            PatchOutcome::Rebuilt => fell_back += 1,
+            PatchOutcome::Cold => unreachable!("the tenant was built before the stream"),
+        }
+    }
+    per_event_ns.sort_unstable();
+    let patch_ms = per_event_ns[per_event_ns.len() / 2] as f64 / 1e6;
+    let speedup = full_ms / patch_ms;
+
+    // --- Parity: the served, event-patched profile must be
+    // content-identical to a rebuild-from-scratch oracle of the final
+    // schedule at every pool width. ---
+    let served = service.profile(0).expect("the tenant stays warm through the stream");
+    let view = sched.residue_schedule().expect("still perfectly periodic after churn");
+    let checker = GraphChecker::new(sched.graph());
+    let mut parity_rows = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let t0 = Instant::now();
+        let oracle = pool.install(|| CycleProfile::build(view, sched.first_holiday(), n, &checker));
+        let oracle_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            served.content_eq(&oracle),
+            "patched profile diverged from the {threads}-thread rebuild oracle"
+        );
+        parity_rows.push((threads, oracle_ms));
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.patches as usize, patched, "every in-place repair is counted");
+    assert_eq!(stats.rebuilds as usize, fell_back + 1, "cold build plus every fallback");
+
+    let mut table = Table::new(
+        format!(
+            "E17 — incremental repair under edge churn on erdos_renyi({}, {}): {events} LCG \
+             events, {patched} patched in place / {fell_back} fell back to rebuild (rebuild \
+             medians of {})",
+            cfg.nodes, cfg.edge_prob, cfg.reps
+        ),
+        &["path", "threads", "median ms", "vs full rebuild", "criterion"],
+    );
+    table.push(&[
+        "full rebuild (per-event baseline)".into(),
+        "1".into(),
+        format!("{full_ms:.3}"),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+    table.push(&[
+        "service patch (in-place repair)".into(),
+        "1".into(),
+        format!("{patch_ms:.4}"),
+        format!("{speedup:.1}x"),
+        format!(">=25x vs rebuild: {}", speedup >= 25.0),
+    ]);
+    for &(threads, oracle_ms) in &parity_rows {
+        table.push(&[
+            format!("rebuild-from-scratch oracle ({threads} threads)"),
+            threads.to_string(),
+            format!("{oracle_ms:.3}"),
+            "-".into(),
+            "content parity with patched profile: true".into(),
+        ]);
+    }
+    table.push(&[
+        "cache counters".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "hits={} misses={} patches={} rebuilds={} evictions={}",
+            stats.hits, stats.misses, stats.patches, stats.rebuilds, stats.evictions
+        ),
+    ]);
+
+    let mut entries = vec![
+        BenchEntry {
+            experiment: "e17",
+            engine: "full-rebuild".into(),
+            threads: 1,
+            horizon: events as u64,
+            median_ms: full_ms,
+            speedup: 1.0,
+        },
+        BenchEntry {
+            experiment: "e17",
+            engine: "repair-vs-rebuild".into(),
+            threads: 1,
+            horizon: events as u64,
+            median_ms: patch_ms,
+            speedup,
+        },
+    ];
+    for (threads, oracle_ms) in parity_rows {
+        entries.push(BenchEntry {
+            experiment: "e17",
+            engine: format!("patch-parity-{threads}t"),
+            threads,
+            horizon: events as u64,
+            median_ms: oracle_ms,
+            speedup: full_ms / oracle_ms,
+        });
+    }
     (vec![table], entries)
 }
 
@@ -2074,12 +2272,13 @@ mod tests {
             reps: 1,
             serve_tenants: 12,
             serve_queries: 512,
+            churn_events: 32,
         }
     }
 
     #[test]
     fn experiment_ids_are_wired_up() {
-        assert_eq!(EXPERIMENT_IDS.len(), 16);
+        assert_eq!(EXPERIMENT_IDS.len(), 17);
     }
 
     #[test]
@@ -2089,6 +2288,8 @@ mod tests {
         let md = tables[0].to_markdown();
         assert!(md.contains("query_totals"), "{md}");
         assert!(md.contains("query_batch"), "{md}");
+        assert!(md.contains("cache counters"), "{md}");
+        assert!(md.contains("hits="), "{md}");
         for engine in
             ["profile-build", "windowed-totals-qps", "windowed-totals-p99", "windowed-batch-qps"]
         {
@@ -2183,6 +2384,7 @@ mod tests {
             reps: 1,
             serve_tenants: 8,
             serve_queries: 128,
+            churn_events: 32,
         };
         let (tables, entries) = run_experiment_collecting("e13", &cfg);
         assert_eq!(tables.len(), 2, "timing table plus the parity witness");
@@ -2191,6 +2393,33 @@ mod tests {
         assert!(entries.iter().any(|e| e.engine.contains("fused-gather+popcount")));
         let parity = tables[1].to_markdown();
         assert!(!parity.contains("| false |"), "every engine must match the reference: {parity}");
+    }
+
+    #[test]
+    fn e17_reports_repair_and_parity_rows() {
+        // Tiny configuration: the per-event patches, the fallback path and
+        // the 1/2/8-thread rebuild-oracle parity all assert inside e17; the
+        // >=25x criterion is printed, not evaluated, at this size.
+        let (tables, entries) = run_experiment_collecting("e17", &tiny_cfg());
+        assert_eq!(tables.len(), 1);
+        let md = tables[0].to_markdown();
+        assert!(md.contains("service patch"), "{md}");
+        assert!(md.contains("rebuild-from-scratch oracle"), "{md}");
+        assert!(md.contains("cache counters"), "{md}");
+        for engine in [
+            "full-rebuild",
+            "repair-vs-rebuild",
+            "patch-parity-1t",
+            "patch-parity-2t",
+            "patch-parity-8t",
+        ] {
+            assert!(entries.iter().any(|e| e.engine == engine), "missing {engine} row");
+        }
+        let repair = entries.iter().find(|e| e.engine == "repair-vs-rebuild").unwrap();
+        assert!(repair.speedup > 0.0, "the repair row carries the speedup ratio");
+        let json = bench_entries_to_json(true, &entries);
+        assert!(json.contains("repair-vs-rebuild"));
+        assert!(json.contains("patch-parity-8t"));
     }
 
     #[test]

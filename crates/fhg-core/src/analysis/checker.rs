@@ -294,10 +294,59 @@ impl HolidayChecker for GraphChecker {
     }
 }
 
+/// A layout-free checker that probes adjacency straight off a borrowed
+/// [`Graph`]: for every member of the set, scan its (sorted) neighbour
+/// list and demand no neighbour is also a member.
+///
+/// [`GraphChecker`] amortises a precomputed adjacency layout over an
+/// entire cycle's worth of classes; the incremental patch path
+/// (`CycleProfile::patch`) verifies a handful of classes against a graph
+/// that *just mutated*, where rebuilding a layout per edge event would
+/// dwarf the repair itself and allocate.  `ScanChecker` costs
+/// `O(Σ deg(member))` per class, allocates nothing, and always reflects
+/// the graph's current edges.
+pub struct ScanChecker<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> ScanChecker<'g> {
+    /// A checker borrowing `graph`; verdicts track its live edge set.
+    pub fn new(graph: &'g Graph) -> Self {
+        ScanChecker { graph }
+    }
+}
+
+impl HolidayChecker for ScanChecker<'_> {
+    fn check(&self, _t: u64, happy: &FixedBitSet) -> bool {
+        let n = self.graph.node_count();
+        fhg_graph::kernels::all_set_bits(happy.as_words(), |u| {
+            u < n && self.graph.neighbors(u).iter().all(|&v| !happy.contains(v))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fhg_graph::generators::erdos_renyi;
+
+    #[test]
+    fn scan_checker_agrees_with_graph_checker() {
+        let g = erdos_renyi(130, 0.05, 9);
+        let scan = ScanChecker::new(&g);
+        let full = GraphChecker::new(&g);
+        for t in 0..24u64 {
+            let mut set = FixedBitSet::new(130);
+            for k in 0..8usize {
+                set.insert(((t as usize + 1) * (k * 17 + 1)) % 130);
+            }
+            assert_eq!(
+                scan.check(t, &set),
+                full.check(t, &set),
+                "scan and layout checkers disagree at t={t}"
+            );
+        }
+    }
 
     #[test]
     fn dense_limit_override_falls_back_instead_of_panicking() {

@@ -67,9 +67,10 @@ mod profile;
 mod sweep;
 
 pub use checker::{
-    dense_limit, GraphChecker, HolidayChecker, BLOCKED_ADJACENCY_LIMIT, DENSE_ADJACENCY_LIMIT,
+    dense_limit, GraphChecker, HolidayChecker, ScanChecker, BLOCKED_ADJACENCY_LIMIT,
+    DENSE_ADJACENCY_LIMIT,
 };
-pub use profile::{CycleProfile, DeriveScratch};
+pub use profile::{CycleProfile, DeriveScratch, PatchRefused, PatchScratch, PatchStats};
 
 use fhg_graph::{Graph, NodeId};
 use rayon::prelude::*;

@@ -96,12 +96,19 @@ use rayon::prelude::*;
 use super::checker::{ClassBatch, HolidayChecker};
 use super::sweep::{self, AccumBank, ColumnScratch, NONE};
 use super::{AnalysisTotals, ScheduleAnalysis};
-use crate::schedulers::residue::ResidueSchedule;
+use crate::schedulers::residue::{ResidueSchedule, RowChange};
 
 /// A word-wise profile of one full residue cycle: per-node attendance
 /// patterns (a struct-of-arrays column bank) plus the per-class
 /// verification verdict, sufficient to derive the analysis of any horizon
 /// of at least one cycle in closed form.
+///
+/// The profile is also **patchable**: after a dynamic edge event moves a
+/// handful of nodes to new residue rows, [`CycleProfile::patch`] repairs
+/// exactly those nodes' lanes in place instead of rebuilding the whole
+/// cycle walk (see the method docs for the repair algebra and what it
+/// re-verifies).
+#[derive(Clone)]
 pub struct CycleProfile {
     /// First holiday of the profiled cycle (the scheduler's
     /// [`first_holiday`](crate::scheduler::Scheduler::first_holiday)).
@@ -114,15 +121,92 @@ pub struct CycleProfile {
     /// Per-node accumulator columns over the one profiled cycle (offsets
     /// relative to the cycle start).
     bank: AccumBank,
-    /// CSR starts into `offsets`, one entry per node plus a sentinel.
-    starts: Vec<usize>,
-    /// Attendance offsets within the cycle, ascending per node.
+    /// Per-node `(start, len)` rows into `offsets`.  A fresh build lays
+    /// the rows out dense and node-major (a plain CSR); a patch that grows
+    /// a row retires it to the arena tail instead, leaving `garbage`
+    /// behind until compaction.
+    rows: Vec<(usize, usize)>,
+    /// Attendance-offset arena: each node's offsets within the cycle,
+    /// ascending per row (rows may be out of node order after patches).
     offsets: Vec<u64>,
+    /// Retired (unreferenced) `offsets` entries awaiting compaction.
+    garbage: usize,
     /// Prefix sums of the per-class happy-set sizes (`size_prefix[k]` = total
     /// happiness of the first `k` classes), so ragged tails fold exactly.
     size_prefix: Vec<u64>,
     /// Whether every residue class passed its independence check.
     all_independent: bool,
+}
+
+/// Why [`CycleProfile::patch`] refused to repair in place — the caller
+/// (the serving tier's patch path) falls back to a full rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchRefused {
+    /// The view's cycle no longer matches the profiled cycle (the event
+    /// changed the lcm of the moduli): every class offset is rebased, so
+    /// there is nothing to patch around.
+    CycleChanged {
+        /// The profiled cycle.
+        old: u64,
+        /// The view's current cycle.
+        new: u64,
+    },
+    /// The cached verdict is already `false`.  The repair only re-verifies
+    /// classes the event touched, so it can never discover that the
+    /// offending class *healed* — only a full rebuild can clear the flag.
+    NotIndependent,
+}
+
+impl std::fmt::Display for PatchRefused {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchRefused::CycleChanged { old, new } => {
+                write!(f, "cycle changed from {old} to {new}; profile must be rebuilt")
+            }
+            PatchRefused::NotIndependent => {
+                write!(f, "profile verdict is already non-independent; rebuild to re-verify")
+            }
+        }
+    }
+}
+
+/// What a successful [`CycleProfile::patch`] did, for observability
+/// (bench rows, serving-tier stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatchStats {
+    /// Node lanes whose attendance pattern was replaced and replayed.
+    pub lanes_patched: usize,
+    /// Residue classes re-verified through the checker.
+    pub classes_verified: usize,
+}
+
+/// Reusable buffers for [`CycleProfile::patch`]: the verification batch,
+/// the touched-class list and the compaction arena.  Allocate once next to
+/// the cached profile; after warm-up a patch performs zero heap
+/// allocations (proved by `tests/zero_alloc.rs`).
+pub struct PatchScratch {
+    batch: ClassBatch,
+    batch_capacity: usize,
+    classes: Vec<u64>,
+    arena: Vec<u64>,
+}
+
+impl Default for PatchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PatchScratch {
+    /// Empty scratch; the first patch sizes it.
+    pub fn new() -> Self {
+        PatchScratch {
+            batch: ClassBatch::new(0),
+            batch_capacity: 0,
+            classes: Vec::new(),
+            arena: Vec::new(),
+        }
+    }
 }
 
 /// Reusable buffers for the closed-form derivation: the global column bank,
@@ -283,9 +367,9 @@ impl CycleProfile {
             }
         }
 
-        // Counting-sort the (node, offset) events into per-node CSR rows.
+        // Counting-sort the (node, offset) events into per-node rows.
         // Events arrive offset-major, so within each node the offsets stay
-        // ascending.
+        // ascending; a fresh build lays the rows dense and node-major.
         let mut starts = Vec::with_capacity(n + 1);
         starts.push(0usize);
         for (p, &c) in counts.iter().enumerate() {
@@ -299,15 +383,17 @@ impl CycleProfile {
                 cursor[p] += 1;
             }
         }
+        let rows: Vec<(usize, usize)> =
+            (0..n).map(|p| (starts[p], starts[p + 1] - starts[p])).collect();
 
-        // The one-cycle column bank, replayed node-major from the CSR: each
+        // The one-cycle column bank, replayed node-major from the rows: each
         // lane's offsets are contiguous and ascending, so this is the exact
         // record sequence of a sequential walk with streaming (not
-        // scattered) column access — and, built from the merged CSR, it is
+        // scattered) column access — and, built from the merged rows, it is
         // trivially identical at every thread count.
         let mut bank = AccumBank::new(n);
-        for p in 0..n {
-            for &o in &offsets[starts[p]..starts[p + 1]] {
+        for (p, &(s, l)) in rows.iter().enumerate() {
+            for &o in &offsets[s..s + l] {
                 bank.record(p, o);
             }
         }
@@ -317,8 +403,9 @@ impl CycleProfile {
             cycle,
             node_count: n,
             bank,
-            starts,
+            rows,
             offsets,
+            garbage: 0,
             size_prefix,
             all_independent,
         }
@@ -351,7 +438,8 @@ impl CycleProfile {
 
     /// The offsets (within the cycle, ascending) at which node `p` attends.
     pub fn attendance_offsets(&self, p: NodeId) -> &[u64] {
-        &self.offsets[self.starts[p]..self.starts[p + 1]]
+        let (s, l) = self.rows[p];
+        &self.offsets[s..s + l]
     }
 
     /// The gap multiset of node `p` over the infinite periodic schedule: the
@@ -377,6 +465,201 @@ impl CycleProfile {
     /// Panics if `classes > cycle`.
     pub fn happiness_prefix(&self, classes: u64) -> u64 {
         self.size_prefix[classes as usize]
+    }
+
+    /// Repairs this profile in place after a dynamic edge event, instead of
+    /// rebuilding the whole cycle walk: `changes` are the residue rows the
+    /// event moved (endpoints the scheduler recolored — see
+    /// `DynamicColorBound::apply_event`), `view` is the schedule's
+    /// **already-updated** residue view and `inserted_edge` the edge the
+    /// event added, if any.  The repair has three parts, each touching only
+    /// what the event touched:
+    ///
+    /// * **attendance lanes** — each changed node's offset row is replaced
+    ///   by its new arithmetic progression (`cycle / modulus` offsets; in
+    ///   place when the length is unchanged, retired to the arena tail
+    ///   otherwise, with compaction once retired entries outweigh live
+    ///   ones) and its column-bank lane is cleared and replayed, a single
+    ///   ascending record pass;
+    /// * **per-class sizes** — one `O(cycle)` delta walk over the size
+    ///   prefix subtracts the old progressions and adds the new ones;
+    /// * **re-verification** — only the residue classes whose membership
+    ///   *gained* a node can newly violate independence: the changed
+    ///   nodes' new progressions, plus (for an insert between two nodes
+    ///   that kept their rows) the classes where both endpoints co-attend,
+    ///   found by CRT on their rows.  Those classes are refilled from
+    ///   `view` and batched through [`HolidayChecker::check_batch`]
+    ///   (64-wide, like the build); classes that merely *lost* a member
+    ///   stay independent (a subset of an independent set), and a deleted
+    ///   edge cannot invalidate any class, so everything else keeps its
+    ///   verdict.  A failed check flips the profile's verdict to
+    ///   non-independent, exactly as a rebuild would conclude.
+    ///
+    /// The patched profile is **bitwise-identical in content** (see
+    /// [`CycleProfile::content_eq`]) to `CycleProfile::build` against the
+    /// post-event view and graph — only the arena layout may differ —
+    /// which `tests/dynamic_patch.rs` pins against the rebuild oracle at
+    /// several thread counts.
+    ///
+    /// Refuses (and leaves the profile untouched) when the event changed
+    /// the cycle itself or the cached verdict is already `false`; see
+    /// [`PatchRefused`].  Cost: `O(cycle + Σ lanes + Σ deg(checked))` —
+    /// independent of node count and total attendance.
+    ///
+    /// # Panics
+    /// Panics if `view` disagrees with the profile's node count, or if a
+    /// change's node is out of range — patches must come from the same
+    /// scheduler the profile was built from.
+    pub fn patch<C: HolidayChecker + ?Sized>(
+        &mut self,
+        view: &ResidueSchedule,
+        changes: &[RowChange],
+        inserted_edge: Option<(NodeId, NodeId)>,
+        checker: &C,
+        scratch: &mut PatchScratch,
+    ) -> Result<PatchStats, PatchRefused> {
+        let cycle = self.cycle;
+        if view.cycle() != cycle {
+            return Err(PatchRefused::CycleChanged { old: cycle, new: view.cycle() });
+        }
+        if !self.all_independent {
+            return Err(PatchRefused::NotIndependent);
+        }
+        assert_eq!(view.node_count(), self.node_count, "patch from a different schedule");
+
+        // Collect the residue classes to re-verify (as cycle offsets):
+        // every changed node's *new* progression, plus the co-attendance
+        // classes of an inserted edge (CRT over the post-event rows —
+        // relevant when neither endpoint was recolored but the new edge
+        // now lies inside existing classes).
+        scratch.classes.clear();
+        for change in changes {
+            let m = change.new_modulus;
+            debug_assert!(cycle.is_multiple_of(m), "row modulus must divide the unchanged cycle");
+            push_progression(
+                &mut scratch.classes,
+                first_offset(self.start, change.new_slot, m),
+                m,
+                cycle,
+            );
+        }
+        if let Some((u, v)) = inserted_edge {
+            if let Some((t0, l)) =
+                crt_class(view.slot(u), view.modulus(u), view.slot(v), view.modulus(v))
+            {
+                push_progression(&mut scratch.classes, first_offset(self.start, t0, l), l, cycle);
+            }
+        }
+        scratch.classes.sort_unstable();
+        scratch.classes.dedup();
+
+        for change in changes {
+            let p = change.node;
+            let (old_m, new_m) = (change.old_modulus, change.new_modulus);
+            let old_f = first_offset(self.start, change.old_slot, old_m);
+            let new_f = first_offset(self.start, change.new_slot, new_m);
+
+            // Per-class size delta: walk the cycle once, subtracting the
+            // old progression and adding the new.  The running delta is
+            // signed; `wrapping_add` of the sign-extended word is exact.
+            let (mut next_old, mut next_new) = (old_f, new_f);
+            let mut delta = 0i64;
+            for k in 0..cycle {
+                if k == next_old {
+                    delta -= 1;
+                    next_old = next_old.saturating_add(old_m);
+                }
+                if k == next_new {
+                    delta += 1;
+                    next_new = next_new.saturating_add(new_m);
+                }
+                if delta != 0 {
+                    let cell = &mut self.size_prefix[(k + 1) as usize];
+                    *cell = cell.wrapping_add(delta as u64);
+                }
+            }
+
+            // Row replacement: in place when the attendance count is
+            // unchanged, otherwise retire the old row to the arena.
+            let new_len = (cycle / new_m) as usize;
+            let (s, l) = self.rows[p];
+            if new_len == l {
+                for (i, dst) in self.offsets[s..s + l].iter_mut().enumerate() {
+                    *dst = new_f + i as u64 * new_m;
+                }
+            } else {
+                self.garbage += l;
+                let ns = self.offsets.len();
+                self.offsets.extend((0..new_len as u64).map(|i| new_f + i * new_m));
+                self.rows[p] = (ns, new_len);
+            }
+
+            // Lane replay: clear and re-record, ascending — the same
+            // sequence a fresh build replays for this node.
+            self.bank.clear_lane(p);
+            let (s, l) = self.rows[p];
+            for i in 0..l as u64 {
+                self.bank.record(p, self.offsets[s + i as usize]);
+            }
+        }
+        if self.garbage > self.offsets.len() / 2 {
+            self.compact(scratch);
+        }
+
+        // Batched re-verification of the touched classes, 64-wide like the
+        // build.  `enabled` short-circuits after the first failure, exactly
+        // mirroring the build's shard loop.
+        if scratch.batch_capacity != view.node_count() {
+            scratch.batch = ClassBatch::new(view.node_count());
+            scratch.batch_capacity = view.node_count();
+        }
+        let mut ok = true;
+        for &o in &scratch.classes {
+            let t = self.start + o;
+            let happy = scratch.batch.slot(t);
+            view.fill(t, happy);
+            if scratch.batch.commit() {
+                ok &= scratch.batch.flush(ok, checker);
+            }
+        }
+        ok &= scratch.batch.flush(ok, checker);
+        self.all_independent = ok;
+
+        Ok(PatchStats { lanes_patched: changes.len(), classes_verified: scratch.classes.len() })
+    }
+
+    /// Rewrites the offset arena dense and node-major (the fresh-build
+    /// layout), dropping retired rows.  The old arena becomes the next
+    /// compaction's target buffer, so both sides keep their high-water
+    /// capacity and steady-state compaction allocates nothing.
+    fn compact(&mut self, scratch: &mut PatchScratch) {
+        scratch.arena.clear();
+        scratch.arena.reserve(self.offsets.len() - self.garbage);
+        for row in &mut self.rows {
+            let (s, l) = *row;
+            let ns = scratch.arena.len();
+            scratch.arena.extend_from_slice(&self.offsets[s..s + l]);
+            *row = (ns, l);
+        }
+        std::mem::swap(&mut self.offsets, &mut scratch.arena);
+        self.garbage = 0;
+    }
+
+    /// Whether two profiles describe the same schedule content: every
+    /// derived quantity (start, cycle, verdict, per-class sizes, column
+    /// bank, per-node attendance offsets) is equal — ignoring the arena
+    /// layout, which patching is free to permute.  This is the equality the
+    /// patch-parity suite pins against the rebuild oracle: `content_eq`
+    /// implies every `derive*` output is bitwise-identical.
+    pub fn content_eq(&self, other: &CycleProfile) -> bool {
+        self.start == other.start
+            && self.cycle == other.cycle
+            && self.node_count == other.node_count
+            && self.all_independent == other.all_independent
+            && self.size_prefix == other.size_prefix
+            && self.bank == other.bank
+            && (0..self.node_count)
+                .all(|p| self.attendance_offsets(p) == other.attendance_offsets(p))
     }
 
     /// Derives the full [`ScheduleAnalysis`] of `horizon` holidays in closed
@@ -899,6 +1182,55 @@ fn replicate_global_into(dst: &mut AccumBank, src: &AccumBank, reps: u64, cycle:
     }
 }
 
+/// The first cycle offset at which a residue row `t ≡ slot (mod m)` fires,
+/// for a cycle anchored at holiday `start`: the least `o` with
+/// `start + o ≡ slot (mod m)`.  `slot < m` and `m ≤ cycle ≤ MAX_CYCLE`, so
+/// the arithmetic stays far from overflow.
+fn first_offset(start: u64, slot: u64, m: u64) -> u64 {
+    (slot + m - start % m) % m
+}
+
+/// Appends the arithmetic progression `first, first + step, …` below
+/// `cycle` to `out` — the cycle offsets of one residue row.
+fn push_progression(out: &mut Vec<u64>, first: u64, step: u64, cycle: u64) {
+    let mut o = first;
+    while o < cycle {
+        out.push(o);
+        o += step;
+    }
+}
+
+/// The holidays where two residue rows co-fire, by the Chinese remainder
+/// theorem: solves `t ≡ s1 (mod m1)`, `t ≡ s2 (mod m2)`, returning the
+/// progression `(t0, lcm(m1, m2))` of common holidays, or `None` when the
+/// congruences are incompatible (`s1 ≢ s2 (mod gcd)`) — the rows never
+/// co-fire.  Moduli are cycle divisors (≤ 2^22), so the intermediate
+/// products fit comfortably in `i128`.
+fn crt_class(s1: u64, m1: u64, s2: u64, m2: u64) -> Option<(u64, u64)> {
+    fn egcd(a: i128, b: i128) -> (i128, i128) {
+        // Returns (g, x) with a·x ≡ g (mod b).
+        let (mut r0, mut r1) = (a, b);
+        let (mut x0, mut x1) = (1i128, 0i128);
+        while r1 != 0 {
+            let q = r0 / r1;
+            (r0, r1) = (r1, r0 - q * r1);
+            (x0, x1) = (x1, x0 - q * x1);
+        }
+        (r0, x0)
+    }
+    let (g, x) = egcd(m1 as i128, m2 as i128);
+    let diff = s2 as i128 - s1 as i128;
+    if diff % g != 0 {
+        return None;
+    }
+    let lcm = (m1 as i128 / g) * m2 as i128;
+    let period2 = m2 as i128 / g;
+    // t = s1 + m1·k with (m1/g)·k ≡ diff/g (mod m2/g); x inverts m1/g there.
+    let k = (diff / g % period2) * (x % period2) % period2;
+    let t0 = (s1 as i128 + m1 as i128 * k).rem_euclid(lcm);
+    Some((t0 as u64, lcm as u64))
+}
+
 /// Analytically replicates a one-cycle accumulator over `reps` consecutive
 /// cycles of length `cycle` — the scalar specification of
 /// [`replicate_global_into`], producing exactly the segment accumulator a
@@ -1176,10 +1508,174 @@ mod tests {
                 .install(|| CycleProfile::build(view, s.first_holiday(), g.node_count(), &checker));
             assert_eq!(got.cycle(), reference.cycle());
             assert_eq!(got.all_classes_independent(), reference.all_classes_independent());
-            assert_eq!(got.starts, reference.starts, "{threads} threads: CSR starts");
+            assert_eq!(got.rows, reference.rows, "{threads} threads: attendance rows");
             assert_eq!(got.offsets, reference.offsets, "{threads} threads: attendance offsets");
             assert_eq!(got.size_prefix, reference.size_prefix, "{threads} threads: size prefix");
             assert_eq!(got.bank, reference.bank, "{threads} threads: column bank");
+            assert!(got.content_eq(&reference), "{threads} threads: content equality");
         }
+    }
+
+    #[test]
+    fn crt_class_matches_brute_force() {
+        for m1 in 1u64..=12 {
+            for m2 in 1u64..=12 {
+                for s1 in 0..m1 {
+                    for s2 in 0..m2 {
+                        let got = crt_class(s1, m1, s2, m2);
+                        let lcm = m1 / gcd(m1, m2) * m2;
+                        let brute: Vec<u64> =
+                            (0..2 * lcm).filter(|t| t % m1 == s1 && t % m2 == s2).collect();
+                        match got {
+                            None => assert!(
+                                brute.is_empty(),
+                                "({s1} mod {m1}, {s2} mod {m2}): CRT says never, brute {brute:?}"
+                            ),
+                            Some((t0, l)) => {
+                                assert_eq!(l, lcm);
+                                assert!(t0 < l, "first solution must be canonical");
+                                assert_eq!(
+                                    brute,
+                                    vec![t0, t0 + l],
+                                    "({s1} mod {m1}, {s2} mod {m2})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+    }
+
+    #[test]
+    fn patch_tracks_a_row_change_like_a_rebuild() {
+        use crate::analysis::GraphChecker;
+        use fhg_graph::Graph;
+
+        // A small schedule whose cycle (12) survives moving nodes between
+        // the moduli {2, 3, 4, 6, 12}; the edgeless graph keeps every
+        // verification green so the structural repair is what's compared.
+        let g = Graph::new(6);
+        let checker = GraphChecker::new(&g);
+        let mut view = ResidueSchedule::new(vec![0, 1, 2, 3, 0, 5], vec![2, 3, 4, 6, 12, 12]);
+        let mut profile = CycleProfile::build(&view, 1, 6, &checker);
+        let mut scratch = PatchScratch::new();
+
+        // A sequence of row moves, including same-length (4 -> 4 via slot
+        // change), shrinking (2 -> 6) and growing (12 -> 3) rows.
+        let moves: &[(usize, u64, u64)] =
+            &[(2, 1, 4), (0, 1, 6), (5, 2, 3), (0, 0, 2), (3, 1, 4), (5, 0, 12)];
+        for &(p, slot, m) in moves {
+            let change = RowChange {
+                node: p,
+                old_slot: view.slot(p),
+                old_modulus: view.modulus(p),
+                new_slot: slot,
+                new_modulus: m,
+            };
+            view.set_row(p, slot, m);
+            assert_eq!(view.cycle(), 12, "moves must preserve the cycle");
+            let stats =
+                profile.patch(&view, &[change], None, &checker, &mut scratch).expect("same cycle");
+            assert_eq!(stats.lanes_patched, 1);
+            let rebuilt = CycleProfile::build(&view, 1, 6, &checker);
+            assert!(
+                profile.content_eq(&rebuilt),
+                "patched profile diverged from rebuild after moving node {p} to {slot} mod {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn patch_refuses_cycle_changes_and_broken_verdicts() {
+        use crate::analysis::GraphChecker;
+        use fhg_graph::generators::structured::path;
+
+        let g = path(3);
+        let checker = GraphChecker::new(&g);
+        let view = ResidueSchedule::new(vec![0, 1, 0], vec![2, 2, 4]);
+        let mut profile = CycleProfile::build(&view, 0, 3, &checker);
+        let mut scratch = PatchScratch::new();
+
+        // A view whose cycle differs from the profiled one.
+        let stretched = ResidueSchedule::new(vec![0, 1, 0], vec![2, 2, 8]);
+        let refusal = profile.patch(&stretched, &[], None, &checker, &mut scratch);
+        assert_eq!(refusal, Err(PatchRefused::CycleChanged { old: 4, new: 8 }));
+
+        // A profile whose verdict is already false: adjacent path nodes 0
+        // and 1 share the row 0 mod 2, so every even class conflicts.
+        let clashing = ResidueSchedule::new(vec![0, 0, 1], vec![2, 2, 4]);
+        let mut broken = CycleProfile::build(&clashing, 0, 3, &checker);
+        assert!(!broken.all_classes_independent());
+        let refusal = broken.patch(&clashing, &[], None, &checker, &mut scratch);
+        assert_eq!(refusal, Err(PatchRefused::NotIndependent));
+        assert!(format!("{}", refusal.unwrap_err()).contains("rebuild"));
+    }
+
+    #[test]
+    fn patch_detects_freshly_conflicting_classes_via_the_inserted_edge() {
+        use crate::analysis::GraphChecker;
+        use fhg_graph::Graph;
+
+        // Nodes 0 and 1 co-attend every 6th holiday (0 mod 2 ∩ 0 mod 3).
+        let mut g = Graph::new(2);
+        let view = ResidueSchedule::new(vec![0, 0], vec![2, 3]);
+        let checker = GraphChecker::new(&g);
+        let mut profile = CycleProfile::build(&view, 0, 2, &checker);
+        assert!(profile.all_classes_independent(), "no edges yet");
+        let mut scratch = PatchScratch::new();
+
+        // Insert the edge without any recoloring (no row changes): the
+        // repair must find the co-attendance classes by CRT and flip the
+        // verdict, exactly as a rebuild against the new graph would.
+        g.add_edge(0, 1).unwrap();
+        let post_checker = GraphChecker::new(&g);
+        let stats = profile
+            .patch(&view, &[], Some((0, 1)), &post_checker, &mut scratch)
+            .expect("cycle unchanged");
+        assert_eq!(stats.classes_verified, 1, "one co-attendance class in a cycle of 6");
+        assert!(!profile.all_classes_independent());
+        let rebuilt = CycleProfile::build(&view, 0, 2, &post_checker);
+        assert!(profile.content_eq(&rebuilt));
+    }
+
+    #[test]
+    fn patch_compaction_keeps_every_row_intact() {
+        use crate::analysis::GraphChecker;
+        use fhg_graph::Graph;
+
+        // Bounce one node between a 12-row and a 2-row progression until
+        // retired rows outweigh live ones and compaction kicks in; the
+        // profile must stay identical to a rebuild throughout.
+        let g = Graph::new(4);
+        let checker = GraphChecker::new(&g);
+        let mut view = ResidueSchedule::new(vec![0, 1, 2, 3], vec![12, 12, 12, 12]);
+        let mut profile = CycleProfile::build(&view, 0, 4, &checker);
+        let mut scratch = PatchScratch::new();
+        for round in 0..6u64 {
+            let m = if round % 2 == 0 { 2 } else { 12 };
+            let change = RowChange {
+                node: 0,
+                old_slot: view.slot(0),
+                old_modulus: view.modulus(0),
+                new_slot: round % 2,
+                new_modulus: m,
+            };
+            view.set_row(0, round % 2, m);
+            profile.patch(&view, &[change], None, &checker, &mut scratch).expect("cycle fixed");
+            let rebuilt = CycleProfile::build(&view, 0, 4, &checker);
+            assert!(profile.content_eq(&rebuilt), "round {round}");
+        }
+        assert!(
+            profile.garbage * 2 <= profile.offsets.len(),
+            "compaction must keep retired entries at most half the arena"
+        );
     }
 }

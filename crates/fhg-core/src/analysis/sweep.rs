@@ -278,6 +278,21 @@ impl AccumBank {
         self.last[p] = offset;
     }
 
+    /// Resets one lane to the empty accumulator — the unit of the
+    /// incremental patch path, which re-replays a single node's attendance
+    /// offsets after a [`crate::schedulers::residue::RowChange`] without
+    /// touching any other lane.  Same empties as [`AccumBank::reset`].
+    pub(crate) fn clear_lane(&mut self, p: usize) {
+        self.count[p] = 0;
+        self.first[p] = NONE;
+        self.last[p] = NONE;
+        self.gap_sum[p] = 0;
+        self.gap_count[p] = 0;
+        self.first_gap[p] = NONE;
+        self.max_streak[p] = 0;
+        self.uniform[p] = UNIFORM;
+    }
+
     /// One lane as a [`NodeAccum`] — the bridge the property tests compare
     /// through.
     #[cfg(test)]

@@ -12,12 +12,72 @@
 //!
 //! [`DynamicColorBound`] implements exactly this: a [`Scheduler`] whose
 //! conflict graph can be edited between holidays.
+//!
+//! # The incremental repair plane
+//!
+//! Between events the schedule is perfectly periodic, so the scheduler
+//! maintains a [`ResidueSchedule`] view *incrementally*: every recolouring
+//! is one [`ResidueSchedule::set_row`] call, and
+//! [`Scheduler::residue_schedule`] exposes the view, which moves dynamic
+//! schedules off the sequential analysis path and onto the closed-form /
+//! sharded engines like every other periodic scheduler.
+//!
+//! The same row deltas drive cache repair downstream: [`apply_event`]
+//! returns an [`EventRepair`] — the applied event plus at most two
+//! [`RowChange`]s (an insert recolours at most one endpoint, a delete
+//! rebalances at most both) on the stack, no allocation.  A cached
+//! [`CycleProfile`](crate::analysis::CycleProfile) consumes the repair
+//! through [`patch`](crate::analysis::CycleProfile::patch): only the touched
+//! nodes' attendance lanes are replayed and only the residue classes whose
+//! membership changed are re-verified, instead of rebuilding the whole
+//! profile.  [`ProfileService::patch`](crate::serving::ProfileService::patch)
+//! wires this into the serving tier so a mutating tenant keeps a warm
+//! profile across churn.
+//!
+//! [`apply_event`]: DynamicColorBound::apply_event
 
 use fhg_codes::{log_star, phi, CodeSchedule, EliasCode};
 use fhg_coloring::{greedy_coloring, recolor_node, Color, GreedyOrder};
 use fhg_graph::{EdgeEvent, EdgeEventKind, Graph, GraphError, HappySet, NodeId};
 
 use crate::scheduler::Scheduler;
+use crate::schedulers::residue::{ResidueSchedule, RowChange};
+
+/// The outcome of one [`DynamicColorBound::apply_event`]: the event that was
+/// applied plus the hosting-row replacements it caused — at most one for an
+/// insert (the clashing endpoint) and at most two for a delete (both
+/// endpoints may rebalance).  Fixed-size, `Copy`, allocation-free; this is
+/// the unit the incremental repair plane hands to
+/// [`CycleProfile::patch`](crate::analysis::CycleProfile::patch) and
+/// [`ProfileService::patch`](crate::serving::ProfileService::patch).
+#[derive(Debug, Clone, Copy)]
+pub struct EventRepair {
+    /// The edge event that was applied.
+    pub event: EdgeEvent,
+    changes: [RowChange; 2],
+    len: u8,
+}
+
+impl EventRepair {
+    fn new(event: EdgeEvent) -> Self {
+        EventRepair { event, changes: [RowChange::default(); 2], len: 0 }
+    }
+
+    fn push(&mut self, change: RowChange) {
+        self.changes[self.len as usize] = change;
+        self.len += 1;
+    }
+
+    /// The hosting-row replacements the event caused, in application order.
+    pub fn row_changes(&self) -> &[RowChange] {
+        &self.changes[..self.len as usize]
+    }
+
+    /// The recoloured nodes, in application order.
+    pub fn recolored(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.row_changes().iter().map(|c| c.node)
+    }
+}
 
 /// The §6 dynamic colour-bound scheduler.
 #[derive(Debug, Clone)]
@@ -25,6 +85,9 @@ pub struct DynamicColorBound {
     graph: Graph,
     colors: Vec<Color>,
     schedule: CodeSchedule<EliasCode>,
+    /// The periodic view of the current colouring, maintained row-by-row
+    /// across recolourings — never reconstructed.
+    view: ResidueSchedule,
     recolor_events: u64,
 }
 
@@ -33,12 +96,17 @@ impl DynamicColorBound {
     /// `(deg+1)`-bounded colouring and the Elias omega code.
     pub fn new(graph: &Graph) -> Self {
         let coloring = greedy_coloring(graph, GreedyOrder::Natural);
-        DynamicColorBound {
-            graph: graph.clone(),
-            colors: coloring.into_vec(),
-            schedule: CodeSchedule::new(EliasCode::omega()),
-            recolor_events: 0,
+        let colors = coloring.into_vec();
+        let schedule = CodeSchedule::new(EliasCode::omega());
+        let mut slots = Vec::with_capacity(colors.len());
+        let mut moduli = Vec::with_capacity(colors.len());
+        for &c in &colors {
+            let sa = schedule.slot(u64::from(c));
+            slots.push(sa.offset);
+            moduli.push(sa.period);
         }
+        let view = ResidueSchedule::new(slots, moduli);
+        DynamicColorBound { graph: graph.clone(), colors, schedule, view, recolor_events: 0 }
     }
 
     /// The current conflict graph.
@@ -74,18 +142,38 @@ impl DynamicColorBound {
         (phi(c) * 2f64.powi(log_star(c) as i32 + 1)).ceil() as u64
     }
 
+    /// Recolours `p` (smallest colour free among its neighbours), moves its
+    /// hosting row in the periodic view, and returns the recorded change.
+    fn recolor(&mut self, p: NodeId) -> RowChange {
+        let old = self.schedule.slot(u64::from(self.colors[p]));
+        let c = recolor_node(&self.graph, &mut self.colors, p);
+        self.recolor_events += 1;
+        let new = self.schedule.slot(u64::from(c));
+        self.view.set_row(p, new.offset, new.period);
+        RowChange {
+            node: p,
+            old_slot: old.offset,
+            old_modulus: old.period,
+            new_slot: new.offset,
+            new_modulus: new.period,
+        }
+    }
+
     /// A new couple forms: insert the conflict edge `(u, v)`.
     ///
     /// If the endpoints share a colour, the endpoint with the larger id is
     /// recoloured locally (smallest colour free among its neighbours) —
-    /// the §6 repair.  Returns the recoloured node, if any.
+    /// the §6 repair.  Returns the row change, if any.  The graph edit is
+    /// validated before any state is touched, so an `Err` leaves the
+    /// scheduler exactly as it was.
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<Option<NodeId>, GraphError> {
+        Ok(self.insert_edge_rows(u, v)?.map(|c| c.node))
+    }
+
+    fn insert_edge_rows(&mut self, u: NodeId, v: NodeId) -> Result<Option<RowChange>, GraphError> {
         self.graph.add_edge(u, v)?;
         if self.colors[u] == self.colors[v] {
-            let repaired = u.max(v);
-            recolor_node(&self.graph, &mut self.colors, repaired);
-            self.recolor_events += 1;
-            Ok(Some(repaired))
+            Ok(Some(self.recolor(u.max(v))))
         } else {
             Ok(None)
         }
@@ -97,34 +185,54 @@ impl DynamicColorBound {
     /// (now smaller) degrees, both endpoints are rebalanced if their colour
     /// exceeds `deg + 1`.  Returns the nodes that were recoloured.
     pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        let (a, b) = self.delete_edge_rows(u, v)?;
+        Ok([a, b].into_iter().flatten().map(|c| c.node).collect())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn delete_edge_rows(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<(Option<RowChange>, Option<RowChange>), GraphError> {
         self.graph.remove_edge(u, v)?;
-        let mut repaired = Vec::new();
-        for p in [u, v] {
-            if self.rebalance(p) {
-                repaired.push(p);
-            }
-        }
-        Ok(repaired)
+        Ok((self.rebalance_rows(u), self.rebalance_rows(v)))
     }
 
     /// Recolours `p` if its colour exceeds `deg(p) + 1`; returns whether a
     /// recolouring happened.
     pub fn rebalance(&mut self, p: NodeId) -> bool {
+        self.rebalance_rows(p).is_some()
+    }
+
+    fn rebalance_rows(&mut self, p: NodeId) -> Option<RowChange> {
         if (self.colors[p] as usize) > self.graph.degree(p) + 1 {
-            recolor_node(&self.graph, &mut self.colors, p);
-            self.recolor_events += 1;
-            true
+            Some(self.recolor(p))
         } else {
-            false
+            None
         }
     }
 
-    /// Applies a pre-recorded edge event.  Returns the recoloured nodes.
-    pub fn apply_event(&mut self, event: EdgeEvent) -> Result<Vec<NodeId>, GraphError> {
+    /// Applies a pre-recorded edge event and returns the [`EventRepair`]
+    /// describing exactly which hosting rows moved — the input to the
+    /// incremental profile patch.  An `Err` (duplicate edge, missing edge,
+    /// out-of-range node) leaves the scheduler state untouched.
+    pub fn apply_event(&mut self, event: EdgeEvent) -> Result<EventRepair, GraphError> {
+        let mut repair = EventRepair::new(event);
         match event.kind {
-            EdgeEventKind::Insert => Ok(self.insert_edge(event.u, event.v)?.into_iter().collect()),
-            EdgeEventKind::Delete => self.delete_edge(event.u, event.v),
+            EdgeEventKind::Insert => {
+                if let Some(change) = self.insert_edge_rows(event.u, event.v)? {
+                    repair.push(change);
+                }
+            }
+            EdgeEventKind::Delete => {
+                let (a, b) = self.delete_edge_rows(event.u, event.v)?;
+                for change in [a, b].into_iter().flatten() {
+                    repair.push(change);
+                }
+            }
         }
+        Ok(repair)
     }
 
     /// Whether the internal colouring is currently proper (it always should
@@ -140,12 +248,7 @@ impl Scheduler for DynamicColorBound {
     }
 
     fn fill_happy_set(&mut self, t: u64, out: &mut HappySet) {
-        out.reset(self.colors.len());
-        for (p, &c) in self.colors.iter().enumerate() {
-            if self.schedule.is_happy(u64::from(c), t) {
-                out.insert(p);
-            }
-        }
+        self.view.fill(t, out);
     }
 
     fn name(&self) -> &'static str {
@@ -164,6 +267,10 @@ impl Scheduler for DynamicColorBound {
 
     fn unhappiness_bound(&self, p: NodeId) -> Option<u64> {
         Some(self.current_period(p))
+    }
+
+    fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+        Some(&self.view)
     }
 }
 
@@ -197,6 +304,22 @@ mod tests {
         assert_eq!(s.recolor_events(), 1);
     }
 
+    /// The incrementally maintained view must agree with the per-colour
+    /// schedule at every holiday — the invariant the whole repair plane
+    /// stands on.
+    fn assert_view_matches_colors(s: &mut DynamicColorBound, span: u64, ctx: &str) {
+        let view = s.residue_schedule().expect("dynamic scheduler exposes its view").clone();
+        for t in 0..span {
+            let expected: Vec<NodeId> = (0..s.node_count())
+                .filter(|&p| s.schedule.is_happy(u64::from(s.colors[p]), t))
+                .collect();
+            assert_eq!(view.hosts(t), expected, "{ctx}: holiday {t}");
+        }
+        for p in 0..s.node_count() {
+            assert_eq!(view.modulus(p), s.current_period(p), "{ctx}: node {p} period");
+        }
+    }
+
     #[test]
     fn schedule_stays_valid_under_heavy_churn() {
         let initial = erdos_renyi(40, 0.08, 3);
@@ -213,9 +336,28 @@ mod tests {
                 );
                 holiday += 1;
             }
-            s.apply_event(event).unwrap();
+            let repair = s.apply_event(event).unwrap();
+            assert!(repair.row_changes().len() <= 2);
             assert!(s.coloring_is_proper(), "colouring broken after {event:?}");
         }
+        assert_view_matches_colors(&mut s, 128, "after heavy churn");
+    }
+
+    #[test]
+    fn apply_event_reports_the_rows_that_moved() {
+        let g = path(4);
+        let mut s = DynamicColorBound::new(&g);
+        let before = s.current_period(2);
+        let repair = s
+            .apply_event(EdgeEvent { kind: EdgeEventKind::Insert, u: 0, v: 2, holiday: 0 })
+            .unwrap();
+        let changes = repair.row_changes();
+        assert_eq!(changes.len(), 1, "one endpoint recoloured");
+        assert_eq!(changes[0].node, 2);
+        assert_eq!(changes[0].old_modulus, before);
+        assert_eq!(changes[0].new_modulus, s.current_period(2));
+        assert_eq!(repair.recolored().collect::<Vec<_>>(), vec![2]);
+        assert_view_matches_colors(&mut s, 64, "after reported insert");
     }
 
     #[test]
@@ -240,6 +382,7 @@ mod tests {
             );
         }
         assert!(s.coloring_is_proper());
+        assert_view_matches_colors(&mut s, 64, "after rebalancing deletes");
     }
 
     #[test]
@@ -310,8 +453,12 @@ mod tests {
         assert!(s.insert_edge(0, 1).is_err(), "edge already exists");
         assert!(s.delete_edge(0, 2).is_err(), "edge missing");
         assert!(s.insert_edge(0, 9).is_err(), "node out of range");
+        assert!(s
+            .apply_event(EdgeEvent { kind: EdgeEventKind::Insert, u: 1, v: 1, holiday: 0 })
+            .is_err());
         assert!(s.coloring_is_proper());
         assert_eq!(s.recolor_events(), 0);
+        assert_view_matches_colors(&mut s, 32, "after rejected events");
     }
 
     proptest! {
@@ -324,6 +471,15 @@ mod tests {
             for event in events {
                 s.apply_event(event).unwrap();
                 prop_assert!(s.coloring_is_proper());
+            }
+            // The incrementally maintained view and the per-colour schedule
+            // agree after arbitrary churn.
+            let view = s.residue_schedule().unwrap().clone();
+            for t in 0..64u64 {
+                let expected: Vec<NodeId> = (0..s.node_count())
+                    .filter(|&p| s.schedule.is_happy(u64::from(s.colors[p]), t))
+                    .collect();
+                prop_assert_eq!(view.hosts(t), expected, "holiday {}", t);
             }
             // After quiescence every node hosts within its current period.
             for p in s.graph().nodes() {

@@ -41,11 +41,15 @@ pub mod serving;
 pub use analysis::{
     analyze_schedule, analyze_schedule_reference, analyze_schedule_totals,
     analyze_schedule_with_checker, analyze_schedule_with_engine, AnalysisEngine, AnalysisTotals,
-    CycleProfile, DeriveScratch, GraphChecker, HolidayChecker, NodeAnalysis, ScheduleAnalysis,
+    CycleProfile, DeriveScratch, GraphChecker, HolidayChecker, NodeAnalysis, PatchRefused,
+    PatchScratch, PatchStats, ScanChecker, ScheduleAnalysis,
 };
 pub use gathering::{orientation_from_happy_set, Gathering};
 pub use scheduler::Scheduler;
-pub use serving::{ProfileService, Query, QueryError, RegisterError, WindowAnalysis, WindowTotals};
+pub use serving::{
+    patch_limit, CacheStats, PatchError, PatchOutcome, ProfileService, Query, QueryError,
+    RegisterError, WindowAnalysis, WindowTotals, PATCH_LIMIT,
+};
 
 /// The zero-allocation per-holiday buffer filled by
 /// [`Scheduler::fill_happy_set`] (defined in [`fhg_graph::happy_set`] so the

@@ -26,6 +26,26 @@
 
 use fhg_graph::{FixedBitSet, HappySet, NodeId};
 
+/// One node's `(slot, modulus)` row replacement: the unit of work a dynamic
+/// repair (§6 recolouring) hands to [`ResidueSchedule::apply_row`] and to the
+/// incremental profile patch
+/// ([`CycleProfile::patch`](crate::analysis::CycleProfile::patch)).  Carries
+/// both the old and the new row so downstream caches can retire the old
+/// attendance lane and re-verify exactly the classes the new one joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowChange {
+    /// The node whose hosting row changed.
+    pub node: NodeId,
+    /// Previous hosting residue.
+    pub old_slot: u64,
+    /// Previous hosting modulus.
+    pub old_modulus: u64,
+    /// New hosting residue.
+    pub new_slot: u64,
+    /// New hosting modulus.
+    pub new_modulus: u64,
+}
+
 /// Shared core of the `hosts_into` entry points: runs `fill` on the
 /// process-wide per-thread scratch buffer
 /// ([`fhg_graph::happy_set::with_thread_scratch`], also behind the
@@ -151,6 +171,10 @@ impl ResidueTable {
 pub struct ResidueSchedule {
     slots: Vec<u64>,
     moduli: Vec<u64>,
+    /// Distinct moduli (ascending) with their node counts — keeps the
+    /// cycle/attendance recomputation after a row edit at `O(#distinct)`
+    /// instead of a full `O(n)` refold.
+    mods: Vec<(u64, usize)>,
     cycle: u64,
     /// Precomputed `Σ_p cycle / m_p` (saturating) — the per-cycle attendance
     /// volume.  Cached at construction so the engine-selection budget check
@@ -262,11 +286,18 @@ impl ResidueSchedule {
         }
         let cycle = moduli.iter().fold(1u64, |acc, &m| lcm_saturating(acc, m));
         let attendance = moduli.iter().fold(0u64, |acc, &m| acc.saturating_add(cycle / m));
+        let mut mods: Vec<(u64, usize)> = Vec::new();
+        for &m in &moduli {
+            match mods.binary_search_by_key(&m, |e| e.0) {
+                Ok(i) => mods[i].1 += 1,
+                Err(i) => mods.insert(i, (m, 1)),
+            }
+        }
         let table = if with_table { ResidueTable::build_moduli(&slots, &moduli) } else { None };
         // The bucket index is the table's fallback; when the table exists it
         // would never be read, so skip its counting sort and memory.
         let buckets = if table.is_none() { BucketIndex::build(&slots, &moduli) } else { None };
-        ResidueSchedule { slots, moduli, cycle, attendance, table, buckets }
+        ResidueSchedule { slots, moduli, mods, cycle, attendance, table, buckets }
     }
 
     /// Builds the schedule for power-of-two periods `2^{exponents[p]}` (the
@@ -326,6 +357,109 @@ impl ResidueSchedule {
     /// falls back to the bucket index, then to a per-node scan).
     pub fn has_table(&self) -> bool {
         self.table.is_some()
+    }
+
+    /// Redirects node `p` to host at `t ≡ slot (mod m)`, maintaining every
+    /// cached aggregate and emission structure in place — the row-maintenance
+    /// primitive behind §6 dynamic repair: an edge event recolours at most
+    /// two nodes, and each recolouring is one call here instead of a full
+    /// view reconstruction.
+    ///
+    /// Cost: `O(#distinct moduli)` to refold the cycle and attendance
+    /// aggregates, plus two bit flips in the word-packed table.  The table
+    /// path allocates only when `m` is a modulus the table has never held
+    /// (one new row group, budget-checked against
+    /// [`ResidueTable::MAX_BYTES`]; on overflow the table is dropped in
+    /// favour of the bucket index).  Without a table the bucket index is
+    /// rebuilt, which is `O(n)` and allocates — schedules on the incremental
+    /// path are expected to live within the table budget.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero or `slot` is not a residue of `m` (the
+    /// construction contract).
+    pub fn set_row(&mut self, p: NodeId, slot: u64, m: u64) {
+        assert!(m >= 1, "node {p}: modulus must be positive");
+        assert!(slot < m, "node {p}: slot {slot} is not a residue modulo {m}");
+        let (old_slot, old_m) = (self.slots[p], self.moduli[p]);
+        if old_slot == slot && old_m == m {
+            return;
+        }
+        self.slots[p] = slot;
+        self.moduli[p] = m;
+        // Distinct-modulus counts, then the O(#distinct) aggregate refold.
+        let old_gone = {
+            let i = self
+                .mods
+                .binary_search_by_key(&old_m, |e| e.0)
+                .expect("old modulus is in the distinct list");
+            self.mods[i].1 -= 1;
+            if self.mods[i].1 == 0 {
+                self.mods.remove(i);
+                true
+            } else {
+                false
+            }
+        };
+        match self.mods.binary_search_by_key(&m, |e| e.0) {
+            Ok(i) => self.mods[i].1 += 1,
+            Err(i) => self.mods.insert(i, (m, 1)),
+        }
+        self.cycle = self.mods.iter().fold(1u64, |acc, &(m, _)| lcm_saturating(acc, m));
+        let cycle = self.cycle;
+        self.attendance = self
+            .mods
+            .iter()
+            .fold(0u64, |acc, &(m, c)| acc.saturating_add((c as u64).saturating_mul(cycle / m)));
+        // Emission structures: flip the two table bits in place, or rebuild
+        // the bucket index when the rows were never materialised.
+        if let Some(table) = self.table.as_mut() {
+            if let Ok(gi) = table.groups.binary_search_by_key(&old_m, |g| g.0) {
+                table.groups[gi].1[old_slot as usize].remove(p);
+                if old_gone {
+                    table.groups.remove(gi);
+                }
+            }
+            match table.groups.binary_search_by_key(&m, |g| g.0) {
+                Ok(gi) => {
+                    table.groups[gi].1[slot as usize].insert(p);
+                }
+                Err(gi) => {
+                    let n = self.slots.len();
+                    let words = n.div_ceil(64) as u64;
+                    let rows = table
+                        .groups
+                        .iter()
+                        .try_fold(0u64, |acc, g| acc.checked_add(g.0))
+                        .and_then(|acc| acc.checked_add(m));
+                    let fits = rows
+                        .and_then(|r| r.checked_mul(words * 8))
+                        .is_some_and(|b| b <= ResidueTable::MAX_BYTES as u64);
+                    if fits {
+                        let mut rows = vec![FixedBitSet::new(n); m as usize];
+                        rows[slot as usize].insert(p);
+                        table.groups.insert(gi, (m, rows));
+                    } else {
+                        self.table = None;
+                        self.buckets = BucketIndex::build(&self.slots, &self.moduli);
+                    }
+                }
+            }
+        } else {
+            self.buckets = BucketIndex::build(&self.slots, &self.moduli);
+        }
+    }
+
+    /// Applies one recorded [`RowChange`] (convenience over
+    /// [`ResidueSchedule::set_row`]; debug-asserts that the change's old row
+    /// matches the current assignment, catching out-of-order replays).
+    pub fn apply_row(&mut self, change: &RowChange) {
+        debug_assert_eq!(
+            (self.slots[change.node], self.moduli[change.node]),
+            (change.old_slot, change.old_modulus),
+            "row change for node {} replayed out of order",
+            change.node
+        );
+        self.set_row(change.node, change.new_slot, change.new_modulus);
     }
 
     /// Writes the hosting set of holiday `t` into `out`, resetting it to
@@ -619,6 +753,88 @@ mod tests {
         }
         assert_eq!(seen, s.cycle(), "exactly one yield per residue class");
         assert!(classes.next_class().is_none(), "enumeration stays exhausted");
+    }
+
+    /// Every aggregate and emission answer of a row-edited schedule must be
+    /// indistinguishable from a freshly constructed one.
+    fn assert_equivalent_to_fresh(edited: &ResidueSchedule, ctx: &str) {
+        let fresh = ResidueSchedule::new(edited.slots.clone(), edited.moduli.clone());
+        assert_eq!(edited.cycle(), fresh.cycle(), "{ctx}: cycle");
+        assert_eq!(
+            edited.attendance_per_cycle(),
+            fresh.attendance_per_cycle(),
+            "{ctx}: attendance"
+        );
+        assert_eq!(edited.mods, fresh.mods, "{ctx}: distinct-modulus counts");
+        let span = 2 * fresh.cycle().min(256);
+        for t in 0..span {
+            assert_eq!(edited.hosts(t), fresh.hosts(t), "{ctx}: holiday {t}");
+        }
+    }
+
+    #[test]
+    fn set_row_tracks_fresh_construction_through_the_table_path() {
+        let mut s = ResidueSchedule::new(vec![0, 1, 2, 3], vec![2, 3, 4, 4]);
+        assert!(s.has_table());
+        // Same-modulus move, cross-modulus move, and a brand-new modulus
+        // (inserts a table group), then drain a modulus empty (removes one).
+        s.set_row(0, 1, 2);
+        assert_equivalent_to_fresh(&s, "slot move within modulus 2");
+        s.set_row(1, 5, 8);
+        assert_equivalent_to_fresh(&s, "move onto new modulus 8");
+        s.set_row(2, 0, 4);
+        assert_equivalent_to_fresh(&s, "slot move within modulus 4");
+        s.set_row(0, 2, 6);
+        assert_equivalent_to_fresh(&s, "modulus 2 drained empty");
+        assert!(s.has_table(), "small schedules stay on the table path");
+        // No-op edits change nothing.
+        let cycle = s.cycle();
+        s.set_row(0, 2, 6);
+        assert_eq!(s.cycle(), cycle);
+        assert_equivalent_to_fresh(&s, "no-op edit");
+    }
+
+    #[test]
+    fn set_row_tracks_fresh_construction_through_the_bucket_path() {
+        let n = 64u64;
+        let mut s = ResidueSchedule::scan_only((0..n).collect(), vec![n; n as usize]);
+        assert!(!s.has_table());
+        s.set_row(3, 0, 4);
+        s.set_row(9, 3, 4);
+        assert!(s.buckets.is_some(), "bucket index rebuilt after the edit");
+        assert_equivalent_to_fresh(&s, "bucket-path edits");
+    }
+
+    #[test]
+    fn set_row_drops_the_table_when_a_new_modulus_blows_the_budget() {
+        let mut s = ResidueSchedule::new(vec![0, 1], vec![2, 4]);
+        assert!(s.has_table());
+        // 2^36 rows of one word each would cost 512 GiB: the table must be
+        // dropped, not allocated, and emission must keep answering.
+        s.set_row(1, 7, 1 << 36);
+        assert!(!s.has_table());
+        assert_equivalent_to_fresh(&s, "budget-overflow fallback");
+    }
+
+    #[test]
+    fn apply_row_replays_a_recorded_change() {
+        let mut s = ResidueSchedule::new(vec![0, 1], vec![2, 4]);
+        s.apply_row(&RowChange {
+            node: 1,
+            old_slot: 1,
+            old_modulus: 4,
+            new_slot: 5,
+            new_modulus: 8,
+        });
+        assert_eq!((s.slot(1), s.modulus(1)), (5, 8));
+        assert_equivalent_to_fresh(&s, "apply_row");
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 9 is not a residue")]
+    fn set_row_rejects_out_of_range_slots() {
+        let mut s = ResidueSchedule::new(vec![0], vec![2]);
+        s.set_row(0, 9, 4);
     }
 
     #[test]

@@ -28,6 +28,18 @@
 //!   zero-width, inverted and sub-cycle windows all take defined paths
 //!   (see [`CycleProfile::derive_window`](crate::analysis::CycleProfile::derive_window)).
 //!
+//! # Incremental repair and observability
+//!
+//! A mutating tenant does not have to go cold: [`ProfileService::patch`]
+//! applies one dynamic edge event (the [`EventRepair`] its scheduler
+//! returned) straight to the cached profile — copy-on-write detach when
+//! the profile is shared, lane-level repair through
+//! [`CycleProfile::patch`](crate::analysis::CycleProfile::patch), and a
+//! guarded fall-back to a full rebuild when the event touches more lanes
+//! than the `FHG_PATCH_LIMIT` knob allows ([`patch_limit`]).  Every cache
+//! transition is counted ([`ProfileService::stats`], [`CacheStats`]):
+//! hits, misses, in-place patches, full rebuilds and evictions.
+//!
 //! # Batch front and sharding
 //!
 //! [`ProfileService::build_pending`] builds every cold profile, sharded
@@ -41,13 +53,57 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
 
-use fhg_graph::Graph;
+use fhg_graph::{EdgeEventKind, Graph, GraphError};
 use rayon::prelude::*;
 
-use crate::analysis::{AnalysisTotals, CycleProfile, GraphChecker, ScheduleAnalysis};
+use crate::analysis::{
+    AnalysisTotals, CycleProfile, GraphChecker, PatchScratch, PatchStats, ScanChecker,
+    ScheduleAnalysis,
+};
+use crate::dynamic::EventRepair;
 use crate::scheduler::Scheduler;
 use crate::schedulers::residue::ResidueSchedule;
+
+/// Default ceiling on the analytic touched-lane estimate above which
+/// [`ProfileService::patch`] rebuilds instead of repairing in place.
+/// Override at runtime with `FHG_PATCH_LIMIT`; see [`patch_limit`].
+pub const PATCH_LIMIT: u64 = 65_536;
+
+/// The patch-vs-rebuild threshold, decided once per process and cached in
+/// a `OnceLock`: the `FHG_PATCH_LIMIT` environment variable when set (so
+/// deployments can tune the crossover without recompiling), otherwise
+/// [`PATCH_LIMIT`].
+///
+/// Same warn-and-fall-back contract as every other `FHG_*` knob: a
+/// malformed value logs one warning to stderr and falls back to the
+/// default — a long-lived serving process must not be killable by a typo
+/// in its environment (pinned by the unit tests below).
+pub fn patch_limit() -> u64 {
+    static LIMIT: OnceLock<u64> = OnceLock::new();
+    *LIMIT.get_or_init(|| parse_patch_limit(std::env::var("FHG_PATCH_LIMIT").ok().as_deref()))
+}
+
+/// Parses the `FHG_PATCH_LIMIT` override (factored out of [`patch_limit`]
+/// so the fallback policy is testable despite the process-wide cache).
+fn parse_patch_limit(raw: Option<&str>) -> u64 {
+    match raw {
+        None => PATCH_LIMIT,
+        Some(raw) if raw.trim().is_empty() => PATCH_LIMIT,
+        Some(raw) => match raw.trim().parse() {
+            Ok(limit) => limit,
+            Err(_) => {
+                eprintln!(
+                    "warning: FHG_PATCH_LIMIT={raw:?} is not a lane count; \
+                     using the default {PATCH_LIMIT}"
+                );
+                PATCH_LIMIT
+            }
+        },
+    }
+}
 
 /// Why a scheduler could not be registered: the service refuses, with a
 /// typed error, every input the closed-form profile cannot represent —
@@ -123,6 +179,82 @@ impl fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// A point-in-time snapshot of the service's cache-activity counters —
+/// see [`ProfileService::stats`] for what each counter means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from a warm profile.
+    pub hits: u64,
+    /// Queries refused (unknown tenant or cold profile) and patches aimed
+    /// at unknown tenants.
+    pub misses: u64,
+    /// Edge events repaired in place by [`ProfileService::patch`].
+    pub patches: u64,
+    /// Full profile builds: every [`ProfileService::build_pending`] build
+    /// plus every patch that fell back to a rebuild.
+    pub rebuilds: u64,
+    /// Warm profiles dropped: explicit invalidations, slots released by
+    /// their last tenant, and budget-violating patches that went cold.
+    pub evictions: u64,
+}
+
+/// The service's internal counters — atomic because the batch query front
+/// counts from worker threads under a shared `&self`.
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    patches: AtomicU64,
+    rebuilds: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// What [`ProfileService::patch`] did with an edge event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchOutcome {
+    /// The cached profile was repaired in place; the stats say how much
+    /// work that took.
+    Patched(PatchStats),
+    /// The repair was refused (cycle changed, verdict already broken) or
+    /// the touched-lane estimate exceeded [`patch_limit`]; the profile was
+    /// rebuilt from scratch instead — still warm, just not incremental.
+    Rebuilt,
+    /// The tenant's slot was cold: its graph and schedule content were
+    /// updated, but there is no profile to repair until the next
+    /// [`ProfileService::build_pending`].
+    Cold,
+}
+
+/// Why [`ProfileService::patch`] could not apply an edge event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// No tenant with this id is registered.
+    UnknownTenant(u64),
+    /// The event does not apply to the tenant's graph (inserting an edge
+    /// that exists, deleting one that doesn't, out-of-range endpoints) —
+    /// the repair came from a different scheduler than the one registered.
+    /// The slot is left untouched.
+    Graph(GraphError),
+    /// The mutated schedule outgrew a profile budget (cycle length or
+    /// attendance volume); the slot's content was updated but its profile
+    /// went cold — the closed form no longer applies to this tenant.
+    BudgetExceeded(RegisterError),
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::UnknownTenant(t) => write!(f, "tenant {t} is not registered"),
+            PatchError::Graph(e) => write!(f, "event does not apply to the tenant's graph: {e}"),
+            PatchError::BudgetExceeded(e) => {
+                write!(f, "mutated schedule outgrew the profile budget: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
 /// One windowed request: analyze tenant `tenant` over the holiday window
 /// `[window.0, window.1)` (offsets relative to the schedule's first
 /// holiday; `window.1 <= window.0` is the empty window).
@@ -167,6 +299,11 @@ struct ProfileSlot {
     profile: Option<CycleProfile>,
     /// How many registered tenants point at this slot.
     refs: usize,
+    /// Whether this slot was detached for mutation by
+    /// [`ProfileService::patch`]: its key is synthetic (never a content
+    /// hash), it belongs to exactly one tenant, and registrations can
+    /// never alias it.
+    private: bool,
 }
 
 /// The multi-tenant profile cache and batch query front — see the module
@@ -177,6 +314,13 @@ pub struct ProfileService {
     tenants: HashMap<u64, u64>,
     /// schedule key → cached slot.
     slots: HashMap<u64, ProfileSlot>,
+    /// Cache-activity counters, snapshot by [`ProfileService::stats`].
+    counters: Counters,
+    /// Reusable patch buffers; after warm-up a patch allocates nothing.
+    patch_scratch: PatchScratch,
+    /// Next candidate synthetic key for detached slots (collision-checked
+    /// against live keys before use).
+    next_private_key: u64,
 }
 
 impl ProfileService {
@@ -231,6 +375,7 @@ impl ProfileService {
             name: scheduler.name().to_string(),
             profile: None,
             refs: 1,
+            private: false,
         });
         Ok(key)
     }
@@ -252,7 +397,11 @@ impl ProfileService {
         if let Some(slot) = self.slots.get_mut(&key) {
             slot.refs -= 1;
             if slot.refs == 0 {
-                self.slots.remove(&key);
+                if let Some(slot) = self.slots.remove(&key) {
+                    if slot.profile.is_some() {
+                        self.counters.evictions.fetch_add(1, Relaxed);
+                    }
+                }
             }
         }
     }
@@ -266,7 +415,13 @@ impl ProfileService {
             return false;
         };
         match self.slots.get_mut(&key) {
-            Some(slot) => slot.profile.take().is_some(),
+            Some(slot) => {
+                let dropped = slot.profile.take().is_some();
+                if dropped {
+                    self.counters.evictions.fetch_add(1, Relaxed);
+                }
+                dropped
+            }
             None => false,
         }
     }
@@ -274,7 +429,9 @@ impl ProfileService {
     /// Drops every cached profile (registrations stay).
     pub fn invalidate_all(&mut self) {
         for slot in self.slots.values_mut() {
-            slot.profile = None;
+            if slot.profile.take().is_some() {
+                self.counters.evictions.fetch_add(1, Relaxed);
+            }
         }
     }
 
@@ -310,7 +467,171 @@ impl ProfileService {
         for (key, slot) in building {
             self.slots.insert(key, slot);
         }
+        self.counters.rebuilds.fetch_add(built as u64, Relaxed);
         built
+    }
+
+    /// Applies one dynamic edge event to `tenant`'s cached profile **in
+    /// place** — the serving face of the incremental repair plane.  The
+    /// caller drives its scheduler first
+    /// ([`crate::dynamic::DynamicColorBound::apply_event`]) and hands the
+    /// returned [`EventRepair`] here; the service then:
+    ///
+    /// 1. **detaches** the tenant onto a private copy-on-write slot if its
+    ///    profile is shared (other tenants keep the unmutated original and
+    ///    stay warm), or moves the slot off its content key if exclusive
+    ///    (so later registrations of the *old* content cannot alias the
+    ///    mutated slot);
+    /// 2. mirrors the edge event onto the slot's graph and the row changes
+    ///    onto its residue view;
+    /// 3. repairs the cached [`CycleProfile`] through
+    ///    [`CycleProfile::patch`] — verification runs against the live
+    ///    graph through a [`ScanChecker`], so no adjacency layout is
+    ///    rebuilt per event — **unless** the analytic touched-lane
+    ///    estimate exceeds the [`patch_limit`] knob (`FHG_PATCH_LIMIT`) or
+    ///    the patch is refused (cycle changed, verdict already broken), in
+    ///    which case it degrades to a full rebuild, still in this call.
+    ///
+    /// Cold slots absorb the content change and stay cold
+    /// ([`PatchOutcome::Cold`]).  A mutated schedule that outgrows a
+    /// profile budget goes cold with a typed
+    /// [`PatchError::BudgetExceeded`].  After warm-up, the in-place path
+    /// performs zero heap allocations (proved by `tests/zero_alloc.rs`).
+    pub fn patch(&mut self, tenant: u64, repair: &EventRepair) -> Result<PatchOutcome, PatchError> {
+        let Some(&key) = self.tenants.get(&tenant) else {
+            self.counters.misses.fetch_add(1, Relaxed);
+            return Err(PatchError::UnknownTenant(tenant));
+        };
+        let key = self.detach_for_write(tenant, key);
+        let Self { slots, counters, patch_scratch, .. } = self;
+        let slot = slots.get_mut(&key).expect("detach_for_write placed the slot");
+
+        // Mirror the event onto the slot's private graph copy first: a
+        // failure here means the repair came from a scheduler that is not
+        // this tenant's registered content, and leaves the slot untouched.
+        let event = repair.event;
+        match event.kind {
+            EdgeEventKind::Insert => slot.graph.add_edge(event.u, event.v),
+            EdgeEventKind::Delete => slot.graph.remove_edge(event.u, event.v),
+        }
+        .map_err(PatchError::Graph)?;
+        for change in repair.row_changes() {
+            slot.view.apply_row(change);
+        }
+
+        if slot.profile.is_none() {
+            return Ok(PatchOutcome::Cold);
+        }
+
+        // The mutated schedule may have outgrown the closed form (a
+        // recolored node with a longer period stretches the cycle): the
+        // same budgets registration enforces, re-validated before any
+        // rebuild could assert deep in the build.
+        let cycle = slot.view.cycle();
+        if cycle > CycleProfile::MAX_CYCLE {
+            slot.profile = None;
+            counters.evictions.fetch_add(1, Relaxed);
+            return Err(PatchError::BudgetExceeded(RegisterError::CycleTooLong {
+                cycle,
+                max: CycleProfile::MAX_CYCLE,
+            }));
+        }
+        let attendance = slot.view.attendance_per_cycle();
+        if attendance > CycleProfile::MAX_EVENTS {
+            slot.profile = None;
+            counters.evictions.fetch_add(1, Relaxed);
+            return Err(PatchError::BudgetExceeded(RegisterError::AttendanceTooHeavy {
+                attendance,
+                max: CycleProfile::MAX_EVENTS,
+            }));
+        }
+
+        // The analytic touched-lane estimate: offsets rewritten per row
+        // change (old progression out, new progression in) plus, for an
+        // insert, an upper bound on the CRT co-attendance classes.  Purely
+        // arithmetic — computed before deciding to patch, so a pathological
+        // event (a hub recoloring onto modulus 1) pays a rebuild instead of
+        // a patch that is no cheaper.
+        let mut touched: u64 = repair
+            .row_changes()
+            .iter()
+            .map(|c| cycle / c.old_modulus.max(1) + cycle / c.new_modulus)
+            .sum();
+        if event.kind == EdgeEventKind::Insert {
+            let (mu, mv) = (slot.view.modulus(event.u), slot.view.modulus(event.v));
+            touched += cycle / mu.max(mv);
+        }
+
+        if touched <= patch_limit() {
+            let profile = slot.profile.as_mut().expect("checked warm above");
+            let scan = ScanChecker::new(&slot.graph);
+            let inserted = (event.kind == EdgeEventKind::Insert).then_some((event.u, event.v));
+            if let Ok(stats) =
+                profile.patch(&slot.view, repair.row_changes(), inserted, &scan, patch_scratch)
+            {
+                counters.patches.fetch_add(1, Relaxed);
+                return Ok(PatchOutcome::Patched(stats));
+            }
+        }
+        let checker = GraphChecker::new(&slot.graph);
+        slot.profile =
+            Some(CycleProfile::build(&slot.view, slot.start, slot.graph.node_count(), &checker));
+        counters.rebuilds.fetch_add(1, Relaxed);
+        Ok(PatchOutcome::Rebuilt)
+    }
+
+    /// Rebinds `tenant` to a slot that is safe to mutate: an
+    /// already-private slot is returned as-is; a shared slot is cloned
+    /// copy-on-write under a fresh synthetic key (the other tenants keep
+    /// the original, warm); an exclusively-held content-keyed slot is
+    /// *moved* to a synthetic key, so a later registration of the old
+    /// content starts a fresh slot instead of aliasing the mutated one.
+    fn detach_for_write(&mut self, tenant: u64, key: u64) -> u64 {
+        let slot = self.slots.get(&key).expect("tenant keys always resolve");
+        if slot.private {
+            return key;
+        }
+        let mut fresh = self.next_private_key;
+        while self.slots.contains_key(&fresh) {
+            fresh = fresh.wrapping_add(1);
+        }
+        self.next_private_key = fresh.wrapping_add(1);
+        let detached = if slot.refs == 1 {
+            let mut slot = self.slots.remove(&key).expect("just resolved");
+            slot.private = true;
+            slot
+        } else {
+            let shared = self.slots.get_mut(&key).expect("just resolved");
+            shared.refs -= 1;
+            ProfileSlot {
+                graph: shared.graph.clone(),
+                view: shared.view.clone(),
+                start: shared.start,
+                name: shared.name.clone(),
+                profile: shared.profile.clone(),
+                refs: 1,
+                private: true,
+            }
+        };
+        self.slots.insert(fresh, detached);
+        self.tenants.insert(tenant, fresh);
+        fresh
+    }
+
+    /// A snapshot of the cache-activity counters: query **hits** against
+    /// warm profiles vs **misses** (unknown tenants, cold profiles),
+    /// in-place **patches** vs full **rebuilds** (pending builds and patch
+    /// fallbacks), and **evictions** of warm profiles (invalidations,
+    /// released slots, budget-violating patches).  Counters are monotonic
+    /// over the service's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Relaxed),
+            misses: self.counters.misses.load(Relaxed),
+            patches: self.counters.patches.load(Relaxed),
+            rebuilds: self.counters.rebuilds.load(Relaxed),
+            evictions: self.counters.evictions.load(Relaxed),
+        }
     }
 
     /// Number of registered tenants.
@@ -350,15 +671,25 @@ impl ProfileService {
         t0: u64,
         t1: u64,
     ) -> Result<AnalysisTotals, QueryError> {
-        let (_, profile) = self.slot_of(tenant)?;
+        let (_, profile) = self.counted(self.slot_of(tenant))?;
         Ok(profile.derive_window_totals(t0, t1))
     }
 
     /// Answers one full per-node windowed query (the output allocation is
     /// proportional to the node count, never the window length).
     pub fn query(&self, tenant: u64, t0: u64, t1: u64) -> Result<ScheduleAnalysis, QueryError> {
-        let (slot, profile) = self.slot_of(tenant)?;
+        let (slot, profile) = self.counted(self.slot_of(tenant))?;
         Ok(profile.derive_window(&slot.name, &slot.graph, t0, t1))
+    }
+
+    /// Counts a slot lookup as a cache hit or miss (atomically — the batch
+    /// front resolves slots from worker threads under a shared `&self`).
+    fn counted<T>(&self, resolved: Result<T, QueryError>) -> Result<T, QueryError> {
+        match &resolved {
+            Ok(_) => self.counters.hits.fetch_add(1, Relaxed),
+            Err(_) => self.counters.misses.fetch_add(1, Relaxed),
+        };
+        resolved
     }
 
     /// The batch front, totals flavor: answers every request, sharded
@@ -562,6 +893,119 @@ mod tests {
                 service.query_totals(q.tenant, q.window.0, q.window.1).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn patch_limit_override_falls_back_instead_of_panicking() {
+        // Same contract as FHG_DENSE_LIMIT and FHG_KERNEL: garbage in the
+        // environment warns and falls back, never kills the server.
+        assert_eq!(parse_patch_limit(None), PATCH_LIMIT);
+        assert_eq!(parse_patch_limit(Some("")), PATCH_LIMIT);
+        assert_eq!(parse_patch_limit(Some("  ")), PATCH_LIMIT);
+        assert_eq!(parse_patch_limit(Some("garbage")), PATCH_LIMIT);
+        assert_eq!(parse_patch_limit(Some("-7")), PATCH_LIMIT);
+        assert_eq!(parse_patch_limit(Some("1e6")), PATCH_LIMIT);
+        assert_eq!(parse_patch_limit(Some("0")), 0, "zero forces rebuild-always");
+        assert_eq!(parse_patch_limit(Some("1024")), 1024);
+        assert_eq!(parse_patch_limit(Some(" 42 ")), 42, "whitespace is trimmed");
+    }
+
+    #[test]
+    fn shared_profiles_survive_removal_and_invalidation_of_a_cotenant() {
+        // Two tenants share one profile; removing one and bouncing the
+        // other through an invalidate/rebuild must keep the survivor's
+        // identity and answers bitwise-stable.
+        let g = erdos_renyi(28, 0.14, 13);
+        let s = PeriodicDegreeBound::new(&g);
+        let mut service = ProfileService::new();
+        let k1 = service.register(1, &g, &s).unwrap();
+        let k2 = service.register(2, &g, &s).unwrap();
+        assert_eq!(k1, k2, "identical content shares one slot");
+        assert_eq!(service.build_pending(), 1);
+
+        let cycle = service.profile(1).unwrap().cycle();
+        let window = (3, 4 * cycle + 1);
+        let before = service.query(2, window.0, window.1).unwrap();
+        let shared: *const CycleProfile = service.profile(2).unwrap();
+        assert_eq!(shared, service.profile(1).unwrap() as *const _, "one profile, two tenants");
+
+        assert!(service.remove(1), "tenant 1 leaves");
+        assert_eq!(service.tenant_count(), 1);
+        assert_eq!(service.key_count(), 1, "tenant 2 still holds the slot");
+        assert_eq!(
+            service.profile(2).unwrap() as *const CycleProfile,
+            shared,
+            "removal of a cotenant must not disturb the survivor's profile"
+        );
+
+        assert!(service.invalidate(2), "survivor goes cold on request");
+        assert_eq!(service.query(2, window.0, window.1), Err(QueryError::ProfileNotBuilt(2)));
+        assert_eq!(service.build_pending(), 1);
+        let after = service.query(2, window.0, window.1).unwrap();
+        assert_eq!(after, before, "rebuild is bitwise-stable");
+        let stats = service.stats();
+        assert_eq!(stats.evictions, 1, "one explicit invalidation");
+        assert_eq!(stats.rebuilds, 2, "initial build + rebuild");
+        assert_eq!(stats.misses, 1, "the one cold query");
+    }
+
+    #[test]
+    fn patch_repairs_in_place_and_detaches_shared_slots() {
+        use crate::dynamic::DynamicColorBound;
+
+        let g = erdos_renyi(40, 0.1, 21);
+        let mut sched = DynamicColorBound::new(&g);
+        let mut service = ProfileService::new();
+        service.register(1, &g, &sched).unwrap();
+        service.register(2, &g, &sched).unwrap();
+        assert_eq!(service.build_pending(), 1);
+        let cycle = service.profile(1).unwrap().cycle();
+        let untouched = service.query(2, 0, 3 * cycle).unwrap();
+
+        // Drive a few events through tenant 1; tenant 2 keeps the original.
+        let mut patched = 0u64;
+        let mut events = 0u64;
+        let mut last_repair = None;
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 4), (0, 1)] {
+            let kind = if sched.graph().has_edge(u, v) {
+                EdgeEventKind::Delete
+            } else {
+                EdgeEventKind::Insert
+            };
+            let event = fhg_graph::EdgeEvent { kind, u, v, holiday: events };
+            let repair = sched.apply_event(event).unwrap();
+            match service.patch(1, &repair).unwrap() {
+                PatchOutcome::Patched(_) => patched += 1,
+                PatchOutcome::Rebuilt => {}
+                PatchOutcome::Cold => panic!("slot was warm"),
+            }
+            last_repair = Some(repair);
+            events += 1;
+
+            // Patched profile must equal a from-scratch build of the
+            // mutated schedule, served through the query path.
+            let view = sched.residue_schedule().unwrap();
+            let checker = GraphChecker::new(sched.graph());
+            let oracle =
+                CycleProfile::build(view, sched.first_holiday(), sched.node_count(), &checker);
+            let served = service.profile(1).unwrap();
+            assert!(served.content_eq(&oracle), "event {events}: patched profile diverged");
+        }
+        assert!(patched > 0, "at least some events must take the in-place path");
+        assert_eq!(
+            service.query(2, 0, 3 * cycle).unwrap(),
+            untouched,
+            "the cotenant's profile must be copy-on-write isolated from the mutation"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.patches + stats.rebuilds - 1, events, "every event counted");
+
+        // Replaying an already-applied event no longer fits the slot's
+        // graph: a typed error, and the slot is left untouched.
+        let replay = last_repair.expect("loop ran");
+        let err = service.patch(1, &replay).unwrap_err();
+        assert!(matches!(err, PatchError::Graph(_)), "{err}");
+        assert!(matches!(service.patch(77, &replay), Err(PatchError::UnknownTenant(77))));
     }
 
     #[test]

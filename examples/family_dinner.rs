@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example family_dinner`
 
 use fhg::core::dynamic::DynamicColorBound;
-use fhg::core::Scheduler;
+use fhg::core::{HappySet, Scheduler};
 use fhg::graph::dynamic::random_churn;
 use fhg::graph::generators;
 
@@ -36,15 +36,20 @@ fn main() {
     let mut repaired_families = 0usize;
     let mut max_recovery = 0u64;
     let mut holiday = 0u64;
+    // One reused zero-alloc buffer serves every holiday between events.
+    let mut happy = HappySet::new(initial.node_count());
     for event in events {
         // A few holidays pass between events.
         for _ in 0..4 {
-            let happy = scheduler.happy_set(holiday);
-            assert!(fhg::graph::properties::is_independent_set(scheduler.graph(), &happy));
+            scheduler.fill_happy_set(holiday, &mut happy);
+            let independent = happy
+                .iter()
+                .all(|u| scheduler.graph().neighbors(u).iter().all(|&v| !happy.contains(v)));
+            assert!(independent, "holiday {holiday}: the gathering must be conflict-free");
             holiday += 1;
         }
-        let repaired = scheduler.apply_event(event).expect("churn events are valid");
-        for p in repaired {
+        let repair = scheduler.apply_event(event).expect("churn events are valid");
+        for p in repair.recolored() {
             repaired_families += 1;
             // After the repair the family hosts again within its new period,
             // which §6 bounds by phi(d) * 2^(log* d + 1).

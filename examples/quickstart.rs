@@ -51,6 +51,21 @@ fn main() {
     // scheduler: the whole point of the paper is that the wait should track
     // the parent's own degree, not the graph's maximum degree.
     let mut degree_bound = PeriodicDegreeBound::new(&graph);
+
+    // Serve a few gatherings through the zero-alloc API: `fill_happy_set`
+    // reuses one `HappySet` buffer instead of allocating a `Vec` per holiday.
+    let mut happy = HappySet::new(graph.node_count());
+    let sizes: Vec<String> = (0..8)
+        .map(|t| {
+            degree_bound.fill_happy_set(t, &mut happy);
+            happy.len().to_string()
+        })
+        .collect();
+    println!(
+        "\nGathering sizes over the first 8 holidays (one reused buffer): {}",
+        sizes.join(", ")
+    );
+
     let analysis = analyze_schedule(&graph, &mut degree_bound, horizon);
     let low = analysis.per_node.iter().filter(|n| n.degree > 0).min_by_key(|n| n.degree).unwrap();
     let high = analysis.per_node.iter().max_by_key(|n| n.degree).unwrap();

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use fhg::core::analysis::analyze_schedule;
 use fhg::core::schedulers::standard_suite;
+use fhg::core::Scheduler;
 use fhg::graph::generators;
 
 fn main() {
@@ -69,4 +70,20 @@ fn main() {
             println!("  {degree:>7} {worst:>12} {bound:>12}");
         }
     }
+
+    // The zero-alloc serving path: one reused `HappySet` buffer drives the
+    // whole horizon through `fill_happy_set`, no per-holiday `Vec`.
+    let hub = (0..graph.node_count()).max_by_key(|&p| graph.degree(p)).unwrap();
+    let mut sched = fhg::core::schedulers::PeriodicDegreeBound::new(&graph);
+    let mut happy = fhg::core::HappySet::new(graph.node_count());
+    let mut hub_hosts = 0u64;
+    for t in 0..horizon {
+        sched.fill_happy_set(t, &mut happy);
+        hub_hosts += u64::from(happy.contains(hub));
+    }
+    println!(
+        "\nHub family {hub} (degree {}) is happy on {hub_hosts} of {horizon} holidays \
+         (zero-alloc fill_happy_set sweep)",
+        graph.degree(hub)
+    );
 }

@@ -2,9 +2,11 @@
 //! heap allocations per holiday, for every scheduler in the standard suite —
 //! the same holds for the fused kernel emission+verification paths
 //! (`ResidueSchedule::fill` + `GraphChecker`, whose dispatch decision is
-//! cached in a `OnceLock`, never re-detected per call) and on every worker
+//! cached in a `OnceLock`, never re-detected per call), on every worker
 //! thread of the sharded analysis path, whose per-shard scratch (happy-set
-//! buffer + accumulators) is allocated once per shard, never per holiday.
+//! buffer + accumulators) is allocated once per shard, never per holiday,
+//! and for the incremental repair plane, where steady-state edge events
+//! through `ProfileService::patch` reuse the service-owned scratch.
 //!
 //! A counting global allocator records every allocation; the test warms each
 //! scheduler's buffer (and any internal scratch) for a few holidays, then
@@ -334,4 +336,64 @@ fn fill_happy_set_allocates_nothing_after_warmup() {
         })
         .collect();
     assert_eq!(deltas[0], deltas[1], "sharded sweep allocations must not depend on the horizon");
+
+    // The incremental repair plane (PR 8): steady-state edge churn through
+    // `ProfileService::patch` must be allocation-free after warm-up — the
+    // patch scratch (class batch, verification list, compaction arena) is
+    // owned by the service and reused, replacement rows retire in place or
+    // into pre-grown arena capacity, and the `ScanChecker` verifies against
+    // the live graph without building a per-event adjacency layout.
+    {
+        use fhg::core::dynamic::DynamicColorBound;
+        use fhg::core::serving::{PatchOutcome, ProfileService};
+        use fhg::graph::{EdgeEvent, EdgeEventKind};
+
+        let base = generators::erdos_renyi(200, 0.02, 13);
+        let mut sched = DynamicColorBound::new(&base);
+        let mut service = ProfileService::new();
+        service.register(0, sched.graph(), &sched).expect("the dynamic tenant registers cleanly");
+        assert_eq!(service.build_pending(), 1);
+
+        // Pre-generate a long alternating insert/delete stream of one
+        // initially-absent edge: every repair replays the same lanes, so
+        // once the scratch reaches its high-water mark nothing grows, and
+        // retries continue the stream instead of replaying applied events.
+        let n = base.node_count();
+        let (u, v) = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .find(|&(a, b)| !base.has_edge(a, b))
+            .expect("a sparse graph has absent edges");
+        let repairs: Vec<_> = (0..40u64)
+            .map(|i| {
+                let kind = if i % 2 == 0 { EdgeEventKind::Insert } else { EdgeEventKind::Delete };
+                sched
+                    .apply_event(EdgeEvent { kind, u, v, holiday: i })
+                    .expect("toggling one absent edge is always valid")
+            })
+            .collect();
+
+        // Warm-up: the first patches detach the slot, size the class batch
+        // and let the offset arena find its high-water capacity across a
+        // few retire/compact rounds.
+        let mut next = 0usize;
+        for _ in 0..16 {
+            let outcome = service.patch(0, &repairs[next]).expect("tenant 0 is registered");
+            assert!(outcome != PatchOutcome::Rebuilt, "the edge toggle must stay patchable");
+            next += 1;
+        }
+        let delta = min_alloc_delta(|| {
+            for _ in 0..8 {
+                match service.patch(0, &repairs[next]).expect("tenant 0 is registered") {
+                    PatchOutcome::Patched(_) => {}
+                    other => panic!("steady-state toggle fell off the patch path: {other:?}"),
+                }
+                next += 1;
+            }
+        });
+        assert_eq!(
+            delta, 0,
+            "incremental profile repair allocated {delta} times per 8-event window after \
+             warm-up (the patch plane must reuse the service-owned scratch)"
+        );
+    }
 }
