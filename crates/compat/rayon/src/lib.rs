@@ -8,6 +8,10 @@
 //!   `enumerate` / `map` / `for_each` / `sum` / `collect` combinators the
 //!   workspace calls on them;
 //! * [`join`] for two-way fork/join;
+//! * [`ParIterMut::for_each_isolated`] for crash-only batches: per-job
+//!   panics are caught and reported as a [`BatchOutcome`] instead of
+//!   re-thrown, so one poisoned job cannot take down its siblings or the
+//!   caller (the serving tier quarantines exactly the jobs that died);
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] for scoping a region of
 //!   code to an explicit thread count (used by the analysis parity tests to
 //!   pin 1/2/8 threads without touching the environment);
@@ -375,6 +379,42 @@ where
     }
 }
 
+/// One job that panicked inside an isolated batch — see
+/// [`ParIterMut::for_each_isolated`].
+#[derive(Debug)]
+pub struct JobPanic {
+    /// Index of the input item whose job panicked.
+    pub index: usize,
+    /// The panic payload, rendered as a string when it was one (`&str` or
+    /// `String` payloads; anything else becomes a placeholder).
+    pub message: String,
+}
+
+/// The result of an isolated batch: which jobs panicked, in input order.
+/// Every non-panicking job ran to completion regardless.
+#[derive(Debug, Default)]
+pub struct BatchOutcome {
+    /// The panicked jobs, sorted by input index.
+    pub panics: Vec<JobPanic>,
+}
+
+impl BatchOutcome {
+    /// Whether every job completed without panicking.
+    pub fn is_clean(&self) -> bool {
+        self.panics.is_empty()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Parallel iterator over `&mut T` items of a slice.
 pub struct ParIterMut<'data, T> {
     slice: &'data mut [T],
@@ -397,6 +437,40 @@ impl<'data, T: Send> ParIterMut<'data, T> {
                 f(item);
             }
         });
+    }
+
+    /// Applies `f` to every item with **per-job panic isolation**: a panic
+    /// in `f` is caught on the executing thread and recorded against the
+    /// item's index instead of aborting the batch or re-throwing into the
+    /// caller (the [`ParIterMut::for_each`] contract).  Every other item —
+    /// including the rest of the panicking item's chunk — still runs, and
+    /// the returned [`BatchOutcome`] says exactly which jobs died, so a
+    /// crash-only caller can poison precisely the state those jobs owned
+    /// while the healthy jobs' results stand.
+    ///
+    /// `f` only gets `&mut` to one item at a time, so item state observed
+    /// after a panic is whatever `f` had written so far — the caller decides
+    /// whether that is quarantinable or recoverable.
+    pub fn for_each_isolated<F>(self, f: F) -> BatchOutcome
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let threads = current_num_threads();
+        let panics: std::sync::Mutex<Vec<JobPanic>> = std::sync::Mutex::new(Vec::new());
+        run_chunked(mut_jobs(self.slice, threads), threads, |base, chunk: &'data mut [T]| {
+            for (j, item) in chunk.iter_mut().enumerate() {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    panics
+                        .lock()
+                        .expect("isolated panic list poisoned")
+                        .push(JobPanic { index: base + j, message: panic_message(&*payload) });
+                }
+            }
+        });
+        let mut panics = panics.into_inner().expect("isolated panic list poisoned");
+        panics.sort_unstable_by_key(|p| p.index);
+        BatchOutcome { panics }
     }
 }
 
@@ -661,5 +735,42 @@ mod tests {
             with_threads(4, || v.par_iter().for_each(|_| panic!("boom")));
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn isolated_batches_record_panics_instead_of_rethrowing() {
+        for threads in [1usize, 2, 8] {
+            let mut v: Vec<u64> = (0..100).collect();
+            let outcome = with_threads(threads, || {
+                v.par_iter_mut().for_each_isolated(|x| {
+                    if *x % 10 == 3 {
+                        panic!("job {x} poisoned");
+                    }
+                    *x += 1000;
+                })
+            });
+            assert_eq!(
+                outcome.panics.iter().map(|p| p.index).collect::<Vec<_>>(),
+                vec![3, 13, 23, 33, 43, 53, 63, 73, 83, 93],
+                "threads = {threads}: exactly the poisoned jobs are recorded, in order"
+            );
+            assert!(outcome.panics[0].message.contains("poisoned"), "payload text survives");
+            assert!(!outcome.is_clean());
+            for (i, x) in v.iter().enumerate() {
+                if i % 10 == 3 {
+                    assert_eq!(*x, i as u64, "threads = {threads}: a dead job's item is untouched");
+                } else {
+                    assert_eq!(*x, i as u64 + 1000, "threads = {threads}: healthy jobs complete");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_batches_with_no_panics_are_clean() {
+        let mut v = vec![1u32; 64];
+        let outcome = with_threads(4, || v.par_iter_mut().for_each_isolated(|x| *x *= 2));
+        assert!(outcome.is_clean());
+        assert!(v.iter().all(|&x| x == 2));
     }
 }

@@ -85,11 +85,17 @@ fn main() {
         // Repo root, not CWD, so the trajectory file lands next to
         // ROADMAP.md regardless of where the binary was invoked.
         let path = repo_root().join("BENCH_analysis.json");
-        match std::fs::write(&path, &json) {
+        // Write-then-rename so a crashed or fault-injected run can never
+        // leave a truncated trajectory file behind: the rename is atomic
+        // on the same filesystem, so readers see the old file or the new
+        // one, never a partial write.
+        let tmp = path.with_extension("json.tmp");
+        match std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, &path)) {
             Ok(()) => {
                 eprintln!("[wrote {}: {} entries]", path.display(), entries.len());
             }
             Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
                 eprintln!("failed to write {}: {e}", path.display());
                 std::process::exit(1);
             }

@@ -318,6 +318,12 @@ impl<'g> ScanChecker<'g> {
 
 impl HolidayChecker for ScanChecker<'_> {
     fn check(&self, _t: u64, happy: &FixedBitSet) -> bool {
+        // Fault-injection site: an `err` action makes the checker falsely
+        // report a violation, silently poisoning a patched verdict — the
+        // corruption mode the serving tier's background audit exists to
+        // catch (the audit re-derives through `GraphChecker`, so it never
+        // shares this site).
+        crate::fail_point!("checker.batch", return false);
         let n = self.graph.node_count();
         fhg_graph::kernels::all_set_bits(happy.as_words(), |u| {
             u < n && self.graph.neighbors(u).iter().all(|&v| !happy.contains(v))

@@ -170,6 +170,8 @@ impl std::fmt::Display for PatchRefused {
     }
 }
 
+impl std::error::Error for PatchRefused {}
+
 /// What a successful [`CycleProfile::patch`] did, for observability
 /// (bench rows, serving-tier stats).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -495,6 +497,15 @@ impl CycleProfile {
     ///   verdict.  A failed check flips the profile's verdict to
     ///   non-independent, exactly as a rebuild would conclude.
     ///
+    /// The phases run **prepare → validate → commit**: refusal checks and
+    /// class collection first, then the batched verification (which reads
+    /// only `view` and scratch), and only then the mutating size/row/lane
+    /// walk with the pre-computed verdict applied last.  A crash anywhere
+    /// before the commit phase leaves the profile bitwise-untouched; a
+    /// crash *inside* the commit phase can leave it poisoned, which the
+    /// serving tier handles by quarantining the tenant (see
+    /// `ProfileService`).
+    ///
     /// The patched profile is **bitwise-identical in content** (see
     /// [`CycleProfile::content_eq`]) to `CycleProfile::build` against the
     /// post-event view and graph — only the arena layout may differ —
@@ -553,6 +564,29 @@ impl CycleProfile {
         scratch.classes.sort_unstable();
         scratch.classes.dedup();
 
+        // Validate before commit: batched re-verification of the touched
+        // classes, 64-wide like the build, against the (already-updated)
+        // `view` — it reads nothing the commit below mutates, so the
+        // verdict is decided while the profile is still bitwise-untouched
+        // and a crash anywhere up to here leaves nothing to roll back.
+        // `enabled` short-circuits after the first failure, exactly
+        // mirroring the build's shard loop.
+        if scratch.batch_capacity != view.node_count() {
+            scratch.batch = ClassBatch::new(view.node_count());
+            scratch.batch_capacity = view.node_count();
+        }
+        let mut ok = true;
+        for &o in &scratch.classes {
+            let t = self.start + o;
+            let happy = scratch.batch.slot(t);
+            view.fill(t, happy);
+            if scratch.batch.commit() {
+                ok &= scratch.batch.flush(ok, checker);
+            }
+        }
+        ok &= scratch.batch.flush(ok, checker);
+        crate::fail_point!("profile.patch.validate");
+
         for change in changes {
             let p = change.node;
             let (old_m, new_m) = (change.old_modulus, change.new_modulus);
@@ -602,27 +636,10 @@ impl CycleProfile {
                 self.bank.record(p, self.offsets[s + i as usize]);
             }
         }
+        crate::fail_point!("profile.patch.commit");
         if self.garbage > self.offsets.len() / 2 {
             self.compact(scratch);
         }
-
-        // Batched re-verification of the touched classes, 64-wide like the
-        // build.  `enabled` short-circuits after the first failure, exactly
-        // mirroring the build's shard loop.
-        if scratch.batch_capacity != view.node_count() {
-            scratch.batch = ClassBatch::new(view.node_count());
-            scratch.batch_capacity = view.node_count();
-        }
-        let mut ok = true;
-        for &o in &scratch.classes {
-            let t = self.start + o;
-            let happy = scratch.batch.slot(t);
-            view.fill(t, happy);
-            if scratch.batch.commit() {
-                ok &= scratch.batch.flush(ok, checker);
-            }
-        }
-        ok &= scratch.batch.flush(ok, checker);
         self.all_independent = ok;
 
         Ok(PatchStats { lanes_patched: changes.len(), classes_verified: scratch.classes.len() })

@@ -77,6 +77,22 @@ impl EventRepair {
     pub fn recolored(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.row_changes().iter().map(|c| c.node)
     }
+
+    /// Assembles a repair from raw parts (at most two row changes).
+    ///
+    /// Real repairs come from [`DynamicColorBound::apply_event`]; this
+    /// constructor exists so the robustness suites can stage pathological
+    /// repairs — e.g. a recolouring that outgrows the profile budgets —
+    /// that the maintained schedulers never emit.
+    #[doc(hidden)]
+    pub fn from_parts(event: EdgeEvent, changes: &[RowChange]) -> Self {
+        assert!(changes.len() <= 2, "a repair carries at most two row changes");
+        let mut repair = EventRepair::new(event);
+        for &change in changes {
+            repair.push(change);
+        }
+        repair
+    }
 }
 
 /// The §6 dynamic colour-bound scheduler.

@@ -32,6 +32,7 @@
 
 pub mod analysis;
 pub mod dynamic;
+pub mod failpoint;
 pub mod gathering;
 pub mod lower_bound;
 pub mod scheduler;
@@ -47,8 +48,9 @@ pub use analysis::{
 pub use gathering::{orientation_from_happy_set, Gathering};
 pub use scheduler::Scheduler;
 pub use serving::{
-    patch_limit, CacheStats, PatchError, PatchOutcome, ProfileService, Query, QueryError,
-    RegisterError, WindowAnalysis, WindowTotals, PATCH_LIMIT,
+    audit_step_size, patch_limit, AuditStats, CacheStats, PatchError, PatchOutcome, ProfileService,
+    QuarantineReason, Query, QueryError, RegisterError, WindowAnalysis, WindowTotals, AUDIT_STEP,
+    PATCH_LIMIT,
 };
 
 /// The zero-allocation per-holiday buffer filled by

@@ -28,7 +28,25 @@
 //!   zero-width, inverted and sub-cycle windows all take defined paths
 //!   (see [`CycleProfile::derive_window`](crate::analysis::CycleProfile::derive_window)).
 //!
-//! # Incremental repair and observability
+//! # Slot lifecycle: Building → Warm → Quarantined
+//!
+//! Every cached slot is in exactly one [`SlotState`]:
+//!
+//! * **Building** — registered (or invalidated) but not yet built; queries
+//!   return [`QueryError::ProfileNotBuilt`] until the next
+//!   [`build_pending`](ProfileService::build_pending).
+//! * **Warm** — a verified [`CycleProfile`] is cached and serving.
+//! * **Quarantined** — something went wrong *after* a commit point (a
+//!   panic mid-patch, a build worker that died, a background-audit
+//!   mismatch) and the cached state can no longer be trusted.  Queries
+//!   return the typed [`QueryError::Quarantined`] — the tier never serves
+//!   a possibly-poisoned profile — and
+//!   [`repair_quarantined`](ProfileService::repair_quarantined) rebuilds
+//!   the slot cold from its (graph, schedule) content, which is always
+//!   kept consistent.  The [`QuarantineReason`] is retained for
+//!   observability.
+//!
+//! # Incremental repair and the commit-point contract
 //!
 //! A mutating tenant does not have to go cold: [`ProfileService::patch`]
 //! applies one dynamic edge event (the [`EventRepair`] its scheduler
@@ -36,9 +54,45 @@
 //! the profile is shared, lane-level repair through
 //! [`CycleProfile::patch`](crate::analysis::CycleProfile::patch), and a
 //! guarded fall-back to a full rebuild when the event touches more lanes
-//! than the `FHG_PATCH_LIMIT` knob allows ([`patch_limit`]).  Every cache
-//! transition is counted ([`ProfileService::stats`], [`CacheStats`]):
-//! hits, misses, in-place patches, full rebuilds and evictions.
+//! than the `FHG_PATCH_LIMIT` knob allows ([`patch_limit`]).
+//!
+//! The patch runs **prepare → validate → commit**.  Prepare mirrors the
+//! edge event onto the slot's private graph (a typed [`PatchError::Graph`]
+//! failure here leaves everything untouched) and stages the row changes.
+//! Validate re-checks the profile budgets; a violation **rolls back** the
+//! rows and the edge event, so the slot's graph/schedule/profile trio is
+//! bitwise the pre-event state and keeps serving
+//! ([`PatchError::BudgetExceeded`]).  Only then does the profile repair
+//! commit.  A panic past the prepare phase (an injected failpoint, a bug)
+//! is caught and **quarantines** the tenant instead of unwinding into the
+//! caller or leaving a half-mutated slot serving wrong answers
+//! ([`PatchError::Quarantined`]); the slot's content is post-event, so the
+//! cold rebuild converges with the caller's scheduler.
+//!
+//! # Background integrity audit
+//!
+//! [`ProfileService::audit_step`] is an amortized scrubber: each call
+//! re-derives `k` warm slots (round-robin by key) through the sequential
+//! reference sweep [`analyze_schedule_reference`] with a fresh
+//! [`GraphChecker`] — a path that shares no state, scratch or checker with
+//! the serving fast paths — and quarantines any slot whose cached totals
+//! or independence verdict disagree.  This is the layer that catches
+//! *silent* corruption (e.g. an injected `checker.batch` fault that flips
+//! a patched verdict) which typed errors and panic quarantine cannot see.
+//! [`AuditStats`] joins [`CacheStats`] in the observability surface.
+//!
+//! Every cache transition is counted ([`ProfileService::stats`],
+//! [`CacheStats`]): hits, misses, in-place patches, full rebuilds,
+//! evictions and quarantines.
+//!
+//! # Fault injection
+//!
+//! The tier's failure paths are driven deterministically by the
+//! [`failpoint`](crate::failpoint) sites `patch.after_rows`,
+//! `build.slot`, `query.batch`, `profile.patch.validate`,
+//! `profile.patch.commit` and `checker.batch` (see `FHG_FAILPOINTS`);
+//! `tests/chaos.rs` replays seeded event/query/fault interleavings
+//! against a fault-free oracle at several thread counts.
 //!
 //! # Batch front and sharding
 //!
@@ -53,6 +107,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::OnceLock;
 
@@ -60,12 +115,12 @@ use fhg_graph::{EdgeEventKind, Graph, GraphError};
 use rayon::prelude::*;
 
 use crate::analysis::{
-    AnalysisTotals, CycleProfile, GraphChecker, PatchScratch, PatchStats, ScanChecker,
-    ScheduleAnalysis,
+    analyze_schedule_reference, AnalysisTotals, CycleProfile, GraphChecker, PatchScratch,
+    PatchStats, ScanChecker, ScheduleAnalysis,
 };
 use crate::dynamic::EventRepair;
 use crate::scheduler::Scheduler;
-use crate::schedulers::residue::ResidueSchedule;
+use crate::schedulers::residue::{ResidueSchedule, RowChange};
 
 /// Default ceiling on the analytic touched-lane estimate above which
 /// [`ProfileService::patch`] rebuilds instead of repairing in place.
@@ -100,6 +155,44 @@ fn parse_patch_limit(raw: Option<&str>) -> u64 {
                      using the default {PATCH_LIMIT}"
                 );
                 PATCH_LIMIT
+            }
+        },
+    }
+}
+
+/// Default number of warm slots one [`ProfileService::audit_step`] call
+/// re-derives.  Override at runtime with `FHG_AUDIT_STEP`; see
+/// [`audit_step_size`].
+pub const AUDIT_STEP: usize = 8;
+
+/// The per-call audit batch size, decided once per process and cached in
+/// a `OnceLock`: the `FHG_AUDIT_STEP` environment variable when set (so
+/// deployments can trade scrub latency against steady-state overhead
+/// without recompiling), otherwise [`AUDIT_STEP`].
+///
+/// Same warn-and-fall-back contract as every other `FHG_*` knob: a
+/// malformed value logs one warning to stderr and falls back to the
+/// default (pinned by the unit tests below).
+pub fn audit_step_size() -> usize {
+    static STEP: OnceLock<usize> = OnceLock::new();
+    *STEP.get_or_init(|| parse_audit_step(std::env::var("FHG_AUDIT_STEP").ok().as_deref()))
+}
+
+/// Parses the `FHG_AUDIT_STEP` override (factored out of
+/// [`audit_step_size`] so the fallback policy is testable despite the
+/// process-wide cache).
+fn parse_audit_step(raw: Option<&str>) -> usize {
+    match raw {
+        None => AUDIT_STEP,
+        Some(raw) if raw.trim().is_empty() => AUDIT_STEP,
+        Some(raw) => match raw.trim().parse() {
+            Ok(step) => step,
+            Err(_) => {
+                eprintln!(
+                    "warning: FHG_AUDIT_STEP={raw:?} is not a slot count; \
+                     using the default {AUDIT_STEP}"
+                );
+                AUDIT_STEP
             }
         },
     }
@@ -164,6 +257,15 @@ pub enum QueryError {
     /// explicitly invalidated); call
     /// [`ProfileService::build_pending`] first.
     ProfileNotBuilt(u64),
+    /// The tenant's slot is quarantined — a patch panic, a build-worker
+    /// death or an audit mismatch marked its cached state untrustworthy —
+    /// and the service refuses to serve a possibly-poisoned answer.  Call
+    /// [`ProfileService::repair_quarantined`] to rebuild it cold.
+    Quarantined(u64),
+    /// The query worker died mid-derivation (a bug, or an injected
+    /// `query.batch` fault).  The tenant's cached state is untouched;
+    /// retrying is safe.
+    Internal(u64),
 }
 
 impl fmt::Display for QueryError {
@@ -172,6 +274,12 @@ impl fmt::Display for QueryError {
             QueryError::UnknownTenant(t) => write!(f, "tenant {t} is not registered"),
             QueryError::ProfileNotBuilt(t) => {
                 write!(f, "tenant {t}'s profile is cold; run build_pending first")
+            }
+            QueryError::Quarantined(t) => {
+                write!(f, "tenant {t} is quarantined; run repair_quarantined first")
+            }
+            QueryError::Internal(t) => {
+                write!(f, "the worker answering tenant {t} died; retrying is safe")
             }
         }
     }
@@ -193,9 +301,28 @@ pub struct CacheStats {
     /// Full profile builds: every [`ProfileService::build_pending`] build
     /// plus every patch that fell back to a rebuild.
     pub rebuilds: u64,
-    /// Warm profiles dropped: explicit invalidations, slots released by
-    /// their last tenant, and budget-violating patches that went cold.
+    /// Warm profiles dropped: explicit invalidations and slots released by
+    /// their last tenant.
     pub evictions: u64,
+    /// Slots moved to [`SlotState::Quarantined`]: patch panics, build
+    /// panics and audit mismatches.
+    pub quarantines: u64,
+}
+
+/// A point-in-time snapshot of the background scrubber's counters — see
+/// [`ProfileService::audit_step`].  Monotonic, like [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuditStats {
+    /// [`ProfileService::audit_step`] calls made.
+    pub steps: u64,
+    /// Warm slots re-derived through the reference sweep.
+    pub audited: u64,
+    /// Audited slots whose cached totals or verdict disagreed with the
+    /// reference sweep.
+    pub mismatches: u64,
+    /// Slots the audit quarantined (equals `mismatches` — retained
+    /// separately so a future lenient mode can diverge them).
+    pub quarantined: u64,
 }
 
 /// The service's internal counters — atomic because the batch query front
@@ -207,6 +334,11 @@ struct Counters {
     patches: AtomicU64,
     rebuilds: AtomicU64,
     evictions: AtomicU64,
+    quarantines: AtomicU64,
+    audit_steps: AtomicU64,
+    audited: AtomicU64,
+    audit_mismatches: AtomicU64,
+    audit_quarantined: AtomicU64,
 }
 
 /// What [`ProfileService::patch`] did with an edge event.
@@ -235,10 +367,19 @@ pub enum PatchError {
     /// the repair came from a different scheduler than the one registered.
     /// The slot is left untouched.
     Graph(GraphError),
-    /// The mutated schedule outgrew a profile budget (cycle length or
-    /// attendance volume); the slot's content was updated but its profile
-    /// went cold — the closed form no longer applies to this tenant.
+    /// The mutated schedule would outgrow a profile budget (cycle length
+    /// or attendance volume); the closed form cannot represent the
+    /// post-event tenant, so the edge event and row changes were **rolled
+    /// back** — the slot still serves its pre-event content, bitwise
+    /// unchanged.
     BudgetExceeded(RegisterError),
+    /// The tenant's slot is quarantined: either it already was when the
+    /// patch arrived, or this very patch panicked past its commit point
+    /// and the service quarantined it rather than serve a half-mutated
+    /// profile.  The slot's (graph, schedule) content is post-event, so
+    /// [`ProfileService::repair_quarantined`] converges with the caller's
+    /// scheduler.
+    Quarantined(u64),
 }
 
 impl fmt::Display for PatchError {
@@ -247,7 +388,10 @@ impl fmt::Display for PatchError {
             PatchError::UnknownTenant(t) => write!(f, "tenant {t} is not registered"),
             PatchError::Graph(e) => write!(f, "event does not apply to the tenant's graph: {e}"),
             PatchError::BudgetExceeded(e) => {
-                write!(f, "mutated schedule outgrew the profile budget: {e}")
+                write!(f, "mutated schedule would outgrow the profile budget: {e}")
+            }
+            PatchError::Quarantined(t) => {
+                write!(f, "tenant {t} is quarantined; run repair_quarantined first")
             }
         }
     }
@@ -288,6 +432,52 @@ pub struct WindowAnalysis {
     pub analysis: ScheduleAnalysis,
 }
 
+/// Why a slot was quarantined — retained on the slot for observability
+/// ([`ProfileService::quarantine_reason`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// [`ProfileService::patch`] panicked past its commit point; the
+    /// cached profile may be half-mutated.
+    PatchPanic,
+    /// The slot's build worker died inside
+    /// [`ProfileService::build_pending`].
+    BuildPanic,
+    /// [`ProfileService::audit_step`] re-derived the slot and its cached
+    /// totals or independence verdict disagreed with the reference sweep.
+    AuditMismatch,
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::PatchPanic => write!(f, "a patch panicked past its commit point"),
+            QuarantineReason::BuildPanic => write!(f, "the profile build worker died"),
+            QuarantineReason::AuditMismatch => {
+                write!(f, "the background audit found the cached profile diverged")
+            }
+        }
+    }
+}
+
+/// The lifecycle state of a cached slot — see the module docs for the
+/// Building → Warm → Quarantined contract.
+///
+/// `Warm` carries its profile inline: slots already live behind the
+/// service's map, nearly every slot is warm in steady state, and boxing
+/// would put one more pointer chase on every query resolve.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+pub enum SlotState {
+    /// Registered (or invalidated) but not yet built; the next
+    /// [`ProfileService::build_pending`] builds it.
+    Building,
+    /// A verified profile is cached and serving.
+    Warm(CycleProfile),
+    /// The cached state can no longer be trusted; queries are refused
+    /// until [`ProfileService::repair_quarantined`] rebuilds the slot.
+    Quarantined(QuarantineReason),
+}
+
 /// One cached (graph, schedule) pair and its profile, shared by every
 /// tenant whose content hashes to the same key.
 struct ProfileSlot {
@@ -295,8 +485,10 @@ struct ProfileSlot {
     view: ResidueSchedule,
     start: u64,
     name: String,
-    /// `None` while cold (pending first build, or invalidated).
-    profile: Option<CycleProfile>,
+    /// Where the slot is in the Building → Warm → Quarantined lifecycle.
+    /// The (graph, view) content above is always consistent regardless of
+    /// state — quarantine poisons only the cached profile.
+    state: SlotState,
     /// How many registered tenants point at this slot.
     refs: usize,
     /// Whether this slot was detached for mutation by
@@ -321,6 +513,10 @@ pub struct ProfileService {
     /// Next candidate synthetic key for detached slots (collision-checked
     /// against live keys before use).
     next_private_key: u64,
+    /// The last schedule key the background audit visited; each
+    /// [`ProfileService::audit_step`] resumes after it (round-robin by
+    /// key order), so the scrubber covers every warm slot over time.
+    audit_cursor: u64,
 }
 
 impl ProfileService {
@@ -373,7 +569,7 @@ impl ProfileService {
             view: view.clone(),
             start,
             name: scheduler.name().to_string(),
-            profile: None,
+            state: SlotState::Building,
             refs: 1,
             private: false,
         });
@@ -398,7 +594,7 @@ impl ProfileService {
             slot.refs -= 1;
             if slot.refs == 0 {
                 if let Some(slot) = self.slots.remove(&key) {
-                    if slot.profile.is_some() {
+                    if matches!(slot.state, SlotState::Warm(_)) {
                         self.counters.evictions.fetch_add(1, Relaxed);
                     }
                 }
@@ -409,42 +605,51 @@ impl ProfileService {
     /// Explicitly invalidates a tenant's cached profile — the *schedule
     /// key* goes cold, so every tenant sharing it rebuilds on the next
     /// [`ProfileService::build_pending`].  Returns whether a warm profile
-    /// was actually dropped.
+    /// was actually dropped.  Quarantined slots are untouched: they leave
+    /// quarantine only through
+    /// [`repair_quarantined`](ProfileService::repair_quarantined).
     pub fn invalidate(&mut self, tenant: u64) -> bool {
         let Some(&key) = self.tenants.get(&tenant) else {
             return false;
         };
         match self.slots.get_mut(&key) {
-            Some(slot) => {
-                let dropped = slot.profile.take().is_some();
-                if dropped {
-                    self.counters.evictions.fetch_add(1, Relaxed);
-                }
-                dropped
+            Some(slot) if matches!(slot.state, SlotState::Warm(_)) => {
+                slot.state = SlotState::Building;
+                self.counters.evictions.fetch_add(1, Relaxed);
+                true
             }
-            None => false,
+            _ => false,
         }
     }
 
-    /// Drops every cached profile (registrations stay).
+    /// Drops every cached profile (registrations stay; quarantined slots
+    /// are untouched, as in [`invalidate`](ProfileService::invalidate)).
     pub fn invalidate_all(&mut self) {
         for slot in self.slots.values_mut() {
-            if slot.profile.take().is_some() {
+            if matches!(slot.state, SlotState::Warm(_)) {
+                slot.state = SlotState::Building;
                 self.counters.evictions.fetch_add(1, Relaxed);
             }
         }
     }
 
-    /// Builds every cold profile, sharded across the persistent worker
-    /// pool (each build's internal cycle walk shards further — the nesting
-    /// is deadlock-free because the pool's caller always participates).
-    /// Returns how many profiles were built.  Idempotent: warm profiles
-    /// are untouched, so the service stays bitwise-stable across calls.
+    /// Builds every cold ([`SlotState::Building`]) profile, sharded across
+    /// the persistent worker pool (each build's internal cycle walk shards
+    /// further — the nesting is deadlock-free because the pool's caller
+    /// always participates).  Returns how many profiles were built.
+    /// Idempotent: warm profiles are untouched, so the service stays
+    /// bitwise-stable across calls.
+    ///
+    /// Crash-only: each build job runs isolated — a worker that panics
+    /// (a bug, or an injected `build.slot` fault) poisons **only its own
+    /// slot**, which is quarantined ([`QuarantineReason::BuildPanic`])
+    /// while every other slot finishes warm; the panic never unwinds into
+    /// the caller.
     pub fn build_pending(&mut self) -> usize {
         let pending: Vec<u64> = self
             .slots
             .iter()
-            .filter(|(_, slot)| slot.profile.is_none())
+            .filter(|(_, slot)| matches!(slot.state, SlotState::Building))
             .map(|(&key, _)| key)
             .collect();
         let mut building: Vec<(u64, ProfileSlot)> = pending
@@ -454,21 +659,48 @@ impl ProfileService {
                 (key, slot)
             })
             .collect();
-        building.par_iter_mut().for_each(|(_, slot)| {
+        let outcome = building.par_iter_mut().for_each_isolated(|(_, slot)| {
+            crate::fail_point!("build.slot");
             let checker = GraphChecker::new(&slot.graph);
-            slot.profile = Some(CycleProfile::build(
+            slot.state = SlotState::Warm(CycleProfile::build(
                 &slot.view,
                 slot.start,
                 slot.graph.node_count(),
                 &checker,
             ));
         });
-        let built = building.len();
+        for poison in &outcome.panics {
+            building[poison.index].1.state = SlotState::Quarantined(QuarantineReason::BuildPanic);
+        }
+        let built = building.len() - outcome.panics.len();
+        self.counters.quarantines.fetch_add(outcome.panics.len() as u64, Relaxed);
         for (key, slot) in building {
             self.slots.insert(key, slot);
         }
         self.counters.rebuilds.fetch_add(built as u64, Relaxed);
         built
+    }
+
+    /// Releases every quarantined slot back to [`SlotState::Building`] and
+    /// rebuilds it cold from its (graph, schedule) content — which is
+    /// always consistent, so the rebuilt profile converges with the
+    /// tenant's live scheduler.  Returns how many slots were released.
+    /// (The rebuild goes through [`build_pending`](ProfileService::build_pending),
+    /// so any independently-cold slots build too; if a fault schedule is
+    /// still injecting build panics the rebuild may re-quarantine, which
+    /// the next repair call retries — crash-only all the way down.)
+    pub fn repair_quarantined(&mut self) -> usize {
+        let mut released = 0;
+        for slot in self.slots.values_mut() {
+            if matches!(slot.state, SlotState::Quarantined(_)) {
+                slot.state = SlotState::Building;
+                released += 1;
+            }
+        }
+        if released > 0 {
+            self.build_pending();
+        }
+        released
     }
 
     /// Applies one dynamic edge event to `tenant`'s cached profile **in
@@ -493,10 +725,16 @@ impl ProfileService {
     ///    which case it degrades to a full rebuild, still in this call.
     ///
     /// Cold slots absorb the content change and stay cold
-    /// ([`PatchOutcome::Cold`]).  A mutated schedule that outgrows a
-    /// profile budget goes cold with a typed
-    /// [`PatchError::BudgetExceeded`].  After warm-up, the in-place path
-    /// performs zero heap allocations (proved by `tests/zero_alloc.rs`).
+    /// ([`PatchOutcome::Cold`]).  A mutated schedule that would outgrow a
+    /// profile budget is **rolled back** — edge event and rows restored,
+    /// the slot keeps serving its pre-event content — with a typed
+    /// [`PatchError::BudgetExceeded`].  A panic past the graph edit is
+    /// caught and quarantines the tenant ([`PatchError::Quarantined`])
+    /// instead of unwinding into the caller; its content stays post-event
+    /// so [`repair_quarantined`](ProfileService::repair_quarantined)
+    /// converges with the caller's scheduler.  After warm-up, the in-place
+    /// path performs zero heap allocations (proved by
+    /// `tests/zero_alloc.rs`).
     pub fn patch(&mut self, tenant: u64, repair: &EventRepair) -> Result<PatchOutcome, PatchError> {
         let Some(&key) = self.tenants.get(&tenant) else {
             self.counters.misses.fetch_add(1, Relaxed);
@@ -506,44 +744,85 @@ impl ProfileService {
         let Self { slots, counters, patch_scratch, .. } = self;
         let slot = slots.get_mut(&key).expect("detach_for_write placed the slot");
 
-        // Mirror the event onto the slot's private graph copy first: a
-        // failure here means the repair came from a scheduler that is not
-        // this tenant's registered content, and leaves the slot untouched.
+        // Prepare: mirror the event onto the slot's private graph copy
+        // first.  A failure here means the repair came from a scheduler
+        // that is not this tenant's registered content, and leaves the
+        // slot untouched.
         let event = repair.event;
         match event.kind {
             EdgeEventKind::Insert => slot.graph.add_edge(event.u, event.v),
             EdgeEventKind::Delete => slot.graph.remove_edge(event.u, event.v),
         }
         .map_err(PatchError::Graph)?;
+
+        // Everything past the graph edit runs under `catch_unwind`: a
+        // panic in the row application, the profile repair or the rebuild
+        // (injected via `patch.after_rows` / `profile.patch.*`, or a real
+        // bug) must not unwind into the caller, and must not leave a
+        // half-mutated profile serving — the slot is quarantined instead.
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            Self::patch_in_place(&mut *slot, counters, patch_scratch, tenant, repair)
+        }));
+        match attempt {
+            Ok(result) => result,
+            Err(_) => {
+                slot.state = SlotState::Quarantined(QuarantineReason::PatchPanic);
+                counters.quarantines.fetch_add(1, Relaxed);
+                Err(PatchError::Quarantined(tenant))
+            }
+        }
+    }
+
+    /// The validate + commit phases of [`ProfileService::patch`], run
+    /// under its `catch_unwind` with the graph edit already applied.
+    fn patch_in_place(
+        slot: &mut ProfileSlot,
+        counters: &Counters,
+        patch_scratch: &mut PatchScratch,
+        tenant: u64,
+        repair: &EventRepair,
+    ) -> Result<PatchOutcome, PatchError> {
+        let event = repair.event;
         for change in repair.row_changes() {
             slot.view.apply_row(change);
         }
+        crate::fail_point!("patch.after_rows");
 
-        if slot.profile.is_none() {
+        // A quarantined slot still absorbs the content change (so the
+        // eventual cold rebuild converges with the caller's scheduler),
+        // but its cached profile stays untrusted.
+        if matches!(slot.state, SlotState::Quarantined(_)) {
+            return Err(PatchError::Quarantined(tenant));
+        }
+        if matches!(slot.state, SlotState::Building) {
             return Ok(PatchOutcome::Cold);
         }
 
-        // The mutated schedule may have outgrown the closed form (a
-        // recolored node with a longer period stretches the cycle): the
-        // same budgets registration enforces, re-validated before any
-        // rebuild could assert deep in the build.
+        // Validate: the mutated schedule may have outgrown the closed form
+        // (a recolored node with a longer period stretches the cycle) —
+        // the same budgets registration enforces, re-checked before any
+        // rebuild could assert deep in the build.  A violation rolls the
+        // event back: rows restored via the inverse changes, the edge
+        // edit inverted, and the slot keeps serving pre-event answers.
         let cycle = slot.view.cycle();
-        if cycle > CycleProfile::MAX_CYCLE {
-            slot.profile = None;
-            counters.evictions.fetch_add(1, Relaxed);
-            return Err(PatchError::BudgetExceeded(RegisterError::CycleTooLong {
-                cycle,
-                max: CycleProfile::MAX_CYCLE,
-            }));
-        }
         let attendance = slot.view.attendance_per_cycle();
-        if attendance > CycleProfile::MAX_EVENTS {
-            slot.profile = None;
-            counters.evictions.fetch_add(1, Relaxed);
-            return Err(PatchError::BudgetExceeded(RegisterError::AttendanceTooHeavy {
-                attendance,
-                max: CycleProfile::MAX_EVENTS,
-            }));
+        let violation = if cycle > CycleProfile::MAX_CYCLE {
+            Some(RegisterError::CycleTooLong { cycle, max: CycleProfile::MAX_CYCLE })
+        } else if attendance > CycleProfile::MAX_EVENTS {
+            Some(RegisterError::AttendanceTooHeavy { attendance, max: CycleProfile::MAX_EVENTS })
+        } else {
+            None
+        };
+        if let Some(violation) = violation {
+            for change in repair.row_changes().iter().rev() {
+                slot.view.apply_row(&inverse_row(change));
+            }
+            match event.kind {
+                EdgeEventKind::Insert => slot.graph.remove_edge(event.u, event.v),
+                EdgeEventKind::Delete => slot.graph.add_edge(event.u, event.v),
+            }
+            .expect("inverting a just-applied edge event");
+            return Err(PatchError::BudgetExceeded(violation));
         }
 
         // The analytic touched-lane estimate: offsets rewritten per row
@@ -563,19 +842,24 @@ impl ProfileService {
         }
 
         if touched <= patch_limit() {
-            let profile = slot.profile.as_mut().expect("checked warm above");
-            let scan = ScanChecker::new(&slot.graph);
-            let inserted = (event.kind == EdgeEventKind::Insert).then_some((event.u, event.v));
-            if let Ok(stats) =
-                profile.patch(&slot.view, repair.row_changes(), inserted, &scan, patch_scratch)
-            {
-                counters.patches.fetch_add(1, Relaxed);
-                return Ok(PatchOutcome::Patched(stats));
+            if let SlotState::Warm(profile) = &mut slot.state {
+                let scan = ScanChecker::new(&slot.graph);
+                let inserted = (event.kind == EdgeEventKind::Insert).then_some((event.u, event.v));
+                if let Ok(stats) =
+                    profile.patch(&slot.view, repair.row_changes(), inserted, &scan, patch_scratch)
+                {
+                    counters.patches.fetch_add(1, Relaxed);
+                    return Ok(PatchOutcome::Patched(stats));
+                }
             }
         }
         let checker = GraphChecker::new(&slot.graph);
-        slot.profile =
-            Some(CycleProfile::build(&slot.view, slot.start, slot.graph.node_count(), &checker));
+        slot.state = SlotState::Warm(CycleProfile::build(
+            &slot.view,
+            slot.start,
+            slot.graph.node_count(),
+            &checker,
+        ));
         counters.rebuilds.fetch_add(1, Relaxed);
         Ok(PatchOutcome::Rebuilt)
     }
@@ -608,7 +892,7 @@ impl ProfileService {
                 view: shared.view.clone(),
                 start: shared.start,
                 name: shared.name.clone(),
-                profile: shared.profile.clone(),
+                state: shared.state.clone(),
                 refs: 1,
                 private: true,
             }
@@ -618,12 +902,82 @@ impl ProfileService {
         fresh
     }
 
+    /// One amortized scrub step of the background integrity audit:
+    /// re-derives up to `k` warm slots (round-robin by schedule key,
+    /// resuming after the previous step's cursor) through the sequential
+    /// reference sweep — [`analyze_schedule_reference`] over one full
+    /// cycle, with a fresh [`GraphChecker`], sharing no scratch, checker
+    /// or code path with the serving fast paths — and compares totals and
+    /// independence verdict against the cached profile's closed form.  A
+    /// disagreement quarantines the slot
+    /// ([`QuarantineReason::AuditMismatch`]): this is the plane that
+    /// catches *silent* corruption (an injected `checker.batch` fault, a
+    /// lane poisoned by a bug) that typed errors and panic quarantine
+    /// cannot see.  Returns how many slots were audited; tune the per-call
+    /// batch with [`audit_step_size`] (`FHG_AUDIT_STEP`).
+    pub fn audit_step(&mut self, k: usize) -> usize {
+        self.counters.audit_steps.fetch_add(1, Relaxed);
+        let mut keys: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, slot)| matches!(slot.state, SlotState::Warm(_)))
+            .map(|(&key, _)| key)
+            .collect();
+        if keys.is_empty() || k == 0 {
+            return 0;
+        }
+        keys.sort_unstable();
+        let resume = keys.partition_point(|&key| key <= self.audit_cursor);
+        let mut audited = 0;
+        for i in 0..keys.len().min(k) {
+            let key = keys[(resume + i) % keys.len()];
+            self.audit_cursor = key;
+            let slot = self.slots.get_mut(&key).expect("enumerated above");
+            let SlotState::Warm(profile) = &slot.state else { unreachable!("filtered warm") };
+            let cycle = profile.cycle();
+            let mut sweep = ViewScheduler { view: &slot.view, start: slot.start };
+            let reference = analyze_schedule_reference(&slot.graph, &mut sweep, cycle);
+            let clean = profile.derive_window_totals(0, cycle) == reference.totals()
+                && profile.all_classes_independent() == reference.all_happy_sets_independent;
+            audited += 1;
+            self.counters.audited.fetch_add(1, Relaxed);
+            if !clean {
+                slot.state = SlotState::Quarantined(QuarantineReason::AuditMismatch);
+                self.counters.audit_mismatches.fetch_add(1, Relaxed);
+                self.counters.audit_quarantined.fetch_add(1, Relaxed);
+                self.counters.quarantines.fetch_add(1, Relaxed);
+            }
+        }
+        audited
+    }
+
+    /// [`audit_step`](Self::audit_step) with the environment-tuned batch
+    /// size: `FHG_AUDIT_STEP` slots per tick ([`audit_step_size`],
+    /// default [`AUDIT_STEP`]; `FHG_AUDIT_STEP=0` turns the tick into a
+    /// no-op).  The form a serving loop calls on its idle timer.
+    pub fn audit_tick(&mut self) -> usize {
+        self.audit_step(audit_step_size())
+    }
+
+    /// A snapshot of the background scrubber's counters: **steps** taken,
+    /// slots **audited**, **mismatches** found and slots **quarantined**
+    /// by the audit.  Monotonic, like [`ProfileService::stats`].
+    pub fn audit_stats(&self) -> AuditStats {
+        AuditStats {
+            steps: self.counters.audit_steps.load(Relaxed),
+            audited: self.counters.audited.load(Relaxed),
+            mismatches: self.counters.audit_mismatches.load(Relaxed),
+            quarantined: self.counters.audit_quarantined.load(Relaxed),
+        }
+    }
+
     /// A snapshot of the cache-activity counters: query **hits** against
-    /// warm profiles vs **misses** (unknown tenants, cold profiles),
-    /// in-place **patches** vs full **rebuilds** (pending builds and patch
-    /// fallbacks), and **evictions** of warm profiles (invalidations,
-    /// released slots, budget-violating patches).  Counters are monotonic
-    /// over the service's lifetime.
+    /// warm profiles vs **misses** (unknown tenants, cold or quarantined
+    /// profiles), in-place **patches** vs full **rebuilds** (pending
+    /// builds and patch fallbacks), **evictions** of warm profiles
+    /// (invalidations, released slots) and **quarantines** (patch panics,
+    /// build panics, audit mismatches).  Counters are monotonic over the
+    /// service's lifetime.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.counters.hits.load(Relaxed),
@@ -631,6 +985,7 @@ impl ProfileService {
             patches: self.counters.patches.load(Relaxed),
             rebuilds: self.counters.rebuilds.load(Relaxed),
             evictions: self.counters.evictions.load(Relaxed),
+            quarantines: self.counters.quarantines.load(Relaxed),
         }
     }
 
@@ -646,20 +1001,41 @@ impl ProfileService {
 
     /// Number of warm (built) profiles.
     pub fn warm_count(&self) -> usize {
-        self.slots.values().filter(|slot| slot.profile.is_some()).count()
+        self.slots.values().filter(|slot| matches!(slot.state, SlotState::Warm(_))).count()
+    }
+
+    /// Number of quarantined slots awaiting
+    /// [`repair_quarantined`](ProfileService::repair_quarantined).
+    pub fn quarantined_count(&self) -> usize {
+        self.slots.values().filter(|slot| matches!(slot.state, SlotState::Quarantined(_))).count()
+    }
+
+    /// Why `tenant`'s slot is quarantined, if it is.
+    pub fn quarantine_reason(&self, tenant: u64) -> Option<QuarantineReason> {
+        let key = self.tenants.get(&tenant)?;
+        match self.slots.get(key)?.state {
+            SlotState::Quarantined(reason) => Some(reason),
+            _ => None,
+        }
     }
 
     /// The warm profile serving `tenant`, if any.
     pub fn profile(&self, tenant: u64) -> Option<&CycleProfile> {
         let key = self.tenants.get(&tenant)?;
-        self.slots.get(key)?.profile.as_ref()
+        match &self.slots.get(key)?.state {
+            SlotState::Warm(profile) => Some(profile),
+            _ => None,
+        }
     }
 
     fn slot_of(&self, tenant: u64) -> Result<(&ProfileSlot, &CycleProfile), QueryError> {
         let key = self.tenants.get(&tenant).ok_or(QueryError::UnknownTenant(tenant))?;
         let slot = self.slots.get(key).ok_or(QueryError::UnknownTenant(tenant))?;
-        let profile = slot.profile.as_ref().ok_or(QueryError::ProfileNotBuilt(tenant))?;
-        Ok((slot, profile))
+        match &slot.state {
+            SlotState::Warm(profile) => Ok((slot, profile)),
+            SlotState::Building => Err(QueryError::ProfileNotBuilt(tenant)),
+            SlotState::Quarantined(_) => Err(QueryError::Quarantined(tenant)),
+        }
     }
 
     /// Answers one totals-only windowed query — the hot serving shape:
@@ -694,12 +1070,21 @@ impl ProfileService {
 
     /// The batch front, totals flavor: answers every request, sharded
     /// across the worker pool, results in request order.  Individual
-    /// failures (unknown tenant, cold profile) fail their own slot only.
+    /// failures (unknown tenant, cold or quarantined profile) fail their
+    /// own slot only, and so does a worker that *dies*: each request runs
+    /// under `catch_unwind`, so a panic mid-derivation (injected via the
+    /// `query.batch` failpoint, or a real bug) becomes that request's
+    /// [`QueryError::Internal`] instead of unwinding into the caller.
     pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<WindowTotals, QueryError>> {
         queries
             .par_iter()
             .map(|q| {
-                self.query_totals(q.tenant, q.window.0, q.window.1).map(|totals| WindowTotals {
+                catch_unwind(AssertUnwindSafe(|| {
+                    crate::fail_point!("query.batch", return Err(QueryError::Internal(q.tenant)));
+                    self.query_totals(q.tenant, q.window.0, q.window.1)
+                }))
+                .unwrap_or(Err(QueryError::Internal(q.tenant)))
+                .map(|totals| WindowTotals {
                     tenant: q.tenant,
                     window: q.window,
                     totals,
@@ -708,18 +1093,72 @@ impl ProfileService {
             .collect()
     }
 
-    /// The batch front, full-analysis flavor.
+    /// The batch front, full-analysis flavor — same per-request panic
+    /// containment as [`query_batch`](ProfileService::query_batch).
     pub fn query_batch_full(&self, queries: &[Query]) -> Vec<Result<WindowAnalysis, QueryError>> {
         queries
             .par_iter()
             .map(|q| {
-                self.query(q.tenant, q.window.0, q.window.1).map(|analysis| WindowAnalysis {
+                catch_unwind(AssertUnwindSafe(|| {
+                    crate::fail_point!("query.batch", return Err(QueryError::Internal(q.tenant)));
+                    self.query(q.tenant, q.window.0, q.window.1)
+                }))
+                .unwrap_or(Err(QueryError::Internal(q.tenant)))
+                .map(|analysis| WindowAnalysis {
                     tenant: q.tenant,
                     window: q.window,
                     analysis,
                 })
             })
             .collect()
+    }
+}
+
+/// The inverse of a residue-row change: applying it after `change` (to
+/// the same view) restores the pre-change row — the rollback arm of the
+/// transactional patch.
+fn inverse_row(change: &RowChange) -> RowChange {
+    RowChange {
+        node: change.node,
+        old_slot: change.new_slot,
+        old_modulus: change.new_modulus,
+        new_slot: change.old_slot,
+        new_modulus: change.old_modulus,
+    }
+}
+
+/// A minimal scheduler over a borrowed residue view, so the background
+/// audit can drive [`analyze_schedule_reference`] without the tenant's
+/// original scheduler object (the service only keeps the view).
+struct ViewScheduler<'a> {
+    view: &'a ResidueSchedule,
+    start: u64,
+}
+
+impl Scheduler for ViewScheduler<'_> {
+    fn node_count(&self) -> usize {
+        self.view.node_count()
+    }
+    fn fill_happy_set(&mut self, t: u64, out: &mut crate::HappySet) {
+        self.view.fill(t, out);
+    }
+    fn first_holiday(&self) -> u64 {
+        self.start
+    }
+    fn name(&self) -> &'static str {
+        "audit-view"
+    }
+    fn is_periodic(&self) -> bool {
+        true
+    }
+    fn period(&self, p: fhg_graph::NodeId) -> Option<u64> {
+        Some(self.view.modulus(p))
+    }
+    fn unhappiness_bound(&self, _p: fhg_graph::NodeId) -> Option<u64> {
+        None
+    }
+    fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+        Some(self.view)
     }
 }
 
@@ -781,6 +1220,33 @@ mod tests {
         assert_eq!(service.tenant_count(), 0, "failed registrations leave no residue");
     }
 
+    /// A scheduler pinned to an explicit residue view, for staging slots
+    /// the maintained schedulers would never produce.
+    struct Fixed(ResidueSchedule);
+    impl Scheduler for Fixed {
+        fn node_count(&self) -> usize {
+            self.0.node_count()
+        }
+        fn fill_happy_set(&mut self, t: u64, out: &mut crate::HappySet) {
+            self.0.fill(t, out);
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn is_periodic(&self) -> bool {
+            true
+        }
+        fn period(&self, p: fhg_graph::NodeId) -> Option<u64> {
+            Some(self.0.modulus(p))
+        }
+        fn unhappiness_bound(&self, _p: fhg_graph::NodeId) -> Option<u64> {
+            None
+        }
+        fn residue_schedule(&self) -> Option<&ResidueSchedule> {
+            Some(&self.0)
+        }
+    }
+
     #[test]
     fn over_budget_cycles_are_rejected_up_front() {
         // Huge coprime moduli: the lcm saturates far past MAX_CYCLE.
@@ -789,30 +1255,6 @@ mod tests {
             vec![0, 1, 2],
             vec![(1 << 21) + 1, (1 << 21) - 1, (1 << 20) + 3],
         );
-        struct Fixed(ResidueSchedule);
-        impl Scheduler for Fixed {
-            fn node_count(&self) -> usize {
-                self.0.node_count()
-            }
-            fn fill_happy_set(&mut self, t: u64, out: &mut crate::HappySet) {
-                self.0.fill(t, out);
-            }
-            fn name(&self) -> &'static str {
-                "fixed"
-            }
-            fn is_periodic(&self) -> bool {
-                true
-            }
-            fn period(&self, p: fhg_graph::NodeId) -> Option<u64> {
-                Some(self.0.modulus(p))
-            }
-            fn unhappiness_bound(&self, _p: fhg_graph::NodeId) -> Option<u64> {
-                None
-            }
-            fn residue_schedule(&self) -> Option<&ResidueSchedule> {
-                Some(&self.0)
-            }
-        }
         let mut service = ProfileService::new();
         let err = service.register(9, &g, &Fixed(view)).unwrap_err();
         assert!(matches!(err, RegisterError::CycleTooLong { .. }), "{err}");
@@ -1006,6 +1448,93 @@ mod tests {
         let err = service.patch(1, &replay).unwrap_err();
         assert!(matches!(err, PatchError::Graph(_)), "{err}");
         assert!(matches!(service.patch(77, &replay), Err(PatchError::UnknownTenant(77))));
+    }
+
+    #[test]
+    fn audit_step_knob_falls_back_instead_of_panicking() {
+        // Same contract as FHG_PATCH_LIMIT: garbage in the environment
+        // warns and falls back, never kills the server.
+        assert_eq!(parse_audit_step(None), AUDIT_STEP);
+        assert_eq!(parse_audit_step(Some("")), AUDIT_STEP);
+        assert_eq!(parse_audit_step(Some("  ")), AUDIT_STEP);
+        assert_eq!(parse_audit_step(Some("garbage")), AUDIT_STEP);
+        assert_eq!(parse_audit_step(Some("-3")), AUDIT_STEP);
+        assert_eq!(parse_audit_step(Some("0")), 0, "zero disables the scrubber");
+        assert_eq!(parse_audit_step(Some(" 16 ")), 16, "whitespace is trimmed");
+    }
+
+    #[test]
+    fn budget_violating_patch_rolls_back_bitwise() {
+        use crate::dynamic::EventRepair;
+        use crate::schedulers::residue::RowChange;
+
+        // Nodes 0 and 1 co-attend class 0 (0 mod 2 vs 0 mod 4), no edge.
+        let g = Graph::new(2);
+        let view = ResidueSchedule::scan_only(vec![0, 0], vec![2, 4]);
+        let mut service = ProfileService::new();
+        service.register(5, &g, &Fixed(view)).unwrap();
+        assert_eq!(service.build_pending(), 1);
+        let before = service.query_totals(5, 0, 16).unwrap();
+        let oracle = service.profile(5).unwrap().clone();
+        let stats_before = service.stats();
+
+        // A repair whose recolouring stretches the cycle past MAX_CYCLE:
+        // validate must refuse it AND restore the pre-event rows, edge and
+        // profile bitwise.
+        let event = fhg_graph::EdgeEvent { kind: EdgeEventKind::Insert, u: 0, v: 1, holiday: 0 };
+        let change = RowChange {
+            node: 0,
+            old_slot: 0,
+            old_modulus: 2,
+            new_slot: 0,
+            new_modulus: (1 << 22) + 1,
+        };
+        let err = service.patch(5, &EventRepair::from_parts(event, &[change])).unwrap_err();
+        assert!(
+            matches!(err, PatchError::BudgetExceeded(RegisterError::CycleTooLong { .. })),
+            "{err}"
+        );
+        assert_eq!(service.warm_count(), 1, "the slot keeps serving");
+        assert_eq!(service.quarantined_count(), 0);
+        assert_eq!(service.query_totals(5, 0, 16).unwrap(), before, "pre-event answers");
+        assert!(service.profile(5).unwrap().content_eq(&oracle), "profile bitwise-untouched");
+        let stats = service.stats();
+        assert_eq!(stats.patches, stats_before.patches, "nothing counted as progress");
+        assert_eq!(stats.rebuilds, stats_before.rebuilds);
+        assert_eq!(stats.quarantines, 0);
+
+        // The rollback restored the graph too: replaying the same edge
+        // insert with an in-budget repair must apply cleanly (it would be
+        // PatchError::Graph if the edge had survived the rollback).
+        let outcome = service.patch(5, &EventRepair::from_parts(event, &[])).unwrap();
+        assert!(outcome != PatchOutcome::Cold, "slot was warm");
+        assert!(
+            !service.profile(5).unwrap().all_classes_independent(),
+            "the inserted edge lands inside co-attendance class 0"
+        );
+    }
+
+    #[test]
+    fn audit_passes_clean_slots_and_walks_the_ring() {
+        let mut service = ProfileService::new();
+        for i in 0..3u64 {
+            let g = erdos_renyi(20 + i as usize, 0.15, i);
+            let s = PeriodicDegreeBound::new(&g);
+            service.register(i, &g, &s).unwrap();
+        }
+        assert_eq!(service.audit_step(4), 0, "nothing warm to audit yet");
+        assert_eq!(service.build_pending(), 3);
+
+        assert_eq!(service.audit_step(2), 2);
+        assert_eq!(service.audit_step(2), 2, "cursor resumes round-robin");
+        assert_eq!(service.audit_step(8), 3, "k caps at the warm population");
+        let audit = service.audit_stats();
+        assert_eq!(audit.steps, 4);
+        assert_eq!(audit.audited, 7);
+        assert_eq!(audit.mismatches, 0, "healthy profiles must pass");
+        assert_eq!(audit.quarantined, 0);
+        assert_eq!(service.quarantined_count(), 0);
+        assert_eq!(service.stats().quarantines, 0);
     }
 
     #[test]

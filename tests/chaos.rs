@@ -1,0 +1,461 @@
+//! Chaos suite: deterministic fault injection against the serving tier.
+//!
+//! Every test here arms real failpoint sites (see `fhg::core::failpoint`),
+//! which are process-global — so the whole suite serializes on one mutex
+//! and disarms on the way out, even across panics.  The invariant under
+//! test is the crash-only contract: after any interleaving of edge events,
+//! query bursts, audits and injected faults, every tenant is either
+//! **warm and bitwise-equal to a fault-free oracle** or **cleanly
+//! quarantined and rebuildable**, and no injected panic ever unwinds into
+//! the caller.
+
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+
+use fhg::core::dynamic::DynamicColorBound;
+use fhg::core::failpoint;
+use fhg::core::{
+    CycleProfile, GraphChecker, PatchError, PatchOutcome, ProfileService, QuarantineReason, Query,
+    QueryError, Scheduler,
+};
+use fhg::graph::generators::Family;
+use fhg::graph::{EdgeEvent, EdgeEventKind, Graph, NodeId};
+
+/// The failpoint registry is process-global; tests that arm it must not
+/// overlap.  Poisoning is expected (several tests panic on purpose inside
+/// workers), so the lock is recovered, not unwrapped.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the registry for one test and guarantees it is disarmed again
+/// afterwards, even if the test fails.
+struct FaultGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        failpoint::clear();
+    }
+}
+
+fn faults(spec: &str, seed: u64) -> FaultGuard {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::configure_with_seed(spec, seed);
+    FaultGuard(guard)
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+fn graph(n: usize, seed: u64) -> Graph {
+    Family::ErdosRenyi.generate(n, 4.0, seed)
+}
+
+/// An edge event that is always consistent with the scheduler's current
+/// graph: delete if present, insert if absent.
+fn toggle(sched: &DynamicColorBound, u: NodeId, v: NodeId, holiday: u64) -> EdgeEvent {
+    let kind =
+        if sched.graph().has_edge(u, v) { EdgeEventKind::Delete } else { EdgeEventKind::Insert };
+    EdgeEvent { kind, u, v, holiday }
+}
+
+/// The fault-free oracle: a from-scratch closed-form build of the
+/// scheduler's *current* residue schedule, verified through the sequential
+/// [`GraphChecker`] path that no failpoint instruments.
+fn oracle_of(sched: &DynamicColorBound) -> CycleProfile {
+    let view = sched.residue_schedule().expect("DynamicColorBound is periodic");
+    let checker = GraphChecker::new(sched.graph());
+    CycleProfile::build(view, sched.first_holiday(), sched.node_count(), &checker)
+}
+
+/// A patch that panics past its commit point quarantines the tenant
+/// instead of serving a half-mutated profile; events arriving while
+/// quarantined are absorbed, so the eventual cold rebuild converges with
+/// the caller's scheduler.
+#[test]
+fn patch_panic_quarantines_and_repair_rebuilds_cold() {
+    let _guard = faults("patch.after_rows=panic", 7);
+    let g = graph(40, 21);
+    let mut sched = DynamicColorBound::new(&g);
+    let mut service = ProfileService::new();
+    service.register(1, &g, &sched).unwrap();
+    assert_eq!(service.build_pending(), 1);
+    let cycle = service.profile(1).unwrap().cycle();
+
+    // The first event dies inside the commit phase: typed error out, no
+    // unwind, and the slot refuses to serve its possibly-poisoned cache.
+    let repair = sched.apply_event(toggle(&sched, 0, 1, 0)).unwrap();
+    let err = service.patch(1, &repair).unwrap_err();
+    assert!(matches!(err, PatchError::Quarantined(1)), "{err}");
+    assert_eq!(service.quarantine_reason(1), Some(QuarantineReason::PatchPanic));
+    assert!(matches!(service.query_totals(1, 0, cycle), Err(QueryError::Quarantined(1))));
+    assert_eq!(service.stats().quarantines, 1);
+    assert_eq!(service.quarantined_count(), 1);
+
+    // A second event while quarantined: still refused (typed), but its
+    // content is absorbed into the slot's graph and schedule.
+    let repair2 = sched.apply_event(toggle(&sched, 2, 3, 1)).unwrap();
+    assert!(matches!(service.patch(1, &repair2), Err(PatchError::Quarantined(1))));
+
+    failpoint::clear();
+    assert_eq!(service.repair_quarantined(), 1);
+    assert_eq!(service.quarantine_reason(1), None);
+    assert!(
+        service.profile(1).unwrap().content_eq(&oracle_of(&sched)),
+        "the cold rebuild must have caught up with both absorbed events"
+    );
+    assert!(service.query_totals(1, 0, cycle).is_ok());
+}
+
+/// Build workers that die quarantine exactly their own slot — the batch
+/// completes, the panic never unwinds, and repair brings every slot back.
+#[test]
+fn build_panics_quarantine_exactly_the_dead_slots() {
+    let _guard = faults("build.slot=panic", 0);
+    let mut service = ProfileService::new();
+    let mut scheds = Vec::new();
+    for t in 0..3u64 {
+        let g = graph(20 + 4 * t as usize, 100 + t);
+        let sched = DynamicColorBound::new(&g);
+        service.register(t, &g, &sched).unwrap();
+        scheds.push(sched);
+    }
+    assert_eq!(service.build_pending(), 0, "every build worker died");
+    assert_eq!(service.quarantined_count(), 3);
+    assert_eq!(service.stats().quarantines, 3);
+    for t in 0..3 {
+        assert_eq!(service.quarantine_reason(t), Some(QuarantineReason::BuildPanic));
+        assert!(matches!(service.query_totals(t, 0, 8), Err(QueryError::Quarantined(_))));
+    }
+
+    failpoint::clear();
+    assert_eq!(service.repair_quarantined(), 3);
+    assert_eq!(service.warm_count(), 3);
+    for (t, sched) in scheds.iter().enumerate() {
+        assert!(service.profile(t as u64).unwrap().content_eq(&oracle_of(sched)));
+    }
+}
+
+/// A checker fault during an in-place patch poisons *silently*: the patch
+/// reports success and queries keep answering, but the cached independence
+/// verdict is wrong.  The background audit is the plane that catches it.
+#[test]
+fn audit_catches_a_silently_poisoned_verdict() {
+    let _guard = faults("", 0);
+    let g = graph(40, 21);
+    let mut sched = DynamicColorBound::new(&g);
+    let mut service = ProfileService::new();
+    service.register(1, &g, &sched).unwrap();
+    assert_eq!(service.build_pending(), 1);
+    let cycle = service.profile(1).unwrap().cycle();
+
+    // Arm the fault only after the clean build, then drive events until
+    // one takes the in-place path (the only path through `ScanChecker`).
+    failpoint::configure("checker.batch=err");
+    let mut poisoned = false;
+    for (holiday, (u, v)) in
+        [(0, 1), (0, 2), (1, 3), (2, 4), (0, 1), (3, 5)].into_iter().enumerate()
+    {
+        let repair = sched.apply_event(toggle(&sched, u, v, holiday as u64)).unwrap();
+        let outcome = service.patch(1, &repair).unwrap();
+        let oracle = oracle_of(&sched);
+        if matches!(outcome, PatchOutcome::Patched(_)) && oracle.all_classes_independent() {
+            assert!(
+                !service.profile(1).unwrap().all_classes_independent(),
+                "the injected checker fault must have flipped the cached verdict"
+            );
+            poisoned = true;
+            break;
+        }
+    }
+    assert!(poisoned, "no event took the in-place path; widen the event list");
+    assert!(service.query_totals(1, 0, cycle).is_ok(), "the poison is silent: queries answer");
+
+    failpoint::clear();
+    assert_eq!(service.audit_step(8), 1, "the audit must quarantine the poisoned slot");
+    assert_eq!(service.quarantine_reason(1), Some(QuarantineReason::AuditMismatch));
+    let audit = service.audit_stats();
+    assert_eq!((audit.mismatches, audit.quarantined), (1, 1));
+    assert!(matches!(service.query_totals(1, 0, cycle), Err(QueryError::Quarantined(1))));
+
+    assert_eq!(service.repair_quarantined(), 1);
+    assert!(service.profile(1).unwrap().content_eq(&oracle_of(&sched)));
+    assert!(service.profile(1).unwrap().all_classes_independent());
+    assert_eq!(service.audit_step(8), 1);
+    assert_eq!(service.audit_stats().mismatches, 1, "the repaired slot audits clean");
+}
+
+/// Query workers that die — by panic or injected error — surface as
+/// `QueryError::Internal` on exactly their own request, at any pool width,
+/// and the cached state stays untouched (retry succeeds once disarmed).
+#[test]
+fn query_worker_deaths_surface_as_typed_internal_errors() {
+    let _guard = faults("", 0);
+    let g = graph(30, 5);
+    let sched = DynamicColorBound::new(&g);
+    let mut service = ProfileService::new();
+    service.register(1, &g, &sched).unwrap();
+    assert_eq!(service.build_pending(), 1);
+    let cycle = service.profile(1).unwrap().cycle();
+    let queries: Vec<Query> =
+        (0..16).map(|i| Query { tenant: 1, window: (0, cycle + i) }).collect();
+
+    for spec in ["query.batch=panic", "query.batch=err"] {
+        failpoint::configure(spec);
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let results = pool.install(|| service.query_batch(&queries));
+            assert_eq!(results.len(), queries.len());
+            for r in results {
+                assert!(matches!(r, Err(QueryError::Internal(1))), "{spec}: {r:?}");
+            }
+        }
+    }
+
+    failpoint::clear();
+    let results = service.query_batch(&queries);
+    assert!(results.iter().all(Result::is_ok), "disarmed: the cache was never corrupted");
+}
+
+/// The tentpole invariant: an LCG-scheduled interleaving of edge events,
+/// query bursts, audits, builds and mid-run repairs — with panics and
+/// errors injected at every instrumented site — never unwinds into the
+/// caller, and once the faults are disarmed every tenant converges to the
+/// fault-free oracle, at 1, 2 and 8 worker threads.
+#[test]
+fn chaos_interleavings_converge_to_the_fault_free_oracle() {
+    const SPEC: &str = "patch.after_rows=panic@0.15,profile.patch.commit=panic@0.05,\
+                        checker.batch=err@0.1,build.slot=panic@0.3,query.batch=err@0.05";
+    const TENANTS: usize = 6;
+    let _guard = faults("", 0);
+
+    for threads in [1usize, 2, 8] {
+        failpoint::configure_with_seed(SPEC, 0xC0FFEE ^ threads as u64);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let mut service = ProfileService::new();
+        let scheds: Vec<_> = (0..TENANTS)
+            .map(|i| {
+                let g = graph(24 + 3 * i, 400 + i as u64);
+                let sched = DynamicColorBound::new(&g);
+                service.register(i as u64, &g, &sched).unwrap();
+                sched
+            })
+            .collect();
+        let mut scheds = scheds;
+        pool.install(|| service.build_pending()); // some builds may already die
+
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ threads as u64;
+        for step in 0..240u64 {
+            match lcg(&mut state) % 100 {
+                0..=54 => {
+                    // One edge event, delivered exactly once.  Whatever the
+                    // outcome — patched, rebuilt, absorbed cold, or a
+                    // quarantining panic — the slot keeps the content.
+                    let t = (lcg(&mut state) as usize) % TENANTS;
+                    let n = scheds[t].node_count();
+                    let u = (lcg(&mut state) as usize) % n;
+                    let mut v = (lcg(&mut state) as usize) % n;
+                    if u == v {
+                        v = (v + 1) % n;
+                    }
+                    let event = toggle(&scheds[t], u, v, step);
+                    let repair = scheds[t].apply_event(event).unwrap();
+                    match service.patch(t as u64, &repair) {
+                        Ok(_) => {}
+                        Err(PatchError::Quarantined(q)) => assert_eq!(q, t as u64),
+                        Err(other) => panic!("step {step}: unexpected patch error {other}"),
+                    }
+                }
+                55..=79 => {
+                    // A parallel query burst, unknown tenants mixed in.
+                    let queries: Vec<Query> = (0..8)
+                        .map(|_| Query {
+                            tenant: lcg(&mut state) % (TENANTS as u64 + 2),
+                            window: (lcg(&mut state) % 64, lcg(&mut state) % 4096),
+                        })
+                        .collect();
+                    let results = pool.install(|| service.query_batch(&queries));
+                    for (q, r) in queries.iter().zip(results) {
+                        match r {
+                            Ok(totals) => assert_eq!(totals.tenant, q.tenant),
+                            Err(QueryError::UnknownTenant(t)) => {
+                                assert!(t >= TENANTS as u64, "step {step}: tenant {t}")
+                            }
+                            Err(
+                                QueryError::Quarantined(_)
+                                | QueryError::Internal(_)
+                                | QueryError::ProfileNotBuilt(_),
+                            ) => {}
+                        }
+                    }
+                }
+                80..=87 => {
+                    service.audit_step(2);
+                }
+                88..=93 => {
+                    pool.install(|| service.build_pending());
+                }
+                _ => {
+                    // Repair under fire: rebuilds may die again and
+                    // re-quarantine — that is the crash-only loop working.
+                    service.repair_quarantined();
+                }
+            }
+        }
+
+        // Disarm, scrub (the audit catches silently-poisoned verdicts the
+        // injected checker faults left behind), repair, rebuild: every
+        // tenant must now equal the fault-free oracle.
+        failpoint::clear();
+        service.audit_step(usize::MAX);
+        service.repair_quarantined();
+        pool.install(|| service.build_pending());
+        assert_eq!(service.quarantined_count(), 0, "threads {threads}");
+        assert_eq!(service.warm_count(), TENANTS, "threads {threads}");
+        for (t, sched) in scheds.iter_mut().enumerate() {
+            let oracle = oracle_of(sched);
+            let served = service
+                .profile(t as u64)
+                .unwrap_or_else(|| panic!("threads {threads}: tenant {t} not warm after repair"));
+            assert!(
+                served.content_eq(&oracle),
+                "threads {threads}: tenant {t} diverged from the fault-free oracle"
+            );
+            let cycle = oracle.cycle();
+            let got = service.query_totals(t as u64, 0, 2 * cycle).unwrap();
+            assert_eq!(got, oracle.derive_window_totals(0, 2 * cycle), "tenant {t}");
+        }
+    }
+}
+
+/// CI pins `FHG_FAILPOINTS` / `FHG_FAILPOINT_SEED` for the chaos smoke
+/// job; this test hands the fault schedule back to the environment (a
+/// fault-free run when unset) and checks the same convergence contract
+/// under whatever the environment says.
+#[test]
+fn env_pinned_fault_schedule_converges() {
+    let _guard = faults("", 0);
+    failpoint::reset_to_env();
+
+    let mut service = ProfileService::new();
+    let mut scheds: Vec<_> = (0..3usize)
+        .map(|i| {
+            let g = graph(20 + 5 * i, 900 + i as u64);
+            let sched = DynamicColorBound::new(&g);
+            service.register(i as u64, &g, &sched).unwrap();
+            sched
+        })
+        .collect();
+    service.build_pending();
+
+    let mut state = 0xD1B5_4A32_D192_ED03u64;
+    for step in 0..80u64 {
+        match lcg(&mut state) % 10 {
+            0..=5 => {
+                let t = (lcg(&mut state) as usize) % scheds.len();
+                let n = scheds[t].node_count();
+                let u = (lcg(&mut state) as usize) % n;
+                let mut v = (lcg(&mut state) as usize) % n;
+                if u == v {
+                    v = (v + 1) % n;
+                }
+                let event = toggle(&scheds[t], u, v, step);
+                let repair = scheds[t].apply_event(event).unwrap();
+                match service.patch(t as u64, &repair) {
+                    Ok(_) | Err(PatchError::Quarantined(_)) => {}
+                    Err(other) => panic!("step {step}: unexpected patch error {other}"),
+                }
+            }
+            6..=7 => {
+                let queries: Vec<Query> = (0..4)
+                    .map(|_| Query {
+                        tenant: lcg(&mut state) % 4,
+                        window: (0, lcg(&mut state) % 512),
+                    })
+                    .collect();
+                for totals in service.query_batch(&queries).into_iter().flatten() {
+                    assert!(totals.tenant < 3);
+                }
+            }
+            8 => {
+                // The idle-timer form: batch size from `FHG_AUDIT_STEP`.
+                service.audit_tick();
+            }
+            _ => {
+                service.repair_quarantined();
+            }
+        }
+    }
+
+    failpoint::clear();
+    service.audit_step(usize::MAX);
+    service.repair_quarantined();
+    service.build_pending();
+    for (t, sched) in scheds.iter_mut().enumerate() {
+        assert!(
+            service.profile(t as u64).unwrap().content_eq(&oracle_of(sched)),
+            "tenant {t} diverged under the environment-pinned fault schedule"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The counter ledger stays exact through failure: every refused patch
+    /// is a fresh quarantine (the tenant is repaired before the next
+    /// event), every repair is a rebuild, and right after any failed patch
+    /// the tenant either answers queries or refuses with the typed
+    /// quarantine error — never a stale success.
+    #[test]
+    fn failed_patches_leave_counters_and_queries_consistent(seed in 0u64..200) {
+        let _guard = faults("", 0);
+        failpoint::configure_with_seed("patch.after_rows=panic@0.4", seed);
+        let g = graph(24, seed);
+        let mut sched = DynamicColorBound::new(&g);
+        let mut service = ProfileService::new();
+        service.register(1, &g, &sched).unwrap();
+        prop_assert_eq!(service.build_pending(), 1);
+
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let (mut patched, mut rebuilt, mut refused) = (0u64, 0u64, 0u64);
+        for step in 0..40u64 {
+            let n = sched.node_count();
+            let u = (lcg(&mut state) as usize) % n;
+            let mut v = (lcg(&mut state) as usize) % n;
+            if u == v { v = (v + 1) % n; }
+            let repair = sched.apply_event(toggle(&sched, u, v, step)).unwrap();
+            match service.patch(1, &repair) {
+                Ok(PatchOutcome::Patched(_)) => patched += 1,
+                Ok(PatchOutcome::Rebuilt) => rebuilt += 1,
+                Ok(PatchOutcome::Cold) => prop_assert!(false, "the slot was warm"),
+                Err(PatchError::Quarantined(1)) => refused += 1,
+                Err(other) => prop_assert!(false, "unexpected patch error {}", other),
+            }
+
+            // After every attempt: a typed answer or a typed refusal that
+            // agrees with the slot's advertised state.
+            match service.query_totals(1, 0, 64) {
+                Ok(_) => prop_assert!(service.quarantine_reason(1).is_none()),
+                Err(QueryError::Quarantined(1)) => {
+                    prop_assert_eq!(service.quarantine_reason(1), Some(QuarantineReason::PatchPanic));
+                }
+                Err(other) => prop_assert!(false, "unexpected query error {}", other),
+            }
+
+            // Repair immediately so the next refusal is again a *fresh*
+            // quarantine and the ledger below stays exact.
+            if service.quarantine_reason(1).is_some() {
+                prop_assert_eq!(service.repair_quarantined(), 1);
+            }
+        }
+
+        failpoint::clear();
+        let stats = service.stats();
+        prop_assert_eq!(stats.patches, patched);
+        prop_assert_eq!(stats.quarantines, refused);
+        prop_assert_eq!(stats.rebuilds, 1 + rebuilt + refused, "initial + fallbacks + repairs");
+        prop_assert!(service.profile(1).unwrap().content_eq(&oracle_of(&sched)));
+    }
+}
