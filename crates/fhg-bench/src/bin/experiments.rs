@@ -9,8 +9,8 @@
 //! cargo run -p fhg-bench --release --bin experiments -- --list
 //! ```
 //!
-//! `--smoke` shrinks the analysis-engine experiments (`e11`–`e17`) to CI
-//! sizing.  Whenever any of `e11`–`e17` run, their machine-readable medians
+//! `--smoke` shrinks the analysis-engine experiments (`e11`–`e19`) to CI
+//! sizing.  Whenever any of `e11`–`e19` run, their machine-readable medians
 //! are written to `BENCH_analysis.json` **at the repository root** — the
 //! compile-time manifest location when that checkout still exists,
 //! otherwise the nearest enclosing workspace of the invocation directory —

@@ -1,4 +1,4 @@
-//! The E1–E18 experiment implementations (see `DESIGN.md` §5 and
+//! The E1–E19 experiment implementations (see `DESIGN.md` §5 and
 //! `EXPERIMENTS.md`).
 //!
 //! Every experiment uses fixed seeds, so the tables in `EXPERIMENTS.md` are
@@ -32,12 +32,12 @@ use fhg_radio::{evaluate_tdma, RadioNetwork};
 use crate::table::Table;
 
 /// The experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 18] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
-/// Sizing knobs for the analysis-engine experiments (`e11`–`e17`).
+/// Sizing knobs for the analysis-engine experiments (`e11`–`e19`).
 #[derive(Debug, Clone)]
 pub struct AnalysisBenchConfig {
     /// Nodes of the Erdős–Rényi conflict graph.
@@ -194,6 +194,7 @@ pub fn run_experiment_collecting(
         "e16" => e16_windowed_serving_with(cfg),
         "e17" => e17_incremental_repair_with(cfg),
         "e18" => e18_crash_only_serving_with(cfg),
+        "e19" => e19_durable_recovery_with(cfg),
         other => panic!("unknown experiment id {other:?}; valid ids: {EXPERIMENT_IDS:?}"),
     }
 }
@@ -2536,6 +2537,305 @@ pub fn e18_crash_only_serving_with(cfg: &AnalysisBenchConfig) -> (Vec<Table>, Ve
     (vec![table], entries)
 }
 
+/// E19 — durable serving (PR 10 acceptance): the checksummed snapshot
+/// format is at least 3x denser than a naive `Vec<u64>` dump, a
+/// 1024-tenant snapshot + recover round trip completes with every
+/// uncorrupted slot **rehydrated** (never cold-built), and WAL replay
+/// through the patch plane sustains a measured frames/s rate.
+///
+/// The experiment runs under whatever fault schedule `FHG_FAILPOINTS`
+/// pins (the CI recovery-smoke step injects `wal.append` /
+/// `recover.replay` faults): refused appends follow the
+/// do-not-apply-on-`Err` protocol, faulted replays must land typed
+/// quarantines, and the bitwise-convergence assertions are checked on
+/// the fault-free configuration only.
+pub fn e19_durable_recovery_with(cfg: &AnalysisBenchConfig) -> (Vec<Table>, Vec<BenchEntry>) {
+    use fhg_core::failpoint;
+    use fhg_core::serving::{ProfileService, WalSync, WalWriter};
+    use fhg_graph::{EdgeEvent, EdgeEventKind};
+
+    // Run under the environment's fault schedule (the smoke step pins
+    // one); `chaos` below gates the fault-free-only assertions.
+    failpoint::reset_to_env();
+    let chaos = failpoint::active();
+
+    let mut entries = Vec::new();
+    let static_tenants = cfg.serve_tenants;
+    const DYNAMIC_TENANTS: usize = 8;
+    let total_tenants = static_tenants + DYNAMIC_TENANTS;
+
+    // The e16 tenant population plus a dynamic cohort for WAL churn.
+    // `naive_words` accumulates the baseline encoding: one u64 per scalar
+    // — start, node counts, every (slot, modulus) pair, every adjacency
+    // entry (both directions, as an adjacency list dump would store them),
+    // degrees, and the verdict — per tenant, no sharing, no bit packing.
+    let mut service = ProfileService::new();
+    let mut naive_words: u64 = 0;
+    let mut naive_of = |graph: &Graph, view_nodes: usize| {
+        naive_words += 2 + 2 * view_nodes as u64 + 1; // start, n, (slot, modulus)*, verdict
+        naive_words += 1; // graph node count
+        for u in graph.nodes() {
+            naive_words += 1 + graph.degree(u) as u64; // degree + neighbor list
+        }
+    };
+    for i in 0..static_tenants {
+        let n = 40 + (i % 17) * 2;
+        let graph = generators::erdos_renyi(n, 4.0 / n as f64, 0xE16 ^ i as u64);
+        let scheduler = PeriodicDegreeBound::new(&graph);
+        service
+            .register(i as u64, &graph, &scheduler)
+            .expect("periodic tenants must register cleanly");
+        naive_of(&graph, scheduler.residue_schedule().expect("periodic").node_count());
+    }
+    let mut dyn_scheds: Vec<DynamicColorBound> = (0..DYNAMIC_TENANTS)
+        .map(|i| {
+            let n = 48 + (i % 7) * 4;
+            let graph = generators::erdos_renyi(n, 4.0 / n as f64, 0xE19 ^ i as u64);
+            let sched = DynamicColorBound::new(&graph);
+            service
+                .register((static_tenants + i) as u64, &graph, &sched)
+                .expect("dynamic tenants must register cleanly");
+            naive_of(&graph, sched.node_count());
+            sched
+        })
+        .collect();
+    let build_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(build_threads).build().unwrap();
+    let initial_builds = pool.install(|| service.build_pending()) as u64;
+    assert_eq!(service.warm_count(), service.key_count());
+
+    // --- Snapshot density: the PR 10 acceptance criterion. ---
+    let snapshot_bytes = service.snapshot_bytes().len() as u64;
+    let naive_bytes = naive_words * 8;
+    let bytes_per_tenant = snapshot_bytes as f64 / total_tenants as f64;
+    let naive_per_tenant = naive_bytes as f64 / total_tenants as f64;
+    let density = naive_bytes as f64 / snapshot_bytes as f64;
+    assert!(
+        snapshot_bytes * 3 <= naive_bytes,
+        "snapshot encoding must be at least 3x denser than the naive Vec<u64> dump \
+         ({snapshot_bytes} vs {naive_bytes} bytes)"
+    );
+
+    let dir = std::env::temp_dir().join(format!("fhg-e19-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Snapshot wall time (atomic temp+rename+fsync included). ---
+    let mut snap_ns: Vec<u64> = Vec::new();
+    for _ in 0..cfg.reps.max(1) {
+        let t = Instant::now();
+        match service.snapshot(&dir) {
+            Ok(stats) => {
+                assert_eq!(stats.bytes, snapshot_bytes);
+                snap_ns.push(t.elapsed().as_nanos() as u64);
+            }
+            Err(e) => {
+                assert!(chaos, "snapshot failed without an armed fault schedule: {e}");
+            }
+        }
+    }
+    while snap_ns.is_empty() {
+        // Every timed attempt died to injected faults: keep (unmeasured)
+        // retries until one snapshot lands so the recovery half can run.
+        if let Ok(stats) = service.snapshot(&dir) {
+            assert_eq!(stats.bytes, snapshot_bytes);
+            snap_ns.push(0);
+        }
+    }
+    snap_ns.sort_unstable();
+    let snap_ms = snap_ns[snap_ns.len() / 2] as f64 / 1e6;
+
+    // --- WAL churn: toggle one initially-absent edge per dynamic tenant.
+    // A refused append (injected `wal.append` fault) follows the
+    // protocol: the event is NOT applied to the live service, and that
+    // tenant's stream stops so log and service content stay in step. ---
+    let mut wal = WalWriter::with_sync(&dir, WalSync::Always).expect("the WAL opens");
+    let toggles: Vec<(usize, usize)> = dyn_scheds
+        .iter()
+        .map(|sched| {
+            let g = sched.graph();
+            let n = g.node_count();
+            (0..n)
+                .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+                .find(|&(a, b)| !g.has_edge(a, b))
+                .expect("a sparse graph has absent edges")
+        })
+        .collect();
+    let mut dirty = [false; DYNAMIC_TENANTS];
+    let mut appended = 0u64;
+    let churn = cfg.churn_events.max(DYNAMIC_TENANTS);
+    let wal_wall = Instant::now();
+    for step in 0..churn {
+        let d = step % DYNAMIC_TENANTS;
+        if dirty[d] {
+            continue;
+        }
+        let tenant = (static_tenants + d) as u64;
+        let (u, v) = toggles[d];
+        let kind = if dyn_scheds[d].graph().has_edge(u, v) {
+            EdgeEventKind::Delete
+        } else {
+            EdgeEventKind::Insert
+        };
+        let repair = dyn_scheds[d]
+            .apply_event(EdgeEvent { kind, u, v, holiday: step as u64 })
+            .expect("toggling an absent edge is always valid");
+        match wal.append(tenant, &repair) {
+            Ok(()) => {
+                appended += 1;
+                service.patch(tenant, &repair).expect("fault-free toggles patch cleanly");
+            }
+            Err(e) => {
+                assert!(chaos, "append failed without an armed fault schedule: {e}");
+                dirty[d] = true; // protocol: not applied, stream stops
+            }
+        }
+    }
+    let wal_append_ms = wal_wall.elapsed().as_secs_f64() * 1e3;
+    drop(wal);
+    let live_stats = service.stats();
+
+    // --- Recover: snapshot load + rehydration + WAL replay + audit. ---
+    let mut recover_ns: Vec<u64> = Vec::new();
+    let mut last = None;
+    for _ in 0..cfg.reps.max(1) {
+        let t = Instant::now();
+        let (recovered, report) =
+            ProfileService::recover(&dir).expect("an intact snapshot always recovers");
+        recover_ns.push(t.elapsed().as_nanos() as u64);
+        last = Some((recovered, report));
+    }
+    recover_ns.sort_unstable();
+    let recover_ms = recover_ns[recover_ns.len() / 2] as f64 / 1e6;
+    let (recovered, report) = last.expect("at least one recovery ran");
+
+    // The recovery ledger: every slot the snapshot held was rehydrated —
+    // `CycleProfile::build` never ran for an uncorrupted slot — and the
+    // only rebuilds are the ones the replayed patches themselves chose
+    // (`build_pending` counts into `rebuilds`, so live = initial builds
+    // plus churn rebuilds while recovery pays only the churn share).
+    assert_eq!(report.slots_loaded, service.key_count());
+    assert_eq!(report.tenants_restored, total_tenants);
+    assert_eq!(report.profiles_rehydrated, service.key_count(), "every warm slot rehydrates");
+    assert!(!report.snapshot_torn && !report.wal_torn, "the writer was never killed mid-file");
+    let replay_rate =
+        if recover_ms > 0.0 { report.wal_frames_replayed as f64 / (recover_ms / 1e3) } else { 0.0 };
+    if !chaos {
+        assert_eq!(appended, churn as u64, "no injected faults: every append lands");
+        assert_eq!(report.wal_frames_replayed as u64, appended);
+        assert_eq!(report.quarantined, 0);
+        let rec_stats = recovered.stats();
+        assert_eq!(
+            rec_stats.rebuilds,
+            live_stats.rebuilds - initial_builds,
+            "recovery must add no cold build beyond what live churn chose"
+        );
+        assert_eq!(rec_stats.patches, live_stats.patches);
+        for t in 0..total_tenants as u64 {
+            let live = service.profile(t).expect("live tenant is warm");
+            let rec = recovered.profile(t).expect("recovered tenant is warm");
+            assert!(rec.content_eq(live), "tenant {t} must recover bitwise-equal");
+            let cycle = live.cycle();
+            assert_eq!(
+                service.query_totals(t, 1, 2 * cycle + 3).expect("live answers"),
+                recovered.query_totals(t, 1, 2 * cycle + 3).expect("recovered answers"),
+                "tenant {t}: windowed answers must be bitwise-stable across recovery"
+            );
+        }
+    } else {
+        // Under injected faults the contract is the typed degraded path:
+        // every tenant is warm or quarantined, never silently wrong.
+        for t in 0..total_tenants as u64 {
+            assert!(
+                recovered.profile(t).is_some() || recovered.quarantine_reason(t).is_some(),
+                "tenant {t}: must recover warm or typed-quarantined under chaos"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut table = Table::new(
+        format!(
+            "E19 — durable serving: snapshot density, {total_tenants}-tenant snapshot + recover \
+             wall time, and WAL replay rate ({appended} frames{})",
+            if chaos { ", under the environment-pinned fault schedule" } else { "" }
+        ),
+        &["path", "threads", "median", "vs naive", "criterion"],
+    );
+    table.push(&[
+        "snapshot bytes/tenant (sections + FNV checksums)".into(),
+        "1".into(),
+        format!("{bytes_per_tenant:.1} B"),
+        format!("{density:.2}x denser than {naive_per_tenant:.0} B naive"),
+        format!("<= 1/3 of naive Vec<u64>: {}", snapshot_bytes * 3 <= naive_bytes),
+    ]);
+    table.push(&[
+        format!("snapshot write ({} slots, atomic rename + fsync)", service.key_count()),
+        "1".into(),
+        format!("{snap_ms:.3} ms"),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.push(&[
+        format!(
+            "recover ({} slots rehydrated, {} frames replayed, audit sample)",
+            report.profiles_rehydrated, report.wal_frames_replayed
+        ),
+        "1".into(),
+        format!("{recover_ms:.3} ms"),
+        "-".into(),
+        format!(
+            "zero cold builds for uncorrupted slots: {}",
+            report.profiles_rehydrated == service.key_count()
+        ),
+    ]);
+    table.push(&[
+        format!("WAL append ({appended} frames, sync=always)"),
+        "1".into(),
+        format!("{wal_append_ms:.3} ms"),
+        "-".into(),
+        "-".into(),
+    ]);
+    entries.push(BenchEntry {
+        experiment: "e19",
+        // median_ms carries bytes/tenant; speedup the density ratio vs
+        // the naive Vec<u64> dump (acceptance: >= 3).
+        engine: "snapshot-bytes-per-tenant".into(),
+        threads: 1,
+        horizon: total_tenants as u64,
+        median_ms: bytes_per_tenant,
+        speedup: density,
+    });
+    entries.push(BenchEntry {
+        experiment: "e19",
+        engine: "snapshot-wall".into(),
+        threads: 1,
+        horizon: total_tenants as u64,
+        median_ms: snap_ms,
+        speedup: 1.0,
+    });
+    entries.push(BenchEntry {
+        experiment: "e19",
+        engine: "recover-wall".into(),
+        threads: 1,
+        horizon: total_tenants as u64,
+        median_ms: recover_ms,
+        speedup: 1.0,
+    });
+    entries.push(BenchEntry {
+        experiment: "e19",
+        // median_ms carries the replayed frame count; speedup the
+        // frames/s replay rate through the patch plane.
+        engine: "wal-replay-rate".into(),
+        threads: 1,
+        horizon: appended,
+        median_ms: report.wal_frames_replayed as f64,
+        speedup: replay_rate,
+    });
+
+    failpoint::reset_to_env();
+    (vec![table], entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2564,7 +2864,7 @@ mod tests {
 
     #[test]
     fn experiment_ids_are_wired_up() {
-        assert_eq!(EXPERIMENT_IDS.len(), 18);
+        assert_eq!(EXPERIMENT_IDS.len(), 19);
     }
 
     #[test]
@@ -2733,6 +3033,30 @@ mod tests {
         assert!(json.contains("failpoint-overhead"));
         assert!(json.contains("quarantine-recovery"));
         assert!(!fhg_core::failpoint::active(), "e18 must leave the registry as it found it");
+    }
+
+    #[test]
+    fn e19_reports_density_and_recovery_rows() {
+        let _guard = FAILPOINT_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let (tables, entries) = run_experiment_collecting("e19", &tiny_cfg());
+        assert_eq!(tables.len(), 1);
+        let md = tables[0].to_markdown();
+        assert!(md.contains("snapshot bytes/tenant"), "{md}");
+        assert!(md.contains("<= 1/3 of naive Vec<u64>: true"), "{md}");
+        assert!(md.contains("frames replayed"), "{md}");
+        assert!(md.contains("zero cold builds for uncorrupted slots: true"), "{md}");
+        for engine in
+            ["snapshot-bytes-per-tenant", "snapshot-wall", "recover-wall", "wal-replay-rate"]
+        {
+            assert!(entries.iter().any(|e| e.engine == engine), "missing {engine} row");
+        }
+        let density = entries.iter().find(|e| e.engine == "snapshot-bytes-per-tenant").unwrap();
+        assert!(density.speedup >= 3.0, "the density ratio rides the speedup field");
+        let replay = entries.iter().find(|e| e.engine == "wal-replay-rate").unwrap();
+        assert!(replay.speedup > 0.0, "frames/s rides the speedup field");
+        let json = bench_entries_to_json(true, &entries);
+        assert!(json.contains("snapshot-bytes-per-tenant"));
+        assert!(json.contains("recover-wall"));
     }
 
     #[test]

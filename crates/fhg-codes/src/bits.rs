@@ -176,6 +176,13 @@ impl<'a> BitReader<'a> {
         self.bits.len() - self.pos
     }
 
+    /// Number of unread bits.  Alias of [`BitReader::remaining`], named to
+    /// match [`crate::wire::BitSource`] so WAL-frame scanning code reads the
+    /// same against either cursor.
+    pub fn remaining_bits(&self) -> usize {
+        self.remaining()
+    }
+
     /// Whether all bits have been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.remaining() == 0
@@ -184,6 +191,16 @@ impl<'a> BitReader<'a> {
     /// Current cursor position.
     pub fn position(&self) -> usize {
         self.pos
+    }
+
+    /// Advances the cursor to the next byte boundary (the next multiple of
+    /// 8 bits), clamped to the end of the stream.  After a corrupt frame,
+    /// scanners resync here instead of re-deriving bit offsets by hand.
+    pub fn align_to_byte(&mut self) {
+        let phase = self.pos % 8;
+        if phase != 0 {
+            self.pos = (self.pos + 8 - phase).min(self.bits.len());
+        }
     }
 }
 
@@ -300,6 +317,31 @@ mod tests {
         assert!(r.is_exhausted());
         assert_eq!(r.read_bit(), None);
         assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn bit_reader_aligns_at_all_eight_phases() {
+        // 16 bits = two full bytes; consuming `phase` bits then aligning must
+        // land on bit 0 (phase 0) or bit 8 (phases 1..=7), and the phase-8
+        // cursor is already aligned.
+        let c = Codeword::parse("1010101001010101");
+        for phase in 0..=8usize {
+            let mut r = BitReader::new(&c);
+            for _ in 0..phase {
+                r.read_bit();
+            }
+            r.align_to_byte();
+            let expect = if phase == 0 { 0 } else { 8 };
+            assert_eq!(r.position(), expect, "phase {phase}");
+            assert_eq!(r.remaining_bits(), 16 - expect, "phase {phase}");
+        }
+        // Alignment never runs past the end of a ragged stream.
+        let short = Codeword::parse("10110");
+        let mut r = BitReader::new(&short);
+        r.read_bits(3);
+        r.align_to_byte();
+        assert_eq!(r.position(), 5);
+        assert!(r.is_exhausted());
     }
 
     #[test]

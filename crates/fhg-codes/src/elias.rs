@@ -111,6 +111,13 @@ impl EliasCode {
             match reader.read_bit()? {
                 false => return Some(n),
                 true => {
+                    // Overflow guard for the length chain: the next group
+                    // would be read as `(1 << n) | rest`, so any chain value
+                    // n >= 64 — which an adversarial stream can claim with a
+                    // handful of bytes (e.g. "11 1111110 …") — must be
+                    // rejected here, *before* the shift, or `1u64 << n`
+                    // would overflow.  Legitimate codewords for values up to
+                    // u64::MAX never push the chain past 64.
                     if n >= 64 {
                         return None;
                     }
@@ -294,6 +301,31 @@ mod tests {
         vec![EliasCode::gamma(), EliasCode::delta(), EliasCode::omega()]
     }
 
+    #[test]
+    fn adversarial_max_length_claims_are_rejected() {
+        // Gamma: 64+ zeros claim a 65-bit value.
+        let gamma_claim = Codeword::from_bits(
+            std::iter::repeat_n(false, 64).chain(std::iter::repeat_n(true, 70)),
+        );
+        assert_eq!(EliasCode::gamma().decode(&mut BitReader::new(&gamma_claim)), None);
+
+        // Delta: gamma-coded length of 65 claims a 65-bit binary tail.
+        let mut delta_claim = EliasCode::gamma().encode(65);
+        for _ in 0..70 {
+            delta_claim.push(true);
+        }
+        assert_eq!(EliasCode::delta().decode(&mut BitReader::new(&delta_claim)), None);
+
+        // Omega: a run of ones drives the length chain past 64 — the next
+        // group read would shift-overflow without the explicit n >= 64 cap.
+        let mut omega_claim = Codeword::parse("11 1111110");
+        for _ in 0..256 {
+            omega_claim.push(true);
+        }
+        omega_claim.push(false);
+        assert_eq!(EliasCode::omega().decode(&mut BitReader::new(&omega_claim)), None);
+    }
+
     proptest! {
         #[test]
         fn roundtrip(value in 1u64..u64::MAX / 4) {
@@ -313,6 +345,42 @@ mod tests {
                 prop_assert!(
                     !code.encode(a).is_prefix_of(&code.encode(b)),
                     "{}({a}) is a prefix of {}({b})", code.name(), code.name()
+                );
+            }
+        }
+
+        #[test]
+        fn decoders_are_total_on_garbage_bitstreams(raw in prop::collection::vec(0u8..2, 0..512)) {
+            let bits: Vec<bool> = raw.iter().map(|&b| b == 1).collect();
+            // Feed arbitrary bits to every decoder until it gives up: each
+            // call must return (no panic, hang or shift overflow), yield a
+            // positive value, and consume at least one bit — so the scan
+            // terminates on any input.
+            let stream = Codeword::from_bits(bits.iter().copied());
+            for code in all_codes() {
+                let mut reader = BitReader::new(&stream);
+                let mut last = reader.position();
+                while let Some(v) = code.decode(&mut reader) {
+                    prop_assert!(v >= 1, "{} decoded 0", code.name());
+                    prop_assert!(reader.position() > last, "{} made no progress", code.name());
+                    last = reader.position();
+                }
+            }
+        }
+
+        #[test]
+        fn strict_prefixes_never_decode(value in 1u64..1_000_000u64, cut_seed in 0usize..10_000) {
+            // Prefix-freeness implies no strict prefix of a codeword is itself
+            // decodable: if it were, it would be a shorter codeword prefixing
+            // a longer one.
+            for code in all_codes() {
+                let full = code.encode(value);
+                let cut = cut_seed % full.len();
+                let prefix = Codeword::from_bits(full.bits()[..cut].iter().copied());
+                let mut reader = BitReader::new(&prefix);
+                prop_assert_eq!(
+                    code.decode(&mut reader), None,
+                    "{}({}) truncated to {} bits still decoded", code.name(), value, cut
                 );
             }
         }

@@ -23,6 +23,9 @@
 //! * [`schedule`] — the holiday-number ↔ colour mapping of the Algorithm
 //!   Scheme in §4: each codeword becomes an arithmetic progression
 //!   `offset + k·period`.
+//! * [`wire`] — the packed, endian-stable byte substrate (bit sinks/sources,
+//!   FNV-1a checksums, length-prefixed sections) used by the serving tier's
+//!   durable snapshot + write-ahead-log format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ pub mod elias;
 pub mod iterlog;
 pub mod schedule;
 pub mod unary;
+pub mod wire;
 
 pub use bits::{BitReader, Codeword};
 pub use elias::{EliasCode, EliasKind};

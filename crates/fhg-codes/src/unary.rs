@@ -98,5 +98,21 @@ mod tests {
             let c = UnaryCode;
             prop_assert!(!c.encode(a).is_prefix_of(&c.encode(b)));
         }
+
+        #[test]
+        fn decode_is_total_on_garbage_bitstreams(raw in prop::collection::vec(0u8..2, 0..512)) {
+            let bits: Vec<bool> = raw.iter().map(|&b| b == 1).collect();
+            // Arbitrary bits: every successful decode consumes at least one
+            // bit and a truncated run of ones yields None, never a panic.
+            let stream = Codeword::from_bits(bits.iter().copied());
+            let mut r = BitReader::new(&stream);
+            let mut last = r.position();
+            while let Some(v) = UnaryCode.decode(&mut r) {
+                prop_assert!(v >= 1);
+                prop_assert!(r.position() > last);
+                last = r.position();
+            }
+            prop_assert!(r.is_exhausted());
+        }
     }
 }

@@ -1,0 +1,523 @@
+//! Canonical on-disk wire format: endian-stable bit streams over bytes,
+//! streaming FNV-1a checksums and length-prefixed checksummed sections.
+//!
+//! The bit-level machinery in [`crate::bits`] stores one `bool` per bit —
+//! ideal for proving prefix-freeness and reproducing the paper's §4 examples,
+//! but wasteful as a storage substrate.  This module provides the packed
+//! counterpart used by the serving tier's snapshot and write-ahead log:
+//!
+//! * [`BitSink`] / [`BitSource`] — MSB-first bit streams packed into bytes,
+//!   with Elias-gamma helpers so the §4 universal codes double as the
+//!   varint layer of the persistence plane.  All multi-bit fields are
+//!   written MSB-first within the stream, making the byte layout identical
+//!   on every platform (no host-endianness leaks into the file).
+//! * [`fnv1a`] / [`Fnv64`] — the 64-bit FNV-1a hash (hand-rolled; no
+//!   external checksum crate is reachable from this build environment).
+//! * [`write_section`] / [`read_section`] — a length-prefixed, checksummed
+//!   section framing shared by the snapshot and the WAL.
+//!
+//! # Section grammar
+//!
+//! ```text
+//! section := tag:u8 | len:u32le | payload:[u8; len] | fnv64(tag‖len‖payload):u64le
+//! ```
+//!
+//! The checksum covers the tag and the length prefix as well as the payload,
+//! so a bit-flip anywhere in the frame is detected.  [`read_section`]
+//! distinguishes three degraded outcomes so callers can take *typed* paths:
+//! a clean end of input ([`SectionRead::End`]), a checksum mismatch whose
+//! length prefix still lands in-bounds ([`SectionRead::Corrupt`] — the caller
+//! may skip to the next frame), and a truncated tail
+//! ([`SectionRead::Torn`] — scanning must stop and the tail is discarded).
+//!
+//! Every decoder in this module is total: arbitrary input bytes produce
+//! `None`/`Torn`/`Corrupt`, never a panic, hang or shift overflow.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a hash of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Streaming 64-bit FNV-1a hasher, for checksumming without materialising
+/// the whole frame first.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Folds more bytes into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The hash of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// An MSB-first bit stream packed into bytes, for building section payloads.
+///
+/// [`BitSink::clear`] keeps the allocated capacity, so a long-lived sink
+/// (the WAL writer's encode buffer) reaches a steady state with zero
+/// allocations per frame.
+#[derive(Debug, Default)]
+pub struct BitSink {
+    bytes: Vec<u8>,
+    acc: u8,
+    used: u8,
+}
+
+impl BitSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        BitSink::default()
+    }
+
+    /// Resets the sink to empty, keeping the byte buffer's capacity.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.acc = 0;
+        self.used = 0;
+    }
+
+    /// Appends one bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | u8::from(bit);
+        self.used += 1;
+        if self.used == 8 {
+            self.bytes.push(self.acc);
+            self.acc = 0;
+            self.used = 0;
+        }
+    }
+
+    /// Appends the low `k` bits of `value`, MSB-first.
+    ///
+    /// # Panics
+    /// Panics if `k > 64`.
+    pub fn put_bits(&mut self, value: u64, k: u32) {
+        assert!(k <= 64, "put_bits width {k} exceeds u64");
+        for i in (0..k).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a full 64-bit field.
+    pub fn put_u64(&mut self, value: u64) {
+        self.put_bits(value, 64);
+    }
+
+    /// Appends the Elias gamma code of `value` (defined for `value ≥ 1`):
+    /// `⌊log₂ value⌋` zeros followed by the binary representation.
+    ///
+    /// # Panics
+    /// Panics if `value == 0`.
+    pub fn put_gamma(&mut self, value: u64) {
+        assert!(value >= 1, "gamma code is defined for n >= 1");
+        let width = 64 - value.leading_zeros();
+        self.put_bits(0, width - 1);
+        self.put_bits(value, width);
+    }
+
+    /// Gamma-codes an arbitrary `u64` by shifting it into `1..`.
+    ///
+    /// # Panics
+    /// Panics if `value == u64::MAX` (unrepresentable after the shift).
+    pub fn put_gamma0(&mut self, value: u64) {
+        assert!(value < u64::MAX, "gamma0 cannot represent u64::MAX");
+        self.put_gamma(value + 1);
+    }
+
+    /// Appends raw bytes on the current (possibly unaligned) bit cursor.
+    pub fn put_bytes(&mut self, data: &[u8]) {
+        if self.used == 0 {
+            self.bytes.extend_from_slice(data);
+        } else {
+            for &b in data {
+                self.put_bits(u64::from(b), 8);
+            }
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align(&mut self) {
+        while self.used != 0 {
+            self.push_bit(false);
+        }
+    }
+
+    /// Number of bits appended so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + usize::from(self.used)
+    }
+
+    /// Aligns to a byte boundary and returns the packed bytes.
+    pub fn bytes(&mut self) -> &[u8] {
+        self.align();
+        &self.bytes
+    }
+}
+
+/// An MSB-first bit cursor over packed bytes, the reading counterpart of
+/// [`BitSink`].  All reads are total: a short stream yields `None` without
+/// consuming bits.
+#[derive(Debug, Clone)]
+pub struct BitSource<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitSource<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitSource { bytes, pos: 0 }
+    }
+
+    /// Number of unread bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Current cursor position in bits.
+    pub fn position_bits(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bytes.len() * 8 {
+            return None;
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `k` bits MSB-first.  Returns `None` without consuming anything
+    /// if fewer than `k` bits remain or `k > 64`.
+    pub fn read_bits(&mut self, k: u32) -> Option<u64> {
+        if k > 64 || self.remaining_bits() < k as usize {
+            return None;
+        }
+        let mut value = 0u64;
+        for _ in 0..k {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - self.pos % 8)) & 1;
+            value = (value << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        Some(value)
+    }
+
+    /// Reads a full 64-bit field.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.read_bits(64)
+    }
+
+    /// Decodes one Elias gamma codeword.  A run of more than 63 zeros is an
+    /// adversarial length claim and yields `None` (never a shift overflow).
+    pub fn get_gamma(&mut self) -> Option<u64> {
+        let mut zeros = 0u32;
+        loop {
+            match self.read_bit()? {
+                true => break,
+                false => {
+                    zeros += 1;
+                    if zeros > 63 {
+                        return None;
+                    }
+                }
+            }
+        }
+        let rest = self.read_bits(zeros)?;
+        Some((1u64 << zeros) | rest)
+    }
+
+    /// Decodes a gamma0-coded value (inverse of [`BitSink::put_gamma0`]).
+    pub fn get_gamma0(&mut self) -> Option<u64> {
+        self.get_gamma().map(|v| v - 1)
+    }
+
+    /// Advances the cursor to the next byte boundary (no-op when aligned).
+    pub fn align_to_byte(&mut self) {
+        let phase = self.pos % 8;
+        if phase != 0 {
+            self.pos += 8 - phase;
+        }
+    }
+}
+
+/// Bytes of a section header: tag plus the u32 length prefix.
+pub const SECTION_HEADER_LEN: usize = 5;
+/// Bytes of a section trailer: the u64 FNV-1a checksum.
+pub const SECTION_TRAILER_LEN: usize = 8;
+
+/// Outcome of scanning one section at a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionRead<'a> {
+    /// A complete, checksum-verified section.
+    Section {
+        /// The section's tag byte.
+        tag: u8,
+        /// The payload bytes (borrowed from the input).
+        payload: &'a [u8],
+        /// Byte offset just past this section (where the next one starts).
+        end: usize,
+    },
+    /// Clean end of input: the offset is exactly the input length.
+    End,
+    /// The checksum failed but the length prefix was in-bounds; `skip_to`
+    /// is the offset just past the damaged frame, where scanning may resume.
+    Corrupt {
+        /// Byte offset just past the corrupt frame.
+        skip_to: usize,
+    },
+    /// The input ends mid-frame (or the length prefix points out of
+    /// bounds); nothing past this offset can be trusted.
+    Torn,
+}
+
+/// Appends one framed section (`tag | len | payload | checksum`) to `out`.
+///
+/// # Panics
+/// Panics if the payload exceeds `u32::MAX` bytes.
+pub fn write_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("section payload exceeds u32::MAX bytes");
+    let start = out.len();
+    out.push(tag);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a(&out[start..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Scans one section starting at byte offset `pos`.
+///
+/// Total over arbitrary input: every outcome is one of the four
+/// [`SectionRead`] variants, never a panic or out-of-bounds read.
+pub fn read_section(bytes: &[u8], pos: usize) -> SectionRead<'_> {
+    if pos >= bytes.len() {
+        return SectionRead::End;
+    }
+    let rest = bytes.len() - pos;
+    if rest < SECTION_HEADER_LEN {
+        return SectionRead::Torn;
+    }
+    let tag = bytes[pos];
+    let len = u32::from_le_bytes([bytes[pos + 1], bytes[pos + 2], bytes[pos + 3], bytes[pos + 4]])
+        as usize;
+    let Some(total) =
+        SECTION_HEADER_LEN.checked_add(len).and_then(|n| n.checked_add(SECTION_TRAILER_LEN))
+    else {
+        return SectionRead::Torn;
+    };
+    if total > rest {
+        return SectionRead::Torn;
+    }
+    let body_end = pos + SECTION_HEADER_LEN + len;
+    let mut sum_bytes = [0u8; 8];
+    sum_bytes.copy_from_slice(&bytes[body_end..body_end + SECTION_TRAILER_LEN]);
+    let stored = u64::from_le_bytes(sum_bytes);
+    if fnv1a(&bytes[pos..body_end]) != stored {
+        return SectionRead::Corrupt { skip_to: pos + total };
+    }
+    SectionRead::Section {
+        tag,
+        payload: &bytes[pos + SECTION_HEADER_LEN..body_end],
+        end: pos + total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn sink_packs_msb_first() {
+        let mut s = BitSink::new();
+        s.push_bit(true);
+        s.put_bits(0b011, 3);
+        assert_eq!(s.bit_len(), 4);
+        assert_eq!(s.bytes(), &[0b1011_0000]);
+        s.clear();
+        s.put_u64(0x0123_4567_89ab_cdef);
+        assert_eq!(s.bytes(), 0x0123_4567_89ab_cdefu64.to_be_bytes().as_slice());
+    }
+
+    #[test]
+    fn put_bytes_respects_bit_phase() {
+        let mut s = BitSink::new();
+        s.put_bytes(&[0xAB, 0xCD]);
+        assert_eq!(s.bytes(), &[0xAB, 0xCD]);
+        s.clear();
+        s.push_bit(true);
+        s.put_bytes(&[0xFF]);
+        assert_eq!(s.bytes(), &[0b1111_1111, 0b1000_0000]);
+    }
+
+    #[test]
+    fn source_round_trips_sink() {
+        let mut s = BitSink::new();
+        s.put_gamma(1);
+        s.put_gamma(9);
+        s.put_gamma0(0);
+        s.put_u64(u64::MAX);
+        s.put_gamma(u64::MAX);
+        let bytes = s.bytes().to_vec();
+        let mut r = BitSource::new(&bytes);
+        assert_eq!(r.get_gamma(), Some(1));
+        assert_eq!(r.get_gamma(), Some(9));
+        assert_eq!(r.get_gamma0(), Some(0));
+        assert_eq!(r.get_u64(), Some(u64::MAX));
+        assert_eq!(r.get_gamma(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn source_reads_are_total() {
+        let mut r = BitSource::new(&[0x00]);
+        // 8 zeros: gamma decode runs off the end -> None, no panic.
+        assert_eq!(r.get_gamma(), None);
+        let mut r = BitSource::new(&[0xFF]);
+        assert_eq!(r.read_bits(9), None);
+        assert_eq!(r.position_bits(), 0, "failed read must not consume");
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        // 64+ zeros then a one: adversarial gamma length claim.
+        let mut bytes = vec![0u8; 9];
+        bytes[8] = 0x80;
+        let mut r = BitSource::new(&bytes);
+        assert_eq!(r.get_gamma(), None);
+    }
+
+    #[test]
+    fn source_alignment_at_all_phases() {
+        let bytes = [0xAA, 0x55];
+        for phase in 0..=8usize {
+            let mut r = BitSource::new(&bytes);
+            for _ in 0..phase {
+                r.read_bit();
+            }
+            r.align_to_byte();
+            let expect = if phase == 0 { 0 } else { 8 };
+            assert_eq!(r.position_bits(), expect, "phase {phase}");
+            assert_eq!(r.remaining_bits(), 16 - expect);
+        }
+    }
+
+    #[test]
+    fn section_round_trip_and_end() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, 0x01, b"hello");
+        write_section(&mut buf, 0x02, b"");
+        let SectionRead::Section { tag, payload, end } = read_section(&buf, 0) else {
+            panic!("expected section");
+        };
+        assert_eq!((tag, payload), (0x01, b"hello".as_slice()));
+        let SectionRead::Section { tag, payload, end } = read_section(&buf, end) else {
+            panic!("expected second section");
+        };
+        assert_eq!((tag, payload.len()), (0x02, 0));
+        assert_eq!(read_section(&buf, end), SectionRead::End);
+    }
+
+    #[test]
+    fn corrupt_section_is_skippable() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, 0x01, b"aaaa");
+        write_section(&mut buf, 0x02, b"bbbb");
+        let first_end = match read_section(&buf, 0) {
+            SectionRead::Section { end, .. } => end,
+            other => panic!("{other:?}"),
+        };
+        // Flip a payload bit in the first section.
+        buf[SECTION_HEADER_LEN] ^= 0x01;
+        match read_section(&buf, 0) {
+            SectionRead::Corrupt { skip_to } => assert_eq!(skip_to, first_end),
+            other => panic!("{other:?}"),
+        }
+        // Resync lands on the intact second section.
+        match read_section(&buf, first_end) {
+            SectionRead::Section { tag, payload, .. } => {
+                assert_eq!((tag, payload), (0x02, b"bbbb".as_slice()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_torn() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, 0x01, b"payload");
+        for cut in 1..buf.len() {
+            assert_eq!(read_section(&buf[..cut], 0), SectionRead::Torn, "cut {cut}");
+        }
+        assert!(matches!(read_section(&buf, 0), SectionRead::Section { .. }));
+        // A length prefix pointing far out of bounds is torn, not a panic.
+        let huge = [0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(read_section(&huge, 0), SectionRead::Torn);
+    }
+
+    proptest! {
+        #[test]
+        fn gamma_round_trips(v in 1u64..u64::MAX) {
+            let mut s = BitSink::new();
+            s.put_gamma(v);
+            let bytes = s.bytes().to_vec();
+            let mut r = BitSource::new(&bytes);
+            prop_assert_eq!(r.get_gamma(), Some(v));
+        }
+
+        #[test]
+        fn read_section_is_total_on_garbage(raw in prop::collection::vec(0u16..256, 0..64), pos in 0usize..80) {
+            // Must terminate with one of the four variants, never panic.
+            let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+            let _ = read_section(&bytes, pos);
+        }
+
+        #[test]
+        fn source_decoders_are_total_on_garbage(raw in prop::collection::vec(0u16..256, 0..32)) {
+            let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+            let mut r = BitSource::new(&bytes);
+            let mut last = r.position_bits();
+            while let Some(v) = r.get_gamma() {
+                prop_assert!(v >= 1);
+                prop_assert!(r.position_bits() > last, "decoder must make progress");
+                last = r.position_bits();
+            }
+        }
+    }
+}

@@ -413,6 +413,110 @@ impl CycleProfile {
         }
     }
 
+    /// Reconstructs a profile from its deterministic inputs — view, start,
+    /// node count and the previously verified per-class verdict — without
+    /// running a checker or walking happy sets.
+    ///
+    /// Everything a [`CycleProfile::build`] computes except the verdict is a
+    /// pure function of the residue view: node `p` attends exactly the
+    /// offsets `o ≡ slot_p − start (mod m_p)` within the cycle, so the
+    /// per-class sizes, the offset CSR and the column bank can all be
+    /// replayed arithmetically in `O(cycle + attendance)`.  This is the
+    /// serving tier's recovery path: a snapshot persists only the compact
+    /// view plus the one verdict bit, and rehydration restores a profile
+    /// that is [`content_eq`](CycleProfile::content_eq) to the original —
+    /// no cold build, no checker traffic.
+    ///
+    /// The caller vouches for `all_independent` (recovery trusts the
+    /// checksummed snapshot and then re-audits a sample through
+    /// the serving tier's audit plane).
+    ///
+    /// # Panics
+    /// Panics if the cycle exceeds [`CycleProfile::MAX_CYCLE`].
+    pub fn rehydrate(
+        view: &ResidueSchedule,
+        start: u64,
+        node_count: usize,
+        all_independent: bool,
+    ) -> Self {
+        let cycle = view.cycle();
+        assert!(
+            cycle <= Self::MAX_CYCLE,
+            "cycle {cycle} exceeds the profile budget ({})",
+            Self::MAX_CYCLE
+        );
+        let n = node_count;
+
+        // Per-class sizes count ALL view nodes (out-of-range attendance is
+        // part of class size, exactly as `view.fill` reports it); per-node
+        // lanes exist only for graph nodes `p < n`, mirroring the build's
+        // event emission.
+        let mut class_sizes = vec![0u64; cycle as usize];
+        let mut counts = vec![0u64; n];
+        for p in 0..view.node_count() {
+            let m = view.modulus(p);
+            let first = (view.slot(p) % m + m - start % m) % m;
+            let mut o = first;
+            let mut hits = 0u64;
+            while o < cycle {
+                class_sizes[o as usize] += 1;
+                hits += 1;
+                o += m;
+            }
+            if let Some(count) = counts.get_mut(p) {
+                *count = hits;
+            }
+        }
+        let mut size_prefix = Vec::with_capacity(cycle as usize + 1);
+        size_prefix.push(0u64);
+        let mut running = 0u64;
+        for &size in &class_sizes {
+            running += size;
+            size_prefix.push(running);
+        }
+
+        // Dense node-major CSR with ascending offsets per lane — the exact
+        // layout a fresh build's counting sort produces.
+        let mut starts = Vec::with_capacity(n + 1);
+        starts.push(0usize);
+        for p in 0..n {
+            starts.push(starts[p] + counts[p] as usize);
+        }
+        let mut offsets = vec![0u64; starts[n]];
+        for (p, &row_start) in starts.iter().enumerate().take(n.min(view.node_count())) {
+            let m = view.modulus(p);
+            let first = (view.slot(p) % m + m - start % m) % m;
+            let mut idx = row_start;
+            let mut o = first;
+            while o < cycle {
+                offsets[idx] = o;
+                idx += 1;
+                o += m;
+            }
+        }
+        let rows: Vec<(usize, usize)> =
+            (0..n).map(|p| (starts[p], starts[p + 1] - starts[p])).collect();
+
+        let mut bank = AccumBank::new(n);
+        for (p, &(s, l)) in rows.iter().enumerate() {
+            for &o in &offsets[s..s + l] {
+                bank.record(p, o);
+            }
+        }
+
+        CycleProfile {
+            start,
+            cycle,
+            node_count: n,
+            bank,
+            rows,
+            offsets,
+            garbage: 0,
+            size_prefix,
+            all_independent,
+        }
+    }
+
     /// The profiled cycle length.
     pub fn cycle(&self) -> u64 {
         self.cycle
@@ -1372,6 +1476,53 @@ mod tests {
         assert_eq!(r.first_gap, 16);
         assert_eq!(r.gap_count, 5);
         assert_eq!(r.max_streak, 15);
+    }
+
+    #[test]
+    fn rehydrate_is_content_equal_to_a_checker_build() {
+        use crate::schedulers::PeriodicDegreeBound;
+        use crate::Scheduler;
+        use fhg_graph::generators::erdos_renyi;
+
+        for (n, p, seed) in [(18, 0.2, 1u64), (40, 0.1, 2), (7, 0.5, 3)] {
+            let g = erdos_renyi(n, p, seed);
+            let s = PeriodicDegreeBound::new(&g);
+            let view = s.residue_schedule().expect("perfectly periodic");
+            let checker = super::super::GraphChecker::new(&g);
+            let built = CycleProfile::build(view, s.first_holiday(), g.node_count(), &checker);
+            let rehydrated = CycleProfile::rehydrate(
+                view,
+                s.first_holiday(),
+                g.node_count(),
+                built.all_classes_independent(),
+            );
+            assert!(
+                rehydrated.content_eq(&built),
+                "rehydrate diverged from build (n={n}, seed={seed})"
+            );
+            // And the derived analysis is bitwise identical.
+            let h = built.cycle() * 3 + 1;
+            assert_eq!(built.derive_totals(h), rehydrated.derive_totals(h));
+        }
+    }
+
+    #[test]
+    fn rehydrate_handles_out_of_range_view_nodes_and_nonzero_start() {
+        use crate::schedulers::residue::ResidueSchedule;
+        use fhg_graph::generators::erdos_renyi;
+
+        // A view with more nodes than the graph: the extra node's attendance
+        // still counts toward class sizes but gets no lane, and the verdict
+        // is pinned false — exactly what a checker build concludes.
+        let g = erdos_renyi(5, 0.4, 9);
+        let view = ResidueSchedule::new(vec![0, 1, 0, 3, 2, 1], vec![2, 4, 4, 4, 4, 2]);
+        for start in [0u64, 1, 5, 7] {
+            let checker = super::super::GraphChecker::new(&g);
+            let built = CycleProfile::build(&view, start, g.node_count(), &checker);
+            assert!(!built.all_classes_independent(), "out-of-range node must taint");
+            let rehydrated = CycleProfile::rehydrate(&view, start, g.node_count(), false);
+            assert!(rehydrated.content_eq(&built), "start {start}");
+        }
     }
 
     #[test]

@@ -90,9 +90,22 @@
 //! The tier's failure paths are driven deterministically by the
 //! [`failpoint`](crate::failpoint) sites `patch.after_rows`,
 //! `build.slot`, `query.batch`, `profile.patch.validate`,
-//! `profile.patch.commit` and `checker.batch` (see `FHG_FAILPOINTS`);
+//! `profile.patch.commit`, `checker.batch`, `wal.append`,
+//! `snapshot.write` and `recover.replay` (see `FHG_FAILPOINTS`);
 //! `tests/chaos.rs` replays seeded event/query/fault interleavings
-//! against a fault-free oracle at several thread counts.
+//! against a fault-free oracle at several thread counts, and kills
+//! snapshot/WAL writes at every byte boundary.
+//!
+//! # Durability
+//!
+//! The [`persist`] submodule makes the tier crash-durable: checksummed
+//! atomic snapshots ([`ProfileService::snapshot`]), an append-only event
+//! WAL ([`WalWriter`]) and torn-write recovery
+//! ([`ProfileService::recover`]) that replays the log through the patch
+//! plane and audits a sample before serving.  See that module's docs for
+//! the on-disk format and the recovery state machine; the
+//! `FHG_SNAPSHOT_DIR` ([`snapshot_dir`]) and `FHG_WAL_SYNC`
+//! ([`wal_sync`]) knobs live there too.
 //!
 //! # Batch front and sharding
 //!
@@ -121,6 +134,13 @@ use crate::analysis::{
 use crate::dynamic::EventRepair;
 use crate::scheduler::Scheduler;
 use crate::schedulers::residue::{ResidueSchedule, RowChange};
+
+pub mod persist;
+
+pub use persist::{
+    snapshot_dir, wal_sync, RecoverError, RecoveryReport, SnapshotStats, WalSync, WalWriter,
+    SNAPSHOT_FILE, WAL_FILE, WAL_SYNC,
+};
 
 /// Default ceiling on the analytic touched-lane estimate above which
 /// [`ProfileService::patch`] rebuilds instead of repairing in place.
@@ -445,6 +465,11 @@ pub enum QuarantineReason {
     /// [`ProfileService::audit_step`] re-derived the slot and its cached
     /// totals or independence verdict disagreed with the reference sweep.
     AuditMismatch,
+    /// [`ProfileService::recover`] could not fully restore the slot: its
+    /// profile section was torn or corrupt, or replaying one of its WAL
+    /// frames faulted.  The slot's (graph, schedule) content is intact, so
+    /// [`ProfileService::repair_quarantined`] rebuilds it cold.
+    RecoveryMismatch,
 }
 
 impl fmt::Display for QuarantineReason {
@@ -454,6 +479,9 @@ impl fmt::Display for QuarantineReason {
             QuarantineReason::BuildPanic => write!(f, "the profile build worker died"),
             QuarantineReason::AuditMismatch => {
                 write!(f, "the background audit found the cached profile diverged")
+            }
+            QuarantineReason::RecoveryMismatch => {
+                write!(f, "crash recovery could not fully restore the cached profile")
             }
         }
     }
@@ -1204,25 +1232,14 @@ fn schedule_key(graph: &Graph, view: &ResidueSchedule, start: u64) -> u64 {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
-    use crate::analysis::analyze_schedule_reference;
-    use crate::schedulers::{FirstComeFirstGrab, PeriodicDegreeBound};
-    use fhg_graph::generators::erdos_renyi;
-
-    #[test]
-    fn non_periodic_schedulers_are_a_typed_error_not_a_crash() {
-        let g = erdos_renyi(16, 0.2, 7);
-        let mut service = ProfileService::new();
-        let dynamic = FirstComeFirstGrab::new(&g, 42);
-        let err = service.register(1, &g, &dynamic).unwrap_err();
-        assert!(matches!(err, RegisterError::NotPeriodic { .. }), "{err}");
-        assert_eq!(service.tenant_count(), 0, "failed registrations leave no residue");
-    }
 
     /// A scheduler pinned to an explicit residue view, for staging slots
-    /// the maintained schedulers would never produce.
-    struct Fixed(ResidueSchedule);
+    /// the maintained schedulers would never produce.  Shared by this
+    /// module's tests and `persist`'s.
+    pub(crate) struct Fixed(pub(crate) ResidueSchedule);
+
     impl Scheduler for Fixed {
         fn node_count(&self) -> usize {
             self.0.node_count()
@@ -1245,6 +1262,25 @@ mod tests {
         fn residue_schedule(&self) -> Option<&ResidueSchedule> {
             Some(&self.0)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::Fixed;
+    use super::*;
+    use crate::analysis::analyze_schedule_reference;
+    use crate::schedulers::{FirstComeFirstGrab, PeriodicDegreeBound};
+    use fhg_graph::generators::erdos_renyi;
+
+    #[test]
+    fn non_periodic_schedulers_are_a_typed_error_not_a_crash() {
+        let g = erdos_renyi(16, 0.2, 7);
+        let mut service = ProfileService::new();
+        let dynamic = FirstComeFirstGrab::new(&g, 42);
+        let err = service.register(1, &g, &dynamic).unwrap_err();
+        assert!(matches!(err, RegisterError::NotPeriodic { .. }), "{err}");
+        assert_eq!(service.tenant_count(), 0, "failed registrations leave no residue");
     }
 
     #[test]

@@ -459,3 +459,351 @@ proptest! {
         prop_assert!(service.profile(1).unwrap().content_eq(&oracle_of(&sched)));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Durability chaos (PR 10): kill-mid-write lifecycles for the snapshot +
+// WAL persistence plane.  The invariant extends across a process death:
+// after recovering from a file cut at *any* byte, every tenant is either
+// warm and bitwise-equal to a never-crashed oracle or typed-quarantined
+// and rebuildable — never a panic, never a silently wrong answer.
+// ---------------------------------------------------------------------------
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fhg::codes::wire::{self, SectionRead};
+use fhg::core::serving::{RecoverError, WalSync, WalWriter, SNAPSHOT_FILE, WAL_FILE};
+
+/// A self-cleaning scratch directory for persistence lifecycles.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("fhg-chaos-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("chaos temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The byte offsets at which every wire section of `bytes` (after the
+/// 8-byte magic) ends — the exact places a dying writer can leave a clean
+/// prefix.
+fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut boundaries = Vec::new();
+    let mut pos = 8;
+    while let SectionRead::Section { end, .. } = wire::read_section(bytes, pos) {
+        boundaries.push(end);
+        pos = end;
+    }
+    boundaries
+}
+
+/// A snapshot write killed at every section boundary — and mid-section —
+/// recovers to a salvageable prefix: each tenant is warm and equal to the
+/// never-crashed oracle, typed-quarantined (the torn half of a slot pair),
+/// or cleanly unknown.  No cut point panics.
+#[test]
+fn snapshot_killed_at_every_section_boundary_recovers_typed() {
+    let _guard = faults("", 0);
+    const TENANTS: u64 = 5;
+    let mut service = ProfileService::new();
+    let mut scheds = Vec::new();
+    for t in 0..TENANTS {
+        let g = graph(18 + 2 * t as usize, 700 + t);
+        let sched = DynamicColorBound::new(&g);
+        service.register(t, &g, &sched).unwrap();
+        scheds.push(sched);
+    }
+    assert_eq!(service.build_pending() as u64, TENANTS);
+    let full = service.snapshot_bytes();
+    let boundaries = section_boundaries(&full);
+    // META + one (content, profile) pair per slot + END.
+    assert_eq!(boundaries.len() as u64, 2 + 2 * TENANTS);
+
+    let dir = TempDir::new("snap-boundaries");
+    let mut cuts: Vec<usize> = vec![0, 3, 8, full.len()];
+    for &b in &boundaries {
+        cuts.push(b);
+        cuts.push(b.saturating_sub(3)); // mid-section: a torn last frame
+        cuts.push(b + 2); // a torn header of the next frame
+    }
+    cuts.retain(|&c| c <= full.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    for cut in cuts {
+        fs::write(dir.path().join(SNAPSHOT_FILE), &full[..cut]).unwrap();
+        if cut < 8 {
+            assert!(
+                matches!(ProfileService::recover(dir.path()), Err(RecoverError::BadMagic)),
+                "cut {cut}: a short magic must be a typed error"
+            );
+            continue;
+        }
+        let (recovered, report) =
+            ProfileService::recover(dir.path()).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        assert_eq!(
+            report.snapshot_torn,
+            cut != full.len(),
+            "cut {cut}: every proper prefix is torn, the full file is not"
+        );
+        for t in 0..TENANTS {
+            match recovered.profile(t) {
+                Some(p) => {
+                    assert!(
+                        p.content_eq(service.profile(t).unwrap()),
+                        "cut {cut}: tenant {t} recovered warm but diverged from the oracle"
+                    );
+                }
+                None => match recovered.quarantine_reason(t) {
+                    Some(reason) => assert_eq!(
+                        reason,
+                        QuarantineReason::RecoveryMismatch,
+                        "cut {cut}: tenant {t}"
+                    ),
+                    None => assert!(
+                        matches!(
+                            recovered.query_totals(t, 0, 8),
+                            Err(QueryError::UnknownTenant(_))
+                        ),
+                        "cut {cut}: tenant {t} must be warm, quarantined or cleanly unknown"
+                    ),
+                },
+            }
+        }
+        // Quarantined slots are rebuildable: their content survived, so a
+        // cold rebuild brings them back warm and oracle-equal.
+        let mut recovered = recovered;
+        recovered.repair_quarantined();
+        for t in 0..TENANTS {
+            if let Some(p) = recovered.profile(t) {
+                assert!(p.content_eq(service.profile(t).unwrap()), "cut {cut}: tenant {t}");
+            }
+        }
+    }
+}
+
+/// A WAL torn at every byte offset of its last frame recovers to the
+/// longest clean prefix of events: replayed frames match the oracle that
+/// saw exactly those events, the torn tail is physically truncated, and a
+/// second recovery starts from the already-clean file.
+#[test]
+fn wal_truncated_at_every_byte_of_the_last_frame_recovers_prefix() {
+    let _guard = faults("", 0);
+    let g = graph(26, 811);
+    let mut sched = DynamicColorBound::new(&g);
+    let mut service = ProfileService::new();
+    service.register(1, &g, &sched).unwrap();
+    assert_eq!(service.build_pending(), 1);
+
+    let dir = TempDir::new("wal-bytes");
+    service.snapshot(dir.path()).unwrap();
+
+    // K events through the WAL; record the file length after each append
+    // and the oracle profile after each event.
+    const K: usize = 4;
+    let mut wal = WalWriter::with_sync(dir.path(), WalSync::Never).unwrap();
+    let mut ends = vec![fs::metadata(wal.path()).unwrap().len() as usize];
+    let mut oracles = vec![oracle_of(&sched)];
+    for step in 0..K as u64 {
+        let u = (step as usize * 3) % sched.node_count();
+        let v = (u + 5) % sched.node_count();
+        let repair = sched.apply_event(toggle(&sched, u, v, step)).unwrap();
+        wal.append(1, &repair).unwrap();
+        ends.push(fs::metadata(wal.path()).unwrap().len() as usize);
+        oracles.push(oracle_of(&sched));
+    }
+    drop(wal);
+    let full_wal = fs::read(dir.path().join(WAL_FILE)).unwrap();
+    assert_eq!(*ends.last().unwrap(), full_wal.len());
+
+    // Cut the log at every byte of the last frame (and at each earlier
+    // frame boundary for good measure).
+    let mut cuts: Vec<usize> = (ends[K - 1]..=ends[K]).collect();
+    cuts.extend_from_slice(&ends[..K]);
+    for cut in cuts {
+        fs::write(dir.path().join(WAL_FILE), &full_wal[..cut]).unwrap();
+        let (recovered, report) =
+            ProfileService::recover(dir.path()).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        // The longest frame boundary at or before the cut decides how many
+        // events survived.
+        let survived = ends.iter().take_while(|&&e| e <= cut).count() - 1;
+        assert_eq!(
+            report.wal_frames_replayed, survived,
+            "cut {cut}: exactly the clean prefix replays"
+        );
+        let torn = !ends.contains(&cut);
+        assert_eq!(report.wal_torn, torn, "cut {cut}");
+        if torn {
+            assert_eq!(report.wal_truncated_to, Some(ends[survived] as u64), "cut {cut}");
+            assert_eq!(
+                fs::metadata(dir.path().join(WAL_FILE)).unwrap().len(),
+                ends[survived] as u64,
+                "cut {cut}: the torn tail must be physically truncated"
+            );
+        }
+        let served = recovered.profile(1).unwrap_or_else(|| panic!("cut {cut}: tenant 1 cold"));
+        assert!(
+            served.content_eq(&oracles[survived]),
+            "cut {cut}: recovered state must equal the oracle that saw {survived} events"
+        );
+
+        // The file is now clean: recovering again replays the same prefix
+        // with no tear.
+        let (again, report2) = ProfileService::recover(dir.path()).unwrap();
+        assert!(!report2.wal_torn, "cut {cut}: second recovery sees a clean log");
+        assert_eq!(report2.wal_frames_replayed, survived);
+        assert!(again.profile(1).unwrap().content_eq(&oracles[survived]), "cut {cut}");
+    }
+}
+
+/// Recovery under fire: replay faults (injected `recover.replay` kills and
+/// real `patch.after_rows` panics) never unwind out of `recover`; every
+/// tenant lands warm-and-oracle-equal or typed-quarantined, and since a
+/// faulty recovery never corrupts the files, a later fault-free recovery
+/// from the same directory converges fully.
+#[test]
+fn faulty_replay_quarantines_typed_and_the_disk_stays_convergent() {
+    let _guard = faults("", 0);
+    const TENANTS: u64 = 4;
+    let mut service = ProfileService::new();
+    let mut scheds = Vec::new();
+    for t in 0..TENANTS {
+        let g = graph(20 + 3 * t as usize, 555 + t);
+        let sched = DynamicColorBound::new(&g);
+        service.register(t, &g, &sched).unwrap();
+        scheds.push(sched);
+    }
+    assert_eq!(service.build_pending() as u64, TENANTS);
+
+    let dir = TempDir::new("faulty-replay");
+    service.snapshot(dir.path()).unwrap();
+    let mut wal = WalWriter::with_sync(dir.path(), WalSync::Never).unwrap();
+    let mut state = 0xFEED_FACE_CAFE_BEEFu64;
+    for step in 0..24u64 {
+        let t = (lcg(&mut state) % TENANTS) as usize;
+        let n = scheds[t].node_count();
+        let u = (lcg(&mut state) as usize) % n;
+        let mut v = (lcg(&mut state) as usize) % n;
+        if u == v {
+            v = (v + 1) % n;
+        }
+        let event = toggle(&scheds[t], u, v, step);
+        let repair = scheds[t].apply_event(event).unwrap();
+        wal.append(t as u64, &repair).unwrap();
+        service.patch(t as u64, &repair).unwrap();
+    }
+    drop(wal);
+
+    failpoint::configure_with_seed("recover.replay=panic@0.25,patch.after_rows=panic@0.2", 99);
+    let (recovered, report) =
+        ProfileService::recover(dir.path()).expect("faults must not unwind out of recover");
+    assert_eq!(report.wal_frames_replayed + report.wal_frames_skipped, 24);
+    for t in 0..TENANTS {
+        match recovered.profile(t) {
+            Some(p) => assert!(
+                p.content_eq(service.profile(t).unwrap()),
+                "tenant {t}: a fully-replayed tenant must equal the live service"
+            ),
+            None => {
+                let reason = recovered
+                    .quarantine_reason(t)
+                    .unwrap_or_else(|| panic!("tenant {t}: cold but not quarantined"));
+                assert!(
+                    matches!(
+                        reason,
+                        QuarantineReason::RecoveryMismatch | QuarantineReason::PatchPanic
+                    ),
+                    "tenant {t}: {reason}"
+                );
+            }
+        }
+    }
+
+    // The faulty recovery mutated only its in-memory service — the files
+    // are exactly as the writer left them, so a clean pass converges.
+    failpoint::clear();
+    let (clean, clean_report) = ProfileService::recover(dir.path()).unwrap();
+    assert_eq!(clean_report.wal_frames_replayed, 24);
+    assert_eq!(clean_report.quarantined, 0);
+    for t in 0..TENANTS {
+        assert!(
+            clean.profile(t).unwrap().content_eq(service.profile(t).unwrap()),
+            "tenant {t}: fault-free recovery from the same directory must converge"
+        );
+    }
+}
+
+/// Write-side faults are typed and atomic: a killed snapshot leaves the
+/// previous snapshot serving and no temp debris; a killed append leaves
+/// the log byte-identical and the next append lands on a clean boundary.
+#[test]
+fn killed_writers_leave_no_debris_and_typed_errors() {
+    let _guard = faults("", 0);
+    let g = graph(22, 333);
+    let mut sched = DynamicColorBound::new(&g);
+    let mut service = ProfileService::new();
+    service.register(1, &g, &sched).unwrap();
+    assert_eq!(service.build_pending(), 1);
+
+    let dir = TempDir::new("killed-writers");
+    service.snapshot(dir.path()).unwrap();
+    let golden = fs::read(dir.path().join(SNAPSHOT_FILE)).unwrap();
+
+    // Mutate, then die inside the second snapshot: typed error, the old
+    // snapshot is untouched, no temp file survives.
+    let repair = sched.apply_event(toggle(&sched, 0, 7, 0)).unwrap();
+    service.patch(1, &repair).unwrap();
+    failpoint::configure("snapshot.write=err");
+    let err = service.snapshot(dir.path()).expect_err("the injected fault must surface");
+    assert_eq!(err.kind(), std::io::ErrorKind::Other);
+    assert_eq!(
+        fs::read(dir.path().join(SNAPSHOT_FILE)).unwrap(),
+        golden,
+        "a failed snapshot must leave the previous one byte-identical"
+    );
+    assert_eq!(
+        fs::read_dir(dir.path()).unwrap().count(),
+        1,
+        "no temp debris after a failed snapshot"
+    );
+
+    // A killed append: typed error, zero bytes written, and the caller
+    // contract (do not apply on Err) keeps log and service in step — the
+    // next append lands on a clean frame boundary.
+    failpoint::configure("wal.append=err");
+    let mut wal = WalWriter::with_sync(dir.path(), WalSync::Never).unwrap();
+    let before = fs::metadata(wal.path()).unwrap().len();
+    let repair2 = sched.apply_event(toggle(&sched, 1, 8, 1)).unwrap();
+    assert!(wal.append(1, &repair2).is_err());
+    assert_eq!(wal.frames_appended(), 0);
+    assert_eq!(
+        fs::metadata(wal.path()).unwrap().len(),
+        before,
+        "a refused append must not touch the file"
+    );
+
+    failpoint::clear();
+    wal.append(1, &repair2).expect("disarmed append succeeds");
+    service.patch(1, &repair2).unwrap();
+    drop(wal);
+    let (recovered, report) = ProfileService::recover(dir.path()).unwrap();
+    assert!(!report.wal_torn);
+    // The recovered state replays [event 2] over the old snapshot; the
+    // live service saw events 1 and 2.  Convergence is against an oracle
+    // that saw the same prefix: snapshot(pre-event-1) is stale, so only
+    // the WAL'd event applies — recovery must still be typed and warm.
+    assert_eq!(report.wal_frames_replayed, 1);
+    assert!(recovered.profile(1).is_some() || recovered.quarantine_reason(1).is_some());
+}

@@ -396,4 +396,55 @@ fn fill_happy_set_allocates_nothing_after_warmup() {
              warm-up (the patch plane must reuse the service-owned scratch)"
         );
     }
+
+    // The WAL append path (PR 10): steady-state event logging through
+    // `WalWriter::append` reuses one encode sink and one frame buffer —
+    // once both reach their high-water capacity, appending a frame is an
+    // encode into existing storage plus one `write(2)`, with not a single
+    // heap allocation.
+    {
+        use fhg::core::dynamic::DynamicColorBound;
+        use fhg::core::serving::{WalSync, WalWriter};
+        use fhg::graph::{EdgeEvent, EdgeEventKind};
+
+        let base = generators::erdos_renyi(120, 0.03, 29);
+        let mut sched = DynamicColorBound::new(&base);
+        let n = base.node_count();
+        let (u, v) = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .find(|&(a, b)| !base.has_edge(a, b))
+            .expect("a sparse graph has absent edges");
+        let repairs: Vec<_> = (0..48u64)
+            .map(|i| {
+                let kind = if i % 2 == 0 { EdgeEventKind::Insert } else { EdgeEventKind::Delete };
+                sched
+                    .apply_event(EdgeEvent { kind, u, v, holiday: i })
+                    .expect("toggling one absent edge is always valid")
+            })
+            .collect();
+
+        let dir = std::env::temp_dir().join(format!("fhg-zero-alloc-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = WalWriter::with_sync(&dir, WalSync::Never).expect("the WAL opens");
+        // Warm-up: the sink and frame buffers find their high-water marks
+        // (frames for this toggle stream are all the same shape).
+        let mut next = 0usize;
+        for _ in 0..16 {
+            wal.append(0, &repairs[next]).expect("append");
+            next += 1;
+        }
+        let delta = min_alloc_delta(|| {
+            for _ in 0..8 {
+                wal.append(0, &repairs[next]).expect("append");
+                next += 1;
+            }
+        });
+        assert_eq!(
+            delta, 0,
+            "steady-state WAL appends allocated {delta} times per 8-event window after \
+             warm-up (the writer must reuse its encode buffers)"
+        );
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
